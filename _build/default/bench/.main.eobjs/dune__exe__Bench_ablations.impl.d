@@ -1,0 +1,1 @@
+bench/bench_ablations.ml: Exp Experiments Harness Jade Printf Registry Runtime Util Workload

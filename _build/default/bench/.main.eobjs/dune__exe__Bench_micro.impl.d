@@ -1,0 +1,1 @@
+bench/bench_micro.ml: Analyze Bechamel Benchmark Hashtbl Heap Instance Jade List Measure Printf Sim Staged Test Time Toolkit Util

@@ -1,0 +1,1 @@
+bench/bench_tables.ml: Exp Experiments Harness Jade List Printf Registry Runtime Util Workload

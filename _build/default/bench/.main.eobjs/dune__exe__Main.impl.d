@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_ablations Bench_figures Bench_micro Bench_tables List Printf String Sys Unix

@@ -1,0 +1,446 @@
+(* Reproduction of the paper's Tables 1-7 (§2 and §5).
+
+   Absolute magnitudes are simulator units (DESIGN.md §5 explains the
+   scaling); the shapes — who wins, by what factor, where the crossovers
+   fall — are the reproduction target, recorded against the paper in
+   EXPERIMENTS.md. *)
+
+open Experiments
+module Metrics = Runtime.Metrics
+
+let ms = Util.Units.ms
+let pt = Util.Units.pp_time_ns
+let f0 x = Printf.sprintf "%.0f" x
+
+(* Run lengths scale down in --quick mode. *)
+let quick = ref false
+
+let duration () = if !quick then 400 * ms else 800 * ms
+let warmup () = if !quick then 150 * ms else 250 * ms
+
+let run_max e app ~mult =
+  Exp.max_throughput ~warmup:(warmup ()) ~duration:(duration ()) e app ~mult
+
+(* Tables 1/2 use the paper's H2 setup: an 8 GB heap against ~2 GB of
+   live data = 4x the live set, i.e. 4/1.4 of our min-heap anchor. *)
+let h2_mult = 4.0 /. 1.4
+
+let run_qps e app ~mult ~qps =
+  Exp.at_qps ~warmup:(warmup ()) ~duration:(duration ()) e app ~mult ~qps
+
+(* ------------------------------------------------------------------ *)
+
+(** Table 1: application and pause statistics for mainstream collectors
+    on H2/TPC-C at the paper's generous 4x heap. *)
+let table1 () =
+  let app = Workload.Apps.h2_tpcc in
+  let mult = h2_mult in
+  let t =
+    Util.Table.create ~title:"Table 1: H2 max throughput and pauses (4x heap)"
+      ~headers:
+        [ "Collector"; "Max Thru (req/s)"; "p99 latency"; "Cum. pause";
+          "p99 pause" ]
+  in
+  let t =
+    List.fold_left
+      (fun t e ->
+        let s = run_max e app ~mult in
+        Util.Table.add_row t
+          [
+            e.Registry.name;
+            f0 s.Harness.throughput;
+            pt s.Harness.p99_latency;
+            pt s.Harness.cumulative_pause;
+            pt s.Harness.p99_pause;
+          ])
+      t
+      [ Registry.g1; Registry.zgc; Registry.shenandoah; Registry.jade ]
+  in
+  Util.Table.print t
+
+(** Table 2: phase breakdown for ZGC and Shenandoah on H2 near their own
+    maximum throughput. *)
+let table2 () =
+  let app = Workload.Apps.h2_tpcc in
+  let t =
+    Util.Table.create
+      ~title:
+        "Table 2: concurrent-phase breakdown on H2 (near own max throughput)"
+      ~headers:
+        [ "Collector"; "Window"; "Marking"; "Other"; "Avg Mark"; "Avg Other";
+          "Cum. pause" ]
+  in
+  let row e ~mark_phases ~other_phases =
+    let peak = (run_max e app ~mult:h2_mult).Harness.throughput in
+    let s = run_qps e app ~mult:h2_mult ~qps:(0.9 *. peak) in
+    let m = s.Harness.metrics in
+    let total names = List.fold_left (fun a n -> a + Metrics.phase_total m n) 0 names in
+    let counts names =
+      List.fold_left (fun a n -> max a (Metrics.phase_count m n)) 0 names
+    in
+    let mark = total mark_phases and other = total other_phases in
+    let mark_n = counts mark_phases and other_n = counts other_phases in
+    [
+      e.Registry.name;
+      pt s.Harness.elapsed;
+      pt mark;
+      (if other = 0 then "-" else pt other);
+      pt (if mark_n = 0 then 0 else mark / mark_n);
+      (if other_n = 0 then "-" else pt (other / other_n));
+      pt s.Harness.cumulative_pause;
+    ]
+  in
+  let t = Util.Table.add_row t (row Registry.zgc ~mark_phases:[ "zgc.mark" ] ~other_phases:[]) in
+  let t =
+    Util.Table.add_row t
+      (row Registry.shenandoah ~mark_phases:[ "shen.mark" ]
+         ~other_phases:[ "shen.evac"; "shen.update_refs" ])
+  in
+  Util.Table.print t
+
+(** Table 3: maximum (and for Specjbb critical) throughput across heap
+    sizes for every collector. *)
+let table3 () =
+  let heaps = [ 1.5; 2.0; 4.0 ] in
+  let collectors = Registry.all in
+  let apps =
+    [
+      (Workload.Apps.specjbb, true);
+      (Workload.Apps.hbase_insert, false);
+      (Workload.Apps.hbase_mixed, false);
+    ]
+  in
+  List.iter
+    (fun ((app : Workload.Apps.t), with_critical) ->
+      let t =
+        Util.Table.create
+          ~title:
+            (Printf.sprintf "Table 3: %s max%s throughput (req/s)"
+               app.Workload.Apps.name
+               (if with_critical then " (critical/max)" else ""))
+          ~headers:
+            ("Collector" :: List.map (fun h -> Printf.sprintf "%.1fx heap" h) heaps)
+      in
+      let t =
+        List.fold_left
+          (fun t e ->
+            let cells =
+              List.map
+                (fun mult ->
+                  let s = run_max e app ~mult in
+                  match s.Harness.oom with
+                  | Some _ -> "OOM"
+                  | None ->
+                      if with_critical then begin
+                        (* The SPECjbb critical-jops SLO band tops out at
+                           100 ms; we use 50 ms against p99. *)
+                        let slo = 50 * Util.Units.ms in
+                        let crit =
+                          Exp.critical_throughput e app ~mult ~slo
+                            ~peak:s.Harness.throughput
+                        in
+                        Printf.sprintf "%.0f/%.0f" crit s.Harness.throughput
+                      end
+                      else f0 s.Harness.throughput)
+                heaps
+            in
+            Util.Table.add_row t (e.Registry.name :: cells))
+          t collectors
+      in
+      Util.Table.print t)
+    apps;
+  (* Shop runs at its fixed production heap (~4x live). *)
+  let t =
+    Util.Table.create ~title:"Table 3 (cont.): shop max throughput, fixed heap"
+      ~headers:[ "Collector"; "Max Thru (req/s)"; "p99 latency" ]
+  in
+  let t =
+    List.fold_left
+      (fun t e ->
+        let s = run_max e Workload.Apps.shop ~mult:4.0 in
+        Util.Table.add_row t
+          [
+            e.Registry.name;
+            (match s.Harness.oom with
+            | Some _ -> "OOM"
+            | None -> f0 s.Harness.throughput);
+            pt s.Harness.p99_latency;
+          ])
+      t
+      [ Registry.jade; Registry.g1; Registry.zgc; Registry.shenandoah ]
+  in
+  Util.Table.print t
+
+(** Table 4: DaCapo execution time normalized to G1 under tight heaps. *)
+let table4 () =
+  let heaps = [ 1.5; 2.0 ] in
+  let collectors =
+    [
+      Registry.g1; Registry.g1_10ms; Registry.shenandoah; Registry.zgc;
+      Registry.genshen; Registry.genz; Registry.lxr; Registry.jade;
+    ]
+  in
+  let suite =
+    if !quick then
+      List.filteri (fun i _ -> i mod 4 = 0) Workload.Apps.dacapo
+    else Workload.Apps.dacapo
+  in
+  List.iter
+    (fun mult ->
+      let t =
+        Util.Table.create
+          ~title:
+            (Printf.sprintf
+               "Table 4: DaCapo execution time normalized to G1 (%.1fx min heap)"
+               mult)
+          ~headers:("App" :: List.map (fun e -> e.Registry.name) collectors)
+      in
+      let t =
+        List.fold_left
+          (fun t (app : Workload.Apps.t) ->
+            let requests =
+              if !quick then app.Workload.Apps.fixed_requests / 4
+              else app.Workload.Apps.fixed_requests
+            in
+            let base =
+              Exp.fixed_time ~cores:4 ~requests Registry.g1 app ~mult
+            in
+            let base_ns = base.Harness.elapsed in
+            let cells =
+              List.map
+                (fun e ->
+                  if e.Registry.name = "g1" then
+                    Printf.sprintf "%.0fms" (Util.Units.to_ms base_ns)
+                  else begin
+                    let s = Exp.fixed_time ~cores:4 ~requests e app ~mult in
+                    match s.Harness.oom with
+                    | Some _ -> "OOM"
+                    | None ->
+                        Printf.sprintf "%.3f"
+                          (float_of_int s.Harness.elapsed
+                          /. float_of_int (max 1 base_ns))
+                  end)
+                collectors
+            in
+            Util.Table.add_row t (app.Workload.Apps.name :: cells))
+          t suite
+      in
+      Util.Table.print t)
+    heaps
+
+(** Table 5: young/old GC phase breakdown and GC throughput, Jade vs
+    GenZ, under the paper's controlled setup (2 GC threads, chasing off,
+    compressed references off for Jade). *)
+let table5 () =
+  let app = Workload.Apps.specjbb in
+  let duration = if !quick then 1_500 * ms else 3_000 * ms in
+  let jade_cfg =
+    {
+      Jade.Jade_config.default with
+      Jade.Jade_config.young_workers = 1;
+      old_workers = 1;
+      chasing_mode = false;
+      compressed_oops = false;
+    }
+  in
+  let jade = Registry.jade_with ~name:"jade" jade_cfg in
+  let run e =
+    Exp.at_qps ~warmup:(warmup ()) ~duration e app ~mult:2.0 ~qps:42_000.
+  in
+  let sj = run jade and sz = run Registry.genz in
+  let mj = sj.Harness.metrics and mz = sz.Harness.metrics in
+  let gc_thru ~bytes ~ns =
+    if ns = 0 then 0. else float_of_int bytes /. 1048576. /. Util.Units.to_sec ns
+  in
+  let t =
+    Util.Table.create
+      ~title:"Table 5: GC phase breakdown, Jade vs GenZ (avg ms / MB/s)"
+      ~headers:[ "Cycle"; "Collector"; "Phase"; "Avg"; "GC Thru (MB/s)" ]
+  in
+  let jy_total = Metrics.phase_total mj "jade.young" in
+  let t =
+    Util.Table.add_row t
+      [
+        "Young"; "jade"; "Total (single-phase)";
+        pt (Metrics.phase_avg mj "jade.young");
+        f0
+          (gc_thru
+             ~bytes:(Metrics.counter mj "jade.young_reclaimed_bytes")
+             ~ns:jy_total);
+      ]
+  in
+  let zy_mark = Metrics.phase_total mz "young.mark" in
+  let zy_evac = Metrics.phase_total mz "young.evac" in
+  let zy_total = Metrics.phase_total mz "young.cycle" in
+  let t =
+    Util.Table.add_row t
+      [ "Young"; "genz"; "Mark"; pt (Metrics.phase_avg mz "young.mark"); "" ]
+  in
+  let t =
+    Util.Table.add_row t
+      [ "Young"; "genz"; "Evac"; pt (Metrics.phase_avg mz "young.evac"); "" ]
+  in
+  ignore (zy_mark, zy_evac);
+  let t =
+    Util.Table.add_row t
+      [
+        "Young"; "genz"; "Total";
+        pt (Metrics.phase_avg mz "young.cycle");
+        f0
+          (gc_thru
+             ~bytes:(Metrics.counter mz "young.reclaimed_bytes")
+             ~ns:zy_total);
+      ]
+  in
+  let t =
+    Util.Table.add_row t
+      [ "Old"; "jade"; "Mark"; pt (Metrics.phase_avg mj "jade.mark"); "" ]
+  in
+  let t =
+    Util.Table.add_row t
+      [ "Old"; "jade"; "Build"; pt (Metrics.phase_avg mj "jade.build"); "" ]
+  in
+  let t =
+    Util.Table.add_row t
+      [ "Old"; "jade"; "Evac"; pt (Metrics.phase_avg mj "jade.old_evac"); "" ]
+  in
+  let jo_total = Metrics.phase_total mj "jade.old_cycle" in
+  let t =
+    Util.Table.add_row t
+      [
+        "Old"; "jade"; "Total";
+        pt (Metrics.phase_avg mj "jade.old_cycle");
+        f0
+          (gc_thru
+             ~bytes:(Metrics.counter mj "jade.old_bytes_reclaimed")
+             ~ns:jo_total);
+      ]
+  in
+  let t =
+    Util.Table.add_row t
+      [ "Old"; "genz"; "Mark"; pt (Metrics.phase_avg mz "zgc.mark"); "" ]
+  in
+  let t =
+    Util.Table.add_row t
+      [ "Old"; "genz"; "Evac"; pt (Metrics.phase_avg mz "zgc.relocate"); "" ]
+  in
+  let zo_total = Metrics.phase_total mz "zgc.cycle" in
+  let t =
+    Util.Table.add_row t
+      [
+        "Old"; "genz"; "Total";
+        pt (Metrics.phase_avg mz "zgc.cycle");
+        f0
+          (gc_thru
+             ~bytes:(Metrics.counter mz "zgc.reclaimed_bytes")
+             ~ns:zo_total);
+      ]
+  in
+  Util.Table.print t
+
+(** Table 6: Jade GC statistics on H2 under shrinking heaps. *)
+let table6 () =
+  let app = Workload.Apps.h2_tpcc in
+  let mults = [ 1.0; 1.2; 1.5; 2.0 ] in
+  let runs = List.map (fun mult -> (mult, run_max Registry.jade app ~mult)) mults in
+  let t =
+    Util.Table.create ~title:"Table 6: Jade phase statistics on H2 by heap size"
+      ~headers:
+        ("Metric" :: List.map (fun m -> Printf.sprintf "%.1fx" m) mults)
+  in
+  let cells f = List.map (fun (_, s) -> f s) runs in
+  let phase_t name (s : Harness.summary) =
+    pt (Metrics.phase_total s.Harness.metrics name)
+  in
+  let phase_a name (s : Harness.summary) =
+    pt (Metrics.phase_avg s.Harness.metrics name)
+  in
+  let t = Util.Table.add_row t ("App window" :: cells (fun s -> pt s.Harness.elapsed)) in
+  let t = Util.Table.add_row t ("Mark total" :: cells (phase_t "jade.mark")) in
+  let t = Util.Table.add_row t ("Build total" :: cells (phase_t "jade.build")) in
+  let t =
+    Util.Table.add_row t
+      ("Pause total" :: cells (fun s -> pt s.Harness.cumulative_pause))
+  in
+  let t =
+    Util.Table.add_row t ("Young GC total" :: cells (phase_t "jade.young"))
+  in
+  let t =
+    Util.Table.add_row t ("Old evac total" :: cells (phase_t "jade.old_evac"))
+  in
+  let t = Util.Table.add_row t ("Avg mark" :: cells (phase_a "jade.mark")) in
+  let t = Util.Table.add_row t ("Avg build" :: cells (phase_a "jade.build")) in
+  let t =
+    Util.Table.add_row t ("Avg pause" :: cells (fun s -> pt s.Harness.avg_pause))
+  in
+  let t =
+    Util.Table.add_row t ("p99 pause" :: cells (fun s -> pt s.Harness.p99_pause))
+  in
+  let t =
+    Util.Table.add_row t
+      ("Max thru" :: cells (fun s -> f0 s.Harness.throughput))
+  in
+  Util.Table.print t
+
+(** Table 7: remembered-set building, Jade's CRDT vs G1's dirty-card
+    scan: concurrent mark + build time and cards scanned. *)
+let table7 () =
+  let app = Workload.Apps.specjbb in
+  let duration = if !quick then 1_500 * ms else 3_000 * ms in
+  let run e =
+    Exp.at_qps ~warmup:(warmup ()) ~duration e app ~mult:2.0 ~qps:30_000.
+  in
+  (* Same number of concurrent marking threads as G1 for a fair
+     mark-vs-mark comparison (the paper's Table 7 setup). *)
+  let jade =
+    Registry.jade_with ~name:"jade"
+      { Jade.Jade_config.default with Jade.Jade_config.old_workers = 2 }
+  in
+  let sj = run jade and sg = run Registry.g1 in
+  let mj = sj.Harness.metrics and mg = sg.Harness.metrics in
+  let t =
+    Util.Table.create
+      ~title:
+        "Table 7: remembered-set building per cycle (CRDT vs dirty-card scan)"
+      ~headers:
+        [ "Collector"; "Cycles"; "Avg Mark"; "Avg Build"; "Avg Total";
+          "Cards scanned/cycle" ]
+  in
+  let jn = max 1 (Metrics.phase_count mj "jade.build") in
+  let gn = max 1 (Metrics.phase_count mg "g1.remset_build") in
+  let jm = Metrics.phase_avg mj "jade.mark" in
+  let jb = Metrics.phase_avg mj "jade.build" in
+  let gm = Metrics.phase_avg mg "g1.conc_mark" in
+  let gb = Metrics.phase_avg mg "g1.remset_build" in
+  let t =
+    Util.Table.add_row t
+      [
+        "g1";
+        string_of_int (Metrics.phase_count mg "g1.remset_build");
+        pt gm; pt gb; pt (gm + gb);
+        string_of_int (Metrics.counter mg "g1.cards_scanned" / gn);
+      ]
+  in
+  let t =
+    Util.Table.add_row t
+      [
+        "jade";
+        string_of_int (Metrics.phase_count mj "jade.build");
+        pt jm; pt jb; pt (jm + jb);
+        (let scanned = Metrics.counter mj "jade.build_cards_scanned" / jn in
+         let via = Metrics.counter mj "jade.build_cards_via_crdt" / jn in
+         Printf.sprintf "%d of %d (%.0f%% skipped via CRDT)" scanned
+           (scanned + via)
+           (100. *. float_of_int via /. float_of_int (max 1 (scanned + via))));
+      ]
+  in
+  Util.Table.print t
+
+let all () =
+  table1 ();
+  table2 ();
+  table3 ();
+  table4 ();
+  table5 ();
+  table6 ();
+  table7 ()

@@ -1,0 +1,154 @@
+(** gcsim: run any collector x workload x heap configuration from the
+    command line.
+
+    {v
+    gcsim run --collector jade --workload h2-tpcc --heap-mult 2.0
+    gcsim run -c zgc -w specjbb2015 --qps 20000 --duration 1.5
+    gcsim list
+    v} *)
+
+open Cmdliner
+open Experiments
+
+let run_cmd collector workload heap_mult qps duration_s warmup_s cores seed
+    region_kib gc_report =
+  let e = Registry.find collector in
+  let app = Workload.Apps.find workload in
+  let machine =
+    {
+      (Exp.machine_for ~cores app ~mult:heap_mult) with
+      Harness.seed;
+      region_bytes = region_kib * Util.Units.kib;
+    }
+  in
+  let duration = int_of_float (duration_s *. 1e9) in
+  let warmup = int_of_float (warmup_s *. 1e9) in
+  Printf.printf
+    "collector=%s workload=%s heap=%s (%.2fx min) cores=%d region=%dKiB %s\n%!"
+    collector workload
+    (Util.Units.pp_bytes machine.Harness.heap_bytes)
+    heap_mult cores region_kib
+    (match qps with
+    | Some q -> Printf.sprintf "open loop @ %.0f qps" q
+    | None -> "closed loop");
+  let s =
+    match qps with
+    | Some qps ->
+        Harness.run_open ~machine ~warmup ~duration
+          ~install:e.Registry.install ~collector ~qps app
+    | None ->
+        Harness.run_closed ~machine ~warmup ~duration
+          ~install:e.Registry.install ~collector app
+  in
+  let pt = Util.Units.pp_time_ns in
+  Printf.printf "throughput      : %.0f req/s (%d completed)\n"
+    s.Harness.throughput s.Harness.completed;
+  Printf.printf "latency p50/p99/p99.9/max : %s / %s / %s / %s\n"
+    (pt s.Harness.p50_latency) (pt s.Harness.p99_latency)
+    (pt s.Harness.p999_latency) (pt s.Harness.max_latency);
+  Printf.printf "pauses          : %d, cumulative %s, avg %s, p99 %s, max %s\n"
+    s.Harness.pause_count
+    (pt s.Harness.cumulative_pause)
+    (pt s.Harness.avg_pause) (pt s.Harness.p99_pause) (pt s.Harness.max_pause);
+  Printf.printf "alloc stalls    : %s cumulative\n" (pt s.Harness.cumulative_stall);
+  Printf.printf "cpu             : mutator %s, gc %s, utilization %.0f%%\n"
+    (pt s.Harness.cpu_mutator) (pt s.Harness.cpu_gc)
+    (100. *. s.Harness.cpu_utilization);
+  if gc_report then Harness.print_gc_report s;
+  (match s.Harness.oom with
+  | Some why ->
+      Printf.printf "OUT OF MEMORY   : %s\n" why;
+      exit 3
+  | None -> ());
+  0
+
+let list_cmd () =
+  print_endline "collectors:";
+  List.iter
+    (fun e ->
+      Printf.printf "  %-12s %s\n" e.Registry.name
+        (if e.Registry.concurrent_copy then "(concurrent evacuation)"
+         else "(STW evacuation)"))
+    Registry.all;
+  print_endline "workloads:";
+  List.iter
+    (fun (a : Workload.Apps.t) ->
+      Printf.printf "  %-14s live set %s, %d mutators\n" a.Workload.Apps.name
+        (Util.Units.pp_bytes a.Workload.Apps.spec.Workload.Spec.live_bytes)
+        a.Workload.Apps.spec.Workload.Spec.mutators)
+    Workload.Apps.all;
+  0
+
+(* -- cmdliner plumbing ------------------------------------------------ *)
+
+let collector_arg =
+  Arg.(
+    value & opt string "jade"
+    & info [ "c"; "collector" ] ~docv:"NAME" ~doc:"Collector to run.")
+
+let workload_arg =
+  Arg.(
+    value & opt string "h2-tpcc"
+    & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Workload to run.")
+
+let heap_mult_arg =
+  Arg.(
+    value & opt float 4.0
+    & info [ "m"; "heap-mult" ] ~docv:"X"
+        ~doc:"Heap size as a multiple of the workload's minimum heap.")
+
+let qps_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "qps" ] ~docv:"QPS"
+        ~doc:"Offered load (open loop); omit for closed-loop peak throughput.")
+
+let duration_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "d"; "duration" ] ~docv:"SECONDS"
+        ~doc:"Measured window in virtual seconds.")
+
+let warmup_arg =
+  Arg.(
+    value & opt float 0.25
+    & info [ "warmup" ] ~docv:"SECONDS" ~doc:"Warmup in virtual seconds.")
+
+let cores_arg =
+  Arg.(value & opt int 8 & info [ "cores" ] ~docv:"N" ~doc:"Virtual cores.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+
+let region_arg =
+  Arg.(
+    value & opt int 512
+    & info [ "region-kib" ] ~docv:"KIB" ~doc:"Region size in KiB.")
+
+let gc_report_arg =
+  Arg.(
+    value & flag
+    & info [ "gc-report" ] ~doc:"Print per-phase GC timings and counters.")
+
+let run_term =
+  Term.(
+    const run_cmd $ collector_arg $ workload_arg $ heap_mult_arg $ qps_arg
+    $ duration_arg $ warmup_arg $ cores_arg $ seed_arg $ region_arg
+    $ gc_report_arg)
+
+let run_info =
+  Cmd.info "run" ~doc:"Run one collector on one workload and print a summary."
+
+let list_info = Cmd.info "list" ~doc:"List available collectors and workloads."
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let cmd =
+    Cmd.group ~default
+      (Cmd.info "gcsim" ~version:Jade.Jade_version.version
+         ~doc:
+           "Deterministic managed-runtime simulator reproducing Jade \
+            (EuroSys '24)")
+      [ Cmd.v run_info run_term; Cmd.v list_info Term.(const list_cmd $ const ()) ]
+  in
+  exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/grouping_demo.ml: Array Heap Jade List Printf Sys Unix Util

@@ -1,0 +1,1 @@
+examples/grouping_demo.mli:

@@ -1,0 +1,1 @@
+examples/heap_pressure.ml: Array Exp Experiments Harness List Printf Registry Sys Util Workload

@@ -1,0 +1,1 @@
+examples/latency_comparison.ml: Array Exp Experiments Harness List Printf Registry Sys Util Workload

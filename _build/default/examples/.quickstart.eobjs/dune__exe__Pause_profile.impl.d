@@ -1,0 +1,1 @@
+examples/pause_profile.ml: Array Exp Experiments Harness Hashtbl List Option Printf Registry Runtime Sys Util Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Exp Experiments Harness Printf Registry Sys Util Workload

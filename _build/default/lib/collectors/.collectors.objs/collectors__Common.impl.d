@@ -1,0 +1,1 @@
+lib/collectors/common.ml: Array Costs Crdt Gobj Hashtbl Heap Heap_impl List Obj Printf Queue Region Runtime Sim String Sys Util

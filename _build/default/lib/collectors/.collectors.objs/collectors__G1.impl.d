@@ -1,0 +1,1 @@
+lib/collectors/g1.ml: Array Common Costs Float Gobj Heap Heap_impl List Printf Region Region_remsets Runtime Sim Stw_collect Sys Util

@@ -1,0 +1,1 @@
+lib/collectors/genshen.ml: Array Common Costs Gobj Heap Heap_impl Region Remset Runtime Shenandoah Sim Util Young_gen

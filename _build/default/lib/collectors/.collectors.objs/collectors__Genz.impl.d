@@ -1,0 +1,1 @@
+lib/collectors/genz.ml: Array Common Costs Gobj Heap Heap_impl Region Remset Runtime Sim Util Young_gen Zgc

@@ -1,0 +1,1 @@
+lib/collectors/lxr.ml: Array Common Costs Gobj Heap Heap_impl List Region Region_remsets Runtime Sim Stw_collect Util

@@ -1,0 +1,1 @@
+lib/collectors/region_remsets.ml: Array Heap Heap_impl Printf Remset

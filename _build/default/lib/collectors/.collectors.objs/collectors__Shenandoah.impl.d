@@ -1,0 +1,1 @@
+lib/collectors/shenandoah.ml: Array Common Costs Gobj Heap Heap_impl List Region Runtime Sim Util

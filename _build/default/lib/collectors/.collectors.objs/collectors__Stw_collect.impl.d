@@ -1,0 +1,1 @@
+lib/collectors/stw_collect.ml: Array Common Costs Gobj Hashtbl Heap Heap_impl List Printf Region Region_remsets Remset Runtime Sim String Util

@@ -1,0 +1,1 @@
+lib/collectors/young_gen.ml: Array Common Costs Gobj Heap Heap_impl List Printf Region Remset Runtime Sim Sys Util

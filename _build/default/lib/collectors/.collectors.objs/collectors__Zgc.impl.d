@@ -1,0 +1,1 @@
+lib/collectors/zgc.ml: Array Common Costs Forwarding Gobj Heap Heap_impl List Region Runtime Sim Util

@@ -1,0 +1,595 @@
+(** Machinery shared by every collector: batched GC-thread cost
+    accounting, parallel worker phases, root scanning, SATB concurrent
+    marking, evacuation, remembered-set scanning and a stop-the-world
+    full compaction used as everyone's last resort. *)
+
+open Heap
+
+module RtM = Runtime.Rt
+module Metrics = Runtime.Metrics
+
+(* ------------------------------------------------------------------ *)
+(* Batched cost accounting for GC threads.                              *)
+
+module Ticker = struct
+  type t = { mutable pending : int; batch : int; workers : int }
+
+  (** [workers] divides all billed cost: under a stop-the-world pause,
+      [k <= cores] workers sharing the work finish in work/k wall time
+      with no contention (all mutators are stopped), so serially executed
+      STW phases bill cost/k — exact in this machine model.  Concurrent
+      phases use real worker fibers instead and must keep [workers = 1]. *)
+  let create ?(batch = 20_000) ?(workers = 1) () =
+    if workers < 1 then invalid_arg "Ticker.create";
+    { pending = 0; batch; workers }
+
+  let flush t =
+    if t.pending > 0 then begin
+      let n = (t.pending + t.workers - 1) / t.workers in
+      t.pending <- 0;
+      Sim.Engine.tick n
+    end
+
+  (** Accumulate [n] ns, paying the engine in ~[batch]-sized chunks so GC
+      loops do not suspend on every object. *)
+  let tick t n =
+    t.pending <- t.pending + n;
+    if t.pending >= t.batch * t.workers then flush t
+end
+
+(* ------------------------------------------------------------------ *)
+(* Parallel GC worker phases.                                           *)
+
+(** Run [n] GC worker fibers executing [f worker_index ticker] and block
+    the calling fiber until all finish. *)
+let run_workers rt ~n ~name f =
+  let engine = rt.RtM.engine in
+  let remaining = ref n in
+  let done_c = Sim.Engine.cond (name ^ ".done") in
+  for i = 0 to n - 1 do
+    ignore
+      (Sim.Engine.spawn engine ~daemon:true ~kind:Sim.Engine.Gc
+         ~name:(Printf.sprintf "%s-%d" name i)
+         (fun () ->
+           let tk = Ticker.create () in
+           f i tk;
+           Ticker.flush tk;
+           decr remaining;
+           if !remaining = 0 then Sim.Engine.broadcast engine done_c))
+  done;
+  while !remaining > 0 do
+    Sim.Engine.wait done_c
+  done
+
+(** A shared work counter: workers claim indices until the range is
+    drained (single-threaded host, so a plain ref suffices). *)
+let make_claimer limit =
+  let next = ref 0 in
+  fun () ->
+    if !next >= limit then None
+    else begin
+      let i = !next in
+      incr next;
+      Some i
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Roots.                                                               *)
+
+(** Scan all root sets, calling [f] on each live root; bills root-scan
+    cost to the calling fiber (used under STW or at init-mark). *)
+let scan_roots rt (tk : Ticker.t) f =
+  let costs = rt.RtM.costs in
+  RtM.iter_roots rt (fun slot ->
+      Ticker.tick tk costs.Costs.root_scan;
+      match slot with None -> () | Some o -> f (Gobj.resolve o))
+
+(* ------------------------------------------------------------------ *)
+(* SATB concurrent marking.                                             *)
+
+module Marker = struct
+  type scope = All | Only of (Region.t -> bool)
+
+  (** Which mark word the cycle uses; young and old cycles co-run and
+      must not alias each other's mark state. *)
+  type gen = Old_gen | Young_gen
+
+  type t = {
+    rt : RtM.t;
+    mutable scope : scope;
+    gen : gen;
+    remap : bool;  (** fix stale refs while tracing (ZGC-style remap) *)
+    atomic_cost : bool;  (** bill a CAS per object (colored pointers) *)
+    crdt : Crdt.t option;  (** record cross-region refs while marking *)
+    satb : Gobj.t Util.Vec.t;  (** overwritten values enqueued by mutators *)
+    stack : Gobj.t Util.Vec.t;  (** gray worklist *)
+    mutable active : bool;
+    mutable objects_marked : int;
+    mutable epoch : int;
+  }
+
+  let create ?(scope = All) ?(gen = Old_gen) ?(remap = false)
+      ?(atomic_cost = false) ?crdt rt =
+    {
+      rt;
+      scope;
+      gen;
+      remap;
+      atomic_cost;
+      crdt;
+      satb = Util.Vec.create Region.dummy_obj;
+      stack = Util.Vec.create Region.dummy_obj;
+      active = false;
+      objects_marked = 0;
+      epoch = 0;
+    }
+
+  let in_scope t (o : Gobj.t) =
+    match t.scope with
+    | All -> true
+    | Only pred -> pred t.rt.RtM.heap.Heap_impl.regions.(o.region)
+
+  let mark t heap o =
+    match t.gen with
+    | Old_gen -> Heap_impl.mark_object heap o
+    | Young_gen -> Heap_impl.mark_object_young heap o
+
+  (** Called by the write barrier: pre-store snapshot of the overwritten
+      value.  Cheap test first; the queue is drained by mark workers. *)
+  let satb_enqueue t (old_v : Gobj.t) =
+    if t.active then Util.Vec.push t.satb old_v
+
+  (* Visit one gray object: mark children, push newly marked ones.
+     Colored-pointer marking (ZGC/GenZ) recolors every reference with an
+     atomic op and traverses uncompressed 64-bit references, so both a
+     per-reference CAS and the compressed-oops tax apply (§2.4). *)
+  let visit t (tk : Ticker.t) (o : Gobj.t) =
+    let heap = t.rt.RtM.heap in
+    let costs = t.rt.RtM.costs in
+    let size_cost = Costs.mark_size_cost costs o.size in
+    let size_cost =
+      if t.atomic_cost then
+        size_cost * (100 + costs.Costs.compressed_oops_tax_pct) / 100
+      else size_cost
+    in
+    Ticker.tick tk (costs.Costs.mark_obj + size_cost);
+    t.objects_marked <- t.objects_marked + 1;
+    let nf = Gobj.num_fields o in
+    for i = 0 to nf - 1 do
+      Ticker.tick tk costs.Costs.mark_ref;
+      if t.atomic_cost then Ticker.tick tk costs.Costs.mark_atomic;
+      match Gobj.get_field o i with
+      | None -> ()
+      | Some child ->
+          let child' = Gobj.resolve child in
+          if t.remap && child' != child then begin
+            Ticker.tick tk costs.Costs.heal;
+            Gobj.set_field o i (Some child')
+          end;
+          (match t.crdt with
+          | Some crdt when child'.region <> o.region ->
+              Ticker.tick tk costs.Costs.crdt_record;
+              Crdt.record crdt ~card:(Heap_impl.card_of_field heap o i)
+                ~rid:child'.region
+          | _ -> ());
+          if in_scope t child' && mark t heap child' then
+            Util.Vec.push t.stack child'
+    done
+
+  (* Gray an object discovered from roots or SATB. *)
+  let gray t (o : Gobj.t) =
+    let o = Gobj.resolve o in
+    if in_scope t o && mark t t.rt.RtM.heap o then
+      Util.Vec.push t.stack o
+
+  let drain t tk =
+    let continue_ = ref true in
+    while !continue_ do
+      (match Util.Vec.pop t.stack with
+      | Some o -> visit t tk o
+      | None -> (
+          match Util.Vec.pop t.satb with
+          | Some o -> gray t o
+          | None -> continue_ := false));
+      (* Yield periodically so concurrent marking really is concurrent. *)
+      if Util.Vec.length t.stack land 255 = 0 then Ticker.flush tk
+    done
+
+  (** Concurrent marking body for [n] workers; the caller wraps it between
+      an init-mark and a final-mark STW. *)
+  let concurrent_mark t ~workers =
+    run_workers t.rt ~n:workers ~name:"mark" (fun _i tk ->
+        drain t tk;
+        (* Pick up late SATB entries until the queue stays empty. *)
+        let rounds = ref 0 in
+        while (not (Util.Vec.is_empty t.satb)) && !rounds < 1000 do
+          incr rounds;
+          drain t tk
+        done)
+
+  (** STW terminal drain (final mark / remark). *)
+  let final_drain t tk = drain t tk
+end
+
+(* ------------------------------------------------------------------ *)
+(* Evacuation.                                                          *)
+
+module Evac = struct
+  (** A GC thread's destination buffer: one claimed region per kind.
+      [on_copied] fires with each new copy — generational collectors use
+      it to re-create old-to-young remembered-set entries for relocated
+      holders. *)
+  type dest = {
+    rt : RtM.t;
+    kind : Region.kind;
+    mutable current : Region.t option;
+    on_copied : Gobj.t -> unit;
+  }
+
+  exception Evacuation_failure
+
+  let make_dest ?(on_copied = fun _ -> ()) rt kind =
+    { rt; kind; current = None; on_copied }
+
+  let dest_region d ~size =
+    let ok r = Region.fits r size in
+    match d.current with
+    | Some r when ok r -> r
+    | _ -> (
+        match Heap_impl.claim_region d.rt.RtM.heap d.kind with
+        | Some r ->
+            d.current <- Some r;
+            r
+        | None -> raise Evacuation_failure)
+
+  (** Copy [o] to [d], installing the forwarding pointer; returns the new
+      copy.  Idempotent: an already-forwarded object returns its copy. *)
+  let copy_object d (tk : Ticker.t) (o : Gobj.t) =
+    match o.Gobj.forward with
+    | Some o' -> Gobj.resolve o'
+    | None ->
+        let costs = d.rt.RtM.costs in
+        let r = dest_region d ~size:o.Gobj.size in
+        let copy : Gobj.t =
+          {
+            id = o.Gobj.id;
+            size = o.Gobj.size;
+            fields = o.Gobj.fields; (* one logical set of slots *)
+            region = r.Region.rid;
+            offset = r.Region.top;
+            forward = None;
+            mark = o.Gobj.mark;
+            ymark = o.Gobj.ymark;
+            age = o.Gobj.age + 1;
+            flags = o.Gobj.flags;
+          }
+        in
+        Region.push_obj r copy;
+        o.Gobj.forward <- Some copy;
+        Ticker.tick tk (Costs.copy_cost costs o.Gobj.size);
+        d.rt.RtM.heap.Heap_impl.bytes_allocated <-
+          d.rt.RtM.heap.Heap_impl.bytes_allocated + o.Gobj.size;
+        d.on_copied copy;
+        copy
+
+  (** Evacuate every live (marked) object of [region]; returns copied
+      bytes.  Liveness comes from the region's live bitmap (current mark
+      epoch results). *)
+  let evacuate_region d tk (region : Region.t) =
+    let heap = d.rt.RtM.heap in
+    let copied = ref 0 in
+    Util.Vec.iter
+      (fun (o : Gobj.t) ->
+        if
+          (not (Gobj.is_forwarded o))
+          && (Heap_impl.is_marked heap o || region.Region.alloc_epoch >= heap.Heap_impl.mark_epoch)
+        then begin
+          let _ = copy_object d tk o in
+          copied := !copied + o.Gobj.size
+        end)
+      region.Region.objects;
+    !copied
+end
+
+(* ------------------------------------------------------------------ *)
+(* Reference updating.                                                  *)
+
+(** Fix all stale references inside the live objects of [region]; used by
+    Shenandoah's update-refs phase which walks the whole heap. *)
+let update_refs_in_region rt (tk : Ticker.t) (region : Region.t) =
+  let heap = rt.RtM.heap in
+  let costs = rt.RtM.costs in
+  Util.Vec.iter
+    (fun (o : Gobj.t) ->
+      if
+        Heap_impl.is_marked heap o
+        || region.Region.alloc_epoch >= heap.Heap_impl.mark_epoch
+      then begin
+        Ticker.tick tk
+          (costs.Costs.mark_obj + Costs.mark_size_cost costs o.Gobj.size);
+        for i = 0 to Gobj.num_fields o - 1 do
+          Ticker.tick tk costs.Costs.mark_ref;
+          match Gobj.get_field o i with
+          | Some child when Gobj.is_forwarded child ->
+              Ticker.tick tk costs.Costs.heal;
+              Gobj.set_field o i (Some (Gobj.resolve child))
+          | _ -> ()
+        done
+      end)
+    region.Region.objects
+
+(** Scan one card, fixing stale references in the slots it covers; the
+    remembered-set consumers (G1 mixed evac, Jade group rounds). *)
+let update_refs_in_card rt (tk : Ticker.t) card =
+  let heap = rt.RtM.heap in
+  let costs = rt.RtM.costs in
+  Ticker.tick tk costs.Costs.card_scan;
+  Heap_impl.scan_card heap card ~f:(fun o i ->
+      match Gobj.get_field o i with
+      | Some child when Gobj.is_forwarded child ->
+          Ticker.tick tk costs.Costs.heal;
+          Gobj.set_field o i (Some (Gobj.resolve child))
+      | _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Paranoid validation (SIM_PARANOID=1): after a collection, walk the
+   roots on the host (no virtual cost) and fail fast if any reachable
+   object was freed, printing the path.  Test/debug aid only.           *)
+
+let paranoid =
+  match Sys.getenv_opt "SIM_PARANOID" with Some "1" -> true | _ -> false
+
+exception Lost_object of string
+
+let check_reachability rt ~where =
+  if paranoid then begin
+    let heap = rt.RtM.heap in
+    let seen = Hashtbl.create 4096 in
+    let describe (o : Gobj.t) =
+      let r = Heap_impl.region heap o.Gobj.region in
+      Printf.sprintf "#%d(r%d %s%s in_cset=%b age=%d mark=%d ymark=%d fwd=%b)"
+        o.Gobj.id o.Gobj.region
+        (Region.kind_to_string r.Region.kind)
+        (if Gobj.is_freed o then " FREED" else "")
+        r.Region.in_cset o.Gobj.age o.Gobj.mark o.Gobj.ymark
+        (Gobj.is_forwarded o)
+    in
+    let rec visit path (o : Gobj.t) =
+      let o = Gobj.resolve o in
+      if not (Hashtbl.mem seen (Obj.repr o)) then begin
+        Hashtbl.replace seen (Obj.repr o) ();
+        if Gobj.is_freed o then
+          raise
+            (Lost_object
+               (Printf.sprintf "%s: lost %s path=[%s]; lost-region hist: %s; parent-region hist: %s"
+                  where (describe o)
+                  (String.concat " -> " (List.rev_map describe path))
+                  (Heap_impl.dump_region_history o.Gobj.region)
+                  (match path with
+                  | p :: _ -> Heap_impl.dump_region_history p.Gobj.region
+                  | [] -> "-")))
+        ;
+        Gobj.iter_fields (fun _ c -> visit (o :: path) c) o
+      end
+    in
+    RtM.iter_roots rt (function Some o -> visit [] o | None -> ())
+  end
+
+(** Release humongous regions whose object died per the just-completed
+    mark (G1's "eager reclaim"; every collector needs it because
+    humongous regions are excluded from collection sets).  Returns the
+    count released. *)
+let reclaim_dead_humongous rt (tk : Ticker.t) =
+  let heap = rt.RtM.heap in
+  let n = ref 0 in
+  Array.iter
+    (fun (r : Region.t) ->
+      if
+        (not (Region.is_free r))
+        && r.Region.humongous
+        && r.Region.alloc_epoch < heap.Heap_impl.mark_epoch
+        && r.Region.live_bytes = 0
+      then begin
+        Heap_impl.release_region heap r;
+        Ticker.tick tk rt.RtM.costs.Costs.region_reset;
+        incr n
+      end)
+    heap.Heap_impl.regions;
+  if !n > 0 then RtM.notify_memory_freed rt;
+  !n
+
+(* ------------------------------------------------------------------ *)
+(* Full STW compaction: everyone's last resort.                         *)
+
+(** Stop the world, mark everything reachable, compact, update every
+    reference and release the emptied regions.  Returns reclaimed
+    regions.  [on_live_ref holder i child] is called for every surviving
+    cross-object reference during the update sweep, letting collectors
+    rebuild their remembered sets (every pre-compaction entry is stale
+    once objects move). *)
+let debug_full =
+  match Sys.getenv_opt "SIM_DEBUG" with Some "1" -> true | _ -> false
+
+let stw_full_compact ?(on_live_ref = fun _ _ _ -> ()) rt =
+  let heap = rt.RtM.heap in
+  let metrics = rt.RtM.metrics in
+  Runtime.Safepoint.stw rt.RtM.safepoint Metrics.Full_gc (fun () ->
+      RtM.retire_all_tlabs rt;
+      (* Full GC "sufficiently utilizes all available CPU resources"
+         (§4.3 and all baselines): parallelize over every core. *)
+      let tk = Ticker.create ~workers:(Sim.Engine.cores rt.RtM.engine) () in
+      (* Mark. *)
+      let _epoch = Heap_impl.begin_mark heap in
+      let marker = Marker.create rt in
+      marker.Marker.active <- true;
+      scan_roots rt tk (Marker.gray marker);
+      Marker.final_drain marker tk;
+      marker.Marker.active <- false;
+      Heap_impl.end_mark heap;
+      (* True sliding compaction: needs zero headroom.  Victims are
+         processed in ascending-liveness order; each live object goes to
+         the tail of an earlier, already-compacted region when one has
+         space, otherwise the victim itself is compacted in place and
+         joins the destination pool.  Fully drained victims are released
+         immediately. *)
+      let victims = ref [] in
+      Array.iter
+        (fun (r : Region.t) ->
+          if
+            (not (Region.is_free r))
+            && (not r.Region.humongous)
+            && Region.live_ratio r < 0.95
+          then victims := r :: !victims)
+        heap.Heap_impl.regions;
+      let victims =
+        List.sort
+          (fun (a : Region.t) b -> compare a.Region.live_bytes b.Region.live_bytes)
+          !victims
+      in
+      let costs = rt.RtM.costs in
+      let dest_pool : Region.t Queue.t = Queue.create () in
+      let current_dest = ref None in
+      let place_elsewhere (o : Gobj.t) =
+        (* Find a compacted region with room for [o]. *)
+        let rec pick () =
+          match !current_dest with
+          | Some (d : Region.t) when Region.fits d o.Gobj.size -> Some d
+          | _ -> (
+              match Queue.take_opt dest_pool with
+              | Some d ->
+                  current_dest := Some d;
+                  pick ()
+              | None -> (
+                  (* Previously released victims are claimable too. *)
+                  match Heap_impl.claim_region heap Region.Old with
+                  | Some d ->
+                      current_dest := Some d;
+                      Some d
+                  | None -> None))
+        in
+        match pick () with
+        | None -> false
+        | Some d ->
+            let copy : Gobj.t =
+              {
+                id = o.Gobj.id;
+                size = o.Gobj.size;
+                fields = o.Gobj.fields;
+                region = d.Region.rid;
+                offset = d.Region.top;
+                forward = None;
+                mark = o.Gobj.mark;
+                ymark = o.Gobj.ymark;
+                age = o.Gobj.age + 1;
+                flags = o.Gobj.flags;
+              }
+            in
+            Region.push_obj d copy;
+            o.Gobj.forward <- Some copy;
+            Ticker.tick tk (Costs.copy_cost costs o.Gobj.size);
+            true
+      in
+      let reclaimed = ref 0 in
+      List.iter
+        (fun (r : Region.t) ->
+          (* Partition the live objects of [r]. *)
+          let live = ref [] in
+          Util.Vec.iter
+            (fun (o : Gobj.t) ->
+              if (not (Gobj.is_forwarded o)) && Heap_impl.is_marked heap o
+              then live := o :: !live)
+            r.Region.objects;
+          let live = List.rev !live in
+          let stay =
+            List.filter (fun o -> not (place_elsewhere o)) live
+          in
+          if stay = [] then begin
+            Heap_impl.release_region heap r;
+            Ticker.tick tk costs.Costs.region_reset;
+            incr reclaimed
+          end
+          else begin
+            (* In-place slide: rebuild the region with only its live
+               objects; it then joins the destination pool. *)
+            Util.Vec.clear r.Region.objects;
+            r.Region.top <- 0;
+            List.iter
+              (fun (o : Gobj.t) ->
+                let copy : Gobj.t =
+                  {
+                    id = o.Gobj.id;
+                    size = o.Gobj.size;
+                    fields = o.Gobj.fields;
+                    region = r.Region.rid;
+                    offset = r.Region.top;
+                    forward = None;
+                    mark = o.Gobj.mark;
+                    ymark = o.Gobj.ymark;
+                    age = o.Gobj.age + 1;
+                    flags = o.Gobj.flags;
+                  }
+                in
+                Region.push_obj r copy;
+                o.Gobj.forward <- Some copy;
+                Ticker.tick tk (Costs.copy_cost costs o.Gobj.size))
+              stay;
+            r.Region.live_bytes <- r.Region.top;
+            Queue.push r dest_pool
+          end)
+        victims;
+      ignore (reclaim_dead_humongous rt tk);
+      (* Dense young regions were skipped by compaction (nothing to gain
+         from copying them); promote them in place — their objects have
+         survived a full collection and belong to the old generation.
+         Without this, a dense young region would be bounce-copied by
+         every subsequent young collection. *)
+      Array.iter
+        (fun (r : Region.t) ->
+          if r.Region.kind = Region.Young then begin
+            r.Region.kind <- Region.Old;
+            Heap_impl.record_region_event r.Region.rid "relabel:old"
+          end)
+        heap.Heap_impl.regions;
+      (* Update all references, then roots. *)
+      Array.iter
+        (fun (r : Region.t) ->
+          if not (Region.is_free r) then begin
+            update_refs_in_region rt tk r;
+            Util.Vec.iter
+              (fun (o : Gobj.t) ->
+                if Heap_impl.is_marked heap o && not (Gobj.is_forwarded o) then
+                  Gobj.iter_fields (fun i child -> on_live_ref o i child) o)
+              r.Region.objects
+          end)
+        heap.Heap_impl.regions;
+      RtM.update_roots rt;
+      let survivors, cleared = Heap_impl.process_weak_refs_marked heap in
+      ignore survivors;
+      Ticker.tick tk (cleared * rt.RtM.costs.Costs.weak_ref_process);
+      Ticker.flush tk;
+      check_reachability rt ~where:"full_compact";
+      Metrics.add metrics "full_gc_count" 1;
+      (if debug_full then begin
+         let live = ref 0 and used = ref 0 in
+         Array.iter
+           (fun (r : Region.t) ->
+             if not (Region.is_free r) then begin
+               live := !live + r.Region.live_bytes;
+               used := !used + r.Region.top
+             end)
+           heap.Heap_impl.regions;
+         Printf.eprintf
+           "[full] %.3fs reclaimed=%d free=%d live=%s used=%s victims_kept=%d\n%!"
+           (float_of_int (Sim.Engine.now rt.RtM.engine) /. 1e9)
+           !reclaimed
+           (Heap_impl.free_regions heap)
+           (Util.Units.pp_bytes !live) (Util.Units.pp_bytes !used)
+           (Array.fold_left
+              (fun a (r : Region.t) ->
+                if (not (Region.is_free r)) && Region.live_ratio r >= 0.95 then
+                  a + 1
+                else a)
+              0 heap.Heap_impl.regions)
+       end);
+      RtM.notify_memory_freed rt;
+      !reclaimed)

@@ -1,0 +1,381 @@
+(** Garbage-First (G1) collector model (Detlefs et al., §2 & §5 baselines).
+
+    Young and mixed collections evacuate in STW pauses; old liveness comes
+    from a concurrent SATB marking cycle triggered at an occupancy
+    threshold (IHOP).  The eden budget adapts to the [-XX:MaxGCPauseMillis]
+    soft limit: the "G1-10ms" configuration of the paper is this collector
+    with a 10 ms target, trading throughput (smaller eden, more frequent
+    pauses) for latency, exactly the effect Table 3 shows. *)
+
+open Heap
+module RtM = Runtime.Rt
+module Metrics = Runtime.Metrics
+
+type config = {
+  gc_threads : int;  (** concurrent marking workers *)
+  pause_target : int;  (** soft pause limit, ns *)
+  ihop_pct : float;  (** occupancy fraction that starts concurrent mark *)
+  tenure_age : int;
+  cset_live_threshold : float;  (** only regions below this join mixed csets *)
+  poll_interval : int;
+}
+
+let default_config =
+  {
+    gc_threads = 2;
+    pause_target = 200 * Util.Units.ms;
+    ihop_pct = 0.45;
+    tenure_age = 2;
+    cset_live_threshold = 0.85;
+    poll_interval = 100 * Util.Units.us;
+  }
+
+type t = {
+  rt : RtM.t;
+  config : config;
+  remsets : Region_remsets.t;
+  marker : Common.Marker.t;
+  mutable marking : bool;
+  mutable mark_requested : bool;
+  mutable candidates : Region.t list;  (** mixed-collection victims *)
+  mutable young_budget : int;  (** regions of eden before a young GC *)
+  mutable urgent : bool;  (** an allocation failed; collect now *)
+  mutable last_pause_est : int;
+  mutable dirty_since_rebuild : int;
+}
+
+let debug =
+  match Sys.getenv_opt "SIM_DEBUG" with Some "1" -> true | _ -> false
+
+let stw_config (t : t) : Stw_collect.config =
+  { tenure_age = t.config.tenure_age; gc_threads = t.config.gc_threads }
+
+let young_region_count t =
+  let n = ref 0 in
+  Array.iter
+    (fun (r : Region.t) ->
+      if r.Region.kind = Region.Young && not r.Region.humongous then incr n)
+    t.rt.RtM.heap.Heap_impl.regions;
+  !n
+
+(* Old regions consumed, as a fraction of the heap (IHOP metric). *)
+let old_occupancy t =
+  let heap = t.rt.RtM.heap in
+  let n = ref 0 in
+  Array.iter
+    (fun (r : Region.t) -> if r.Region.kind = Region.Old then incr n)
+    heap.Heap_impl.regions;
+  float_of_int !n /. float_of_int (Heap_impl.num_regions heap)
+
+(* ------------------------------------------------------------------ *)
+(* Collection-set policy.                                               *)
+
+(* Take mixed candidates while the predicted pause fits in the budget:
+   copying cost plus remembered-set card scans (G1's pause prediction). *)
+let take_mixed_slice t =
+  let costs = t.rt.RtM.costs in
+  let budget = ref (t.config.pause_target - t.last_pause_est) in
+  let slice = ref [] and n = ref 0 in
+  let continue_ = ref true in
+  let stw_workers = Sim.Engine.cores t.rt.RtM.engine in
+  while !continue_ do
+    match t.candidates with
+    | [] -> continue_ := false
+    | r :: rest ->
+        (* Pause prediction: copying plus remembered-set scanning plus the
+           reference-fixing sweep, shared by the STW workers.  The 3x
+           factor over raw copy cost matches measured mixed pauses. *)
+        let est =
+          (3 * Costs.copy_cost costs r.Region.live_bytes)
+          + (Region_remsets.cardinal t.remsets r.Region.rid
+            * costs.Costs.card_scan)
+        in
+        let est = est / max 1 stw_workers in
+        if (!n > 0 && est > !budget) || r.Region.kind <> Region.Old then begin
+          if r.Region.kind <> Region.Old then t.candidates <- rest
+          else continue_ := false
+        end
+        else begin
+          t.candidates <- rest;
+          budget := !budget - est;
+          slice := r :: !slice;
+          incr n
+        end
+  done;
+  !slice
+
+let adapt_young_budget t ~pause =
+  let target = t.config.pause_target in
+  t.last_pause_est <- (t.last_pause_est + pause) / 2;
+  let ratio = float_of_int target /. float_of_int (max pause 1) in
+  let ratio = Float.min 2.0 (Float.max 0.5 ratio) in
+  let heap_regions = Heap_impl.num_regions t.rt.RtM.heap in
+  let proposed = int_of_float (float_of_int t.young_budget *. ratio) in
+  t.young_budget <- max 2 (min proposed (heap_regions * 6 / 10))
+
+(* ------------------------------------------------------------------ *)
+(* Pauses and concurrent cycle.                                         *)
+
+let collect t ~mixed =
+  let metrics = t.rt.RtM.metrics in
+  let old_cset = if mixed then take_mixed_slice t else [] in
+  let kind = if mixed then Metrics.Mixed_stw else Metrics.Young_stw in
+  let t0 = Sim.Engine.now t.rt.RtM.engine in
+  let extra_roots =
+    if t.marking then [ t.marker.Common.Marker.stack; t.marker.Common.Marker.satb ]
+    else []
+  in
+  let result =
+    Stw_collect.collect t.rt ~remsets:t.remsets ~config:(stw_config t)
+      ~old_cset ~extra_roots ~pause_kind:kind ()
+  in
+  let pause = Sim.Engine.now t.rt.RtM.engine - t0 in
+  adapt_young_budget t ~pause;
+  if debug then
+    Printf.eprintf
+      "[g1] %.3fs %s pause=%s reclaimed=%d copied=%s free=%d budget=%d cands=%d\n%!"
+      (float_of_int t0 /. 1e9)
+      (if mixed then "mixed" else "young")
+      (Util.Units.pp_time_ns pause) result.Stw_collect.reclaimed_regions
+      (Util.Units.pp_bytes result.Stw_collect.copied_bytes)
+      (Heap_impl.free_regions t.rt.RtM.heap)
+      t.young_budget (List.length t.candidates);
+  Metrics.add metrics "g1.young_collections" 1;
+  result.Stw_collect.failed
+
+let low_watermark heap = max 2 (Heap_impl.num_regions heap / 50)
+
+(* Full GC: every remembered set goes stale when the heap compacts, so
+   drop them all and rebuild from the surviving references. *)
+let full_gc t =
+  let heap = t.rt.RtM.heap in
+  Array.iter
+    (fun (r : Region.t) -> Region_remsets.clear t.remsets r.Region.rid)
+    heap.Heap_impl.regions;
+  t.candidates <- [];
+  let on_live_ref (holder : Gobj.t) i (child : Gobj.t) =
+    let child = Gobj.resolve child in
+    if
+      child.Gobj.region <> holder.Gobj.region
+      && Stw_collect.remember_from (Heap_impl.region heap holder.Gobj.region)
+    then
+      Region_remsets.add t.remsets ~target_rid:child.Gobj.region
+        ~card:(Heap_impl.card_of_field heap holder i)
+  in
+  let reclaimed = Common.stw_full_compact ~on_live_ref t.rt in
+  if debug then
+    Printf.eprintf "[g1] %.3fs full-gc reclaimed=%d free=%d\n%!"
+      (float_of_int (Sim.Engine.now t.rt.RtM.engine) /. 1e9)
+      reclaimed
+      (Heap_impl.free_regions heap);
+  reclaimed
+
+let remset_rebuild_wanted (r : Region.t) =
+  (not (Region.is_free r)) && Stw_collect.remember_from r
+
+(* One full concurrent marking cycle: STW init, concurrent trace, STW
+   remark (weak refs), concurrent remembered-set rebuild from the dirty
+   card table, then candidate selection. *)
+let run_mark_cycle t =
+  let rt = t.rt in
+  let heap = rt.RtM.heap in
+  let metrics = rt.RtM.metrics in
+  let marker = t.marker in
+  if debug then
+    Printf.eprintf "[g1] %.3fs mark-cycle start\n%!"
+      (float_of_int (Sim.Engine.now rt.RtM.engine) /. 1e9);
+  t.marking <- true;
+  Metrics.phase_begin metrics "g1.conc_mark" ~now:(Sim.Engine.now rt.RtM.engine);
+  Runtime.Safepoint.stw rt.RtM.safepoint Metrics.Init_mark (fun () ->
+      ignore (Heap_impl.begin_mark heap);
+      marker.Common.Marker.active <- true;
+      let tk =
+        Common.Ticker.create ~workers:(Sim.Engine.cores rt.RtM.engine) ()
+      in
+      Common.scan_roots rt tk (Common.Marker.gray marker);
+      Common.Ticker.flush tk);
+  Common.Marker.concurrent_mark marker ~workers:t.config.gc_threads;
+  Runtime.Safepoint.stw rt.RtM.safepoint Metrics.Remark (fun () ->
+      let tk =
+        Common.Ticker.create ~workers:(Sim.Engine.cores rt.RtM.engine) ()
+      in
+      (* Re-scan roots: mutators may have stashed unmarked refs in slots
+         that never saw a write barrier (stack slots). *)
+      Common.scan_roots rt tk (Common.Marker.gray marker);
+      Common.Marker.final_drain marker tk;
+      marker.Common.Marker.active <- false;
+      Heap_impl.end_mark heap;
+      let _, cleared = Heap_impl.process_weak_refs_marked heap in
+      Common.Ticker.tick tk (cleared * rt.RtM.costs.Costs.weak_ref_process);
+      Common.Ticker.flush tk);
+  Metrics.phase_end metrics "g1.conc_mark" ~now:(Sim.Engine.now rt.RtM.engine);
+  (* Concurrent remembered-set rebuild: scan every dirty card, record
+     cross-region references, clean the card (Table 7's G1 "Build"). *)
+  Metrics.phase_begin metrics "g1.remset_build"
+    ~now:(Sim.Engine.now rt.RtM.engine);
+  let dirty = ref [] in
+  Heap_impl.iter_dirty_cards (fun c -> dirty := c :: !dirty) heap;
+  let cards = Array.of_list !dirty in
+  Metrics.add metrics "g1.cards_scanned" (Array.length cards);
+  Common.run_workers rt ~n:t.config.gc_threads ~name:"g1-rebuild" (fun w tk ->
+      let n = Array.length cards in
+      let chunk = (n + t.config.gc_threads - 1) / t.config.gc_threads in
+      let lo = w * chunk and hi = min n ((w + 1) * chunk) in
+      for idx = lo to hi - 1 do
+        let card = cards.(idx) in
+        Common.Ticker.tick tk rt.RtM.costs.Costs.card_scan;
+        let holder_rid = Heap_impl.card_to_region heap card in
+        let holder_r = Heap_impl.region heap holder_rid in
+        if remset_rebuild_wanted holder_r then
+          Heap_impl.scan_card heap card ~f:(fun o i ->
+              match Gobj.get_field o i with
+              | Some child when (Gobj.resolve child).Gobj.region <> o.Gobj.region
+                ->
+                  Common.Ticker.tick tk rt.RtM.costs.Costs.remset_insert;
+                  Region_remsets.add t.remsets
+                    ~target_rid:(Gobj.resolve child).Gobj.region
+                    ~card
+              | _ -> ());
+        Heap_impl.clean_card heap card
+      done);
+  Metrics.phase_end metrics "g1.remset_build" ~now:(Sim.Engine.now rt.RtM.engine);
+  (* Candidate selection: garbage-first order. *)
+  let cands = ref [] in
+  Array.iter
+    (fun (r : Region.t) ->
+      if
+        r.Region.kind = Region.Old
+        && (not r.Region.humongous)
+        && r.Region.alloc_epoch < heap.Heap_impl.mark_epoch
+        && Region.live_ratio r < t.config.cset_live_threshold
+      then cands := r :: !cands;
+      (* Eager reclaim of dead humongous regions. *)
+      if
+        (not (Region.is_free r))
+        && r.Region.humongous
+        && r.Region.alloc_epoch < heap.Heap_impl.mark_epoch
+        && r.Region.live_bytes = 0
+      then begin
+        Heap_impl.release_region heap r;
+        RtM.notify_memory_freed rt
+      end)
+    heap.Heap_impl.regions;
+  t.candidates <-
+    List.sort
+      (fun (a : Region.t) b ->
+        compare (Region.garbage_bytes b) (Region.garbage_bytes a))
+      !cands;
+  if debug then
+    Printf.eprintf "[g1] %.3fs mark-cycle done: candidates=%d free=%d\n%!"
+      (float_of_int (Sim.Engine.now rt.RtM.engine) /. 1e9)
+      (List.length t.candidates)
+      (Heap_impl.free_regions heap);
+  t.marking <- false
+
+(* ------------------------------------------------------------------ *)
+(* Controller daemon.                                                   *)
+
+(* Every collection escalates on insufficient progress — ordinary
+   collection, then marking + mixed collections, then a full compaction,
+   then OOM — so a failed evacuation can never spin the controller. *)
+let ensure_progress t =
+  let heap = t.rt.RtM.heap in
+  let low = low_watermark heap in
+  let failed = collect t ~mixed:(t.candidates <> []) in
+  if failed || Heap_impl.free_regions heap < low then begin
+    if t.candidates = [] then run_mark_cycle t;
+    let guard = ref 8 in
+    while
+      Heap_impl.free_regions heap < low && t.candidates <> [] && !guard > 0
+    do
+      decr guard;
+      ignore (collect t ~mixed:true)
+    done;
+    if Heap_impl.free_regions heap < low then begin
+      ignore (full_gc t);
+      if Heap_impl.free_regions heap < low then begin
+        t.rt.RtM.oom <- true;
+        RtM.notify_memory_freed t.rt
+      end
+    end
+  end
+
+let controller t () =
+  let rt = t.rt in
+  let engine = rt.RtM.engine in
+  while true do
+    if t.urgent then begin
+      t.urgent <- false;
+      ensure_progress t
+    end
+    else if
+      young_region_count t >= t.young_budget
+      || Heap_impl.free_regions rt.RtM.heap
+         <= max 2 (Heap_impl.num_regions rt.RtM.heap / 16)
+         && young_region_count t > 0
+    then ensure_progress t
+    else if
+      t.mark_requested
+      || ((not t.marking) && t.candidates = [] && old_occupancy t >= t.config.ihop_pct)
+    then begin
+      t.mark_requested <- false;
+      run_mark_cycle t
+    end
+    else Sim.Engine.sleep engine t.config.poll_interval
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Plumbing.                                                            *)
+
+let install ?(config = default_config) rt =
+  let heap = rt.RtM.heap in
+  let t =
+    {
+      rt;
+      config;
+      remsets = Region_remsets.create heap;
+      marker = Common.Marker.create rt;
+      marking = false;
+      mark_requested = false;
+      candidates = [];
+      young_budget = max 4 (Heap_impl.num_regions heap / 4);
+      urgent = false;
+      last_pause_est = Util.Units.ms;
+      dirty_since_rebuild = 0;
+    }
+  in
+  let costs = rt.RtM.costs in
+  let store_barrier ~src ~field ~old_v ~new_v =
+    if t.marker.Common.Marker.active then begin
+      Sim.Engine.tick costs.Costs.satb_barrier;
+      match old_v with
+      | Some o -> Common.Marker.satb_enqueue t.marker o
+      | None -> ()
+    end;
+    match new_v with
+    | Some child when child.Gobj.region <> src.Gobj.region ->
+        (* Post-write barrier: dirty the card; refinement inserts the
+           remembered-set entry inline. *)
+        Sim.Engine.tick costs.Costs.card_barrier;
+        Heap_impl.dirty_card heap (Heap_impl.card_of_field heap src field);
+        Stw_collect.barrier_insert rt t.remsets ~src ~field ~child
+    | _ -> ()
+  in
+  let alloc_failure () =
+    t.urgent <- true;
+    Runtime.Safepoint.park rt.RtM.safepoint;
+    Sim.Engine.wait rt.RtM.mem_freed;
+    Runtime.Safepoint.unpark rt.RtM.safepoint
+  in
+  RtM.install_collector rt
+    {
+      RtM.cname = "g1";
+      store_barrier;
+      load_extra_cost = 0;
+      mutator_tax_pct = 0;
+      alloc_failure;
+    };
+  ignore
+    (Sim.Engine.spawn rt.RtM.engine ~daemon:true ~kind:Sim.Engine.Gc
+       ~name:"g1-controller" (controller t));
+  t

@@ -1,0 +1,162 @@
+(** Generational Shenandoah (GenShen, §2.5).
+
+    Young collections use the parent's three-phase structure — concurrent
+    young marking, concurrent evacuation, and an eager reference-update
+    pass over survivors, remembered cards and roots — so they keep
+    Shenandoah's per-cycle overheads; old collections are Shenandoah
+    cycles restricted to old regions. *)
+
+open Heap
+module RtM = Runtime.Rt
+
+type config = {
+  gc_threads : int;
+  young_budget_fraction : int;  (** young GC when young regions > heap/n *)
+  old_trigger_occupancy : float;
+  poll_interval : int;
+}
+
+let default_config =
+  {
+    gc_threads = 2;
+    young_budget_fraction = 4;
+    old_trigger_occupancy = 0.60;
+    poll_interval = 100 * Util.Units.us;
+  }
+
+type t = {
+  rt : RtM.t;
+  config : config;
+  young : Young_gen.t;
+  shen : Shenandoah.t;
+  mutable urgent : bool;
+}
+
+let young_count t =
+  let n = ref 0 in
+  Array.iter
+    (fun (r : Region.t) -> if r.Region.kind = Region.Young then incr n)
+    t.rt.RtM.heap.Heap_impl.regions;
+  !n
+
+let old_occupancy t =
+  let heap = t.rt.RtM.heap in
+  let n = ref 0 in
+  Array.iter
+    (fun (r : Region.t) -> if r.Region.kind = Region.Old then incr n)
+    heap.Heap_impl.regions;
+  float_of_int !n /. float_of_int (Heap_impl.num_regions heap)
+
+let escalate t =
+  let rt = t.rt in
+  let heap = rt.RtM.heap in
+  let low = max 2 (Heap_impl.num_regions heap / 50) in
+  if Heap_impl.free_regions heap < low then begin
+    Shenandoah.run_cycle t.shen;
+    if Heap_impl.free_regions heap < low then begin
+      ignore (Common.stw_full_compact rt);
+      if Heap_impl.free_regions heap < low then begin
+        rt.RtM.oom <- true;
+        RtM.notify_memory_freed rt
+      end
+    end
+  end
+
+let controller t () =
+  let rt = t.rt in
+  let heap = rt.RtM.heap in
+  while true do
+    let budget =
+      max 4 (Heap_impl.num_regions heap / t.config.young_budget_fraction)
+    in
+    if
+      t.urgent
+      || young_count t >= budget
+      || Heap_impl.free_regions heap <= max 2 (Heap_impl.num_regions heap / 16)
+         && young_count t > 0
+    then begin
+      t.urgent <- false;
+      let ok = Young_gen.collect t.young ~gc_threads:t.config.gc_threads in
+      if not ok then escalate t
+      else if
+        Heap_impl.free_regions heap < max 2 (Heap_impl.num_regions heap / 50)
+      then escalate t
+    end
+    else if old_occupancy t >= t.config.old_trigger_occupancy then
+      Shenandoah.run_cycle t.shen
+    else Sim.Engine.sleep rt.RtM.engine t.config.poll_interval
+  done
+
+let install ?(config = default_config) rt =
+  let young = Young_gen.create ~style:Young_gen.Update_refs_phase rt in
+  (* Old cycles relocate holders of old-to-young references: their new
+     locations must re-enter the remembered set or young targets would be
+     lost when the old card's region is freed. *)
+  let copy_hook (o' : Gobj.t) =
+    let heap = rt.RtM.heap in
+    Gobj.iter_fields
+      (fun i child ->
+        let child = Gobj.resolve child in
+        if Young_gen.is_young heap child then
+          ignore
+            (Remset.add young.Young_gen.remset
+               (Heap_impl.card_of_field heap o' i)))
+      o'
+  in
+  let shen =
+    Shenandoah.
+      {
+        rt;
+        config =
+          {
+            Shenandoah.default_config with
+            gc_threads = config.gc_threads;
+            cset_filter = (fun r -> r.Region.kind = Region.Old);
+            copy_hook;
+          };
+        marker = Common.Marker.create rt;
+        cycle_running = false;
+        degen_requested = false;
+        urgent = false;
+      }
+  in
+  let t = { rt; config; young; shen; urgent = false } in
+  let costs = rt.RtM.costs in
+  let store_barrier ~src ~field ~old_v ~new_v =
+    (* Old-generation SATB during old marking; old-to-young remembering
+       always. *)
+    if
+      shen.Shenandoah.marker.Common.Marker.active
+      || t.young.Young_gen.marker.Common.Marker.active
+    then begin
+      Sim.Engine.tick costs.Costs.satb_barrier;
+      (match old_v with
+      | Some o ->
+          if shen.Shenandoah.marker.Common.Marker.active then
+            Common.Marker.satb_enqueue shen.Shenandoah.marker o;
+          if t.young.Young_gen.marker.Common.Marker.active then
+            Common.Marker.satb_enqueue t.young.Young_gen.marker o
+      | None -> ())
+    end;
+    Young_gen.barrier t.young ~src ~field ~new_v
+  in
+  let alloc_failure () =
+    t.urgent <- true;
+    if shen.Shenandoah.cycle_running then
+      shen.Shenandoah.degen_requested <- true;
+    Runtime.Safepoint.park rt.RtM.safepoint;
+    Sim.Engine.wait rt.RtM.mem_freed;
+    Runtime.Safepoint.unpark rt.RtM.safepoint
+  in
+  RtM.install_collector rt
+    {
+      RtM.cname = "genshen";
+      store_barrier;
+      load_extra_cost = 1;
+      mutator_tax_pct = 0;
+      alloc_failure;
+    };
+  ignore
+    (Sim.Engine.spawn rt.RtM.engine ~daemon:true ~kind:Sim.Engine.Gc
+       ~name:"genshen-controller" (controller t));
+  t

@@ -1,0 +1,162 @@
+(** Generational ZGC (GenZ, §2.5).
+
+    Young collections keep ZGC's two-phase shape — concurrent young
+    marking with colored-pointer costs, then young relocation with lazy
+    reference healing — so "the young GC algorithm still contains the
+    overhead of color pointers" (§2.5); old collections are ZGC cycles
+    restricted to old regions.  The colored-pointer mutator taxes
+    (per-load color checks, compressed references disabled) apply
+    throughout. *)
+
+open Heap
+module RtM = Runtime.Rt
+
+type config = {
+  gc_threads : int;
+  young_budget_fraction : int;
+  old_trigger_occupancy : float;
+  poll_interval : int;
+}
+
+let default_config =
+  {
+    gc_threads = 2;
+    young_budget_fraction = 4;
+    old_trigger_occupancy = 0.60;
+    poll_interval = 100 * Util.Units.us;
+  }
+
+type t = {
+  rt : RtM.t;
+  config : config;
+  young : Young_gen.t;
+  zgc : Zgc.t;
+  mutable urgent : bool;
+}
+
+let young_count t =
+  let n = ref 0 in
+  Array.iter
+    (fun (r : Region.t) -> if r.Region.kind = Region.Young then incr n)
+    t.rt.RtM.heap.Heap_impl.regions;
+  !n
+
+let old_occupancy t =
+  let heap = t.rt.RtM.heap in
+  let n = ref 0 in
+  Array.iter
+    (fun (r : Region.t) -> if r.Region.kind = Region.Old then incr n)
+    heap.Heap_impl.regions;
+  float_of_int !n /. float_of_int (Heap_impl.num_regions heap)
+
+let escalate t =
+  let rt = t.rt in
+  let heap = rt.RtM.heap in
+  let low = max 2 (Heap_impl.num_regions heap / 50) in
+  if Heap_impl.free_regions heap < low then begin
+    Zgc.run_cycle t.zgc;
+    if Heap_impl.free_regions heap < low then begin
+      ignore (Common.stw_full_compact rt);
+      if Heap_impl.free_regions heap < low then begin
+        rt.RtM.oom <- true;
+        RtM.notify_memory_freed rt
+      end
+    end
+  end
+
+let controller t () =
+  let rt = t.rt in
+  let heap = rt.RtM.heap in
+  while true do
+    let budget =
+      max 4 (Heap_impl.num_regions heap / t.config.young_budget_fraction)
+    in
+    if
+      t.urgent
+      || young_count t >= budget
+      || Heap_impl.free_regions heap <= max 2 (Heap_impl.num_regions heap / 16)
+         && young_count t > 0
+    then begin
+      t.urgent <- false;
+      let ok = Young_gen.collect t.young ~gc_threads:t.config.gc_threads in
+      if
+        (not ok)
+        || Heap_impl.free_regions heap
+           < max 2 (Heap_impl.num_regions heap / 50)
+      then escalate t
+    end
+    else if old_occupancy t >= t.config.old_trigger_occupancy then
+      Zgc.run_cycle t.zgc
+    else Sim.Engine.sleep rt.RtM.engine t.config.poll_interval
+  done
+
+let install ?(config = default_config) rt =
+  let young =
+    Young_gen.create ~atomic_cost:true ~style:Young_gen.Lazy_healing rt
+  in
+  (* Same requirement as GenShen: relocated old holders of young refs
+     must re-enter the old-to-young remembered set. *)
+  let copy_hook (o' : Gobj.t) =
+    let heap = rt.RtM.heap in
+    Gobj.iter_fields
+      (fun i child ->
+        let child = Gobj.resolve child in
+        if Young_gen.is_young heap child then
+          ignore
+            (Remset.add young.Young_gen.remset
+               (Heap_impl.card_of_field heap o' i)))
+      o'
+  in
+  let zgc =
+    Zgc.
+      {
+        rt;
+        config =
+          {
+            Zgc.default_config with
+            gc_threads = config.gc_threads;
+            cset_filter = (fun r -> r.Region.kind = Region.Old);
+            copy_hook;
+          };
+        marker = Common.Marker.create ~remap:true ~atomic_cost:true rt;
+        forwarding = [];
+        cycle_running = false;
+        urgent = false;
+      }
+  in
+  let t = { rt; config; young; zgc; urgent = false } in
+  let costs = rt.RtM.costs in
+  let store_barrier ~src ~field ~old_v ~new_v =
+    if
+      zgc.Zgc.marker.Common.Marker.active
+      || t.young.Young_gen.marker.Common.Marker.active
+    then begin
+      Sim.Engine.tick costs.Costs.satb_barrier;
+      (match old_v with
+      | Some o ->
+          if zgc.Zgc.marker.Common.Marker.active then
+            Common.Marker.satb_enqueue zgc.Zgc.marker o;
+          if t.young.Young_gen.marker.Common.Marker.active then
+            Common.Marker.satb_enqueue t.young.Young_gen.marker o
+      | None -> ())
+    end;
+    Young_gen.barrier t.young ~src ~field ~new_v
+  in
+  let alloc_failure () =
+    t.urgent <- true;
+    Runtime.Safepoint.park rt.RtM.safepoint;
+    Sim.Engine.wait rt.RtM.mem_freed;
+    Runtime.Safepoint.unpark rt.RtM.safepoint
+  in
+  RtM.install_collector rt
+    {
+      RtM.cname = "genz";
+      store_barrier;
+      load_extra_cost = costs.Costs.colored_load_extra;
+      mutator_tax_pct = costs.Costs.compressed_oops_tax_pct;
+      alloc_failure;
+    };
+  ignore
+    (Sim.Engine.spawn rt.RtM.engine ~daemon:true ~kind:Sim.Engine.Gc
+       ~name:"genz-controller" (controller t));
+  t

@@ -1,0 +1,208 @@
+(** LXR collector model (Zhao, Blackburn & McKinley, PLDI'22; §5
+    baseline).
+
+    LXR pairs deferred reference counting with occasional concurrent
+    tracing and *stop-the-world* evacuation: most memory is reclaimed
+    promptly in short, bounded RC-epoch pauses (here a young collection
+    triggered by allocation volume plus the cost of processing the
+    logged increments/decrements), while fragmentation is repaired by
+    STW evacuation of sparse old regions whose pause grows with the live
+    set — the behaviour Figure 7 contrasts with Jade (46 ms average
+    pauses under the large heap).  Field-logging write barriers replace
+    load barriers entirely. *)
+
+open Heap
+module RtM = Runtime.Rt
+module Metrics = Runtime.Metrics
+
+type config = {
+  gc_threads : int;
+  epoch_alloc_bytes : int;  (** RC epoch every this many allocated bytes *)
+  tenure_age : int;
+  trace_trigger_occupancy : float;
+  defrag_live_threshold : float;
+  poll_interval : int;
+}
+
+let default_config =
+  {
+    gc_threads = 2;
+    epoch_alloc_bytes = 12 * Util.Units.mib;
+    tenure_age = 1;
+    trace_trigger_occupancy = 0.55;
+    defrag_live_threshold = 0.85;
+    poll_interval = 100 * Util.Units.us;
+  }
+
+type t = {
+  rt : RtM.t;
+  config : config;
+  remsets : Region_remsets.t;
+  marker : Common.Marker.t;
+  mutable rc_log : int;  (** pending increment/decrement log entries *)
+  mutable last_epoch_bytes : int;
+  mutable candidates : Region.t list;  (** defrag victims from the trace *)
+  mutable urgent : bool;
+}
+
+let stw_config (t : t) : Stw_collect.config =
+  { tenure_age = t.config.tenure_age; gc_threads = t.config.gc_threads }
+
+(* RC epoch: process the logged field updates, then reclaim the young
+   generation (and, when a concurrent trace has produced candidates, a
+   defrag slice bounded only by free space — LXR pauses are not
+   pause-target-bounded, which is why they grow with the live set). *)
+let rc_epoch t ~defrag =
+  let rt = t.rt in
+  let costs = rt.RtM.costs in
+  let old_cset =
+    if defrag then begin
+      (* Victims whose regions still qualify (garbage-first order). *)
+      let good, _ =
+        List.partition
+          (fun (r : Region.t) ->
+            r.Region.kind = Region.Old
+            && (not r.Region.humongous)
+            && not (Region.is_free r))
+          t.candidates
+      in
+      t.candidates <- [];
+      good
+    end
+    else []
+  in
+  let log = t.rc_log in
+  t.rc_log <- 0;
+  t.last_epoch_bytes <- rt.RtM.heap.Heap_impl.bytes_allocated;
+  let pause_kind = if defrag then Metrics.Mixed_stw else Metrics.Rc_epoch in
+  let result =
+    Stw_collect.collect rt ~remsets:t.remsets ~config:(stw_config t)
+      ~old_cset ~pause_kind ()
+  in
+  (* The increment/decrement processing shares the same pause; bill it on
+     the collector fiber inside... the pause has ended, so bill the log
+     cost as part of epoch bookkeeping (small relative to copying). *)
+  Sim.Engine.tick (log * costs.Costs.rc_process_ref / max 1 (Sim.Engine.cores rt.RtM.engine));
+  Metrics.add rt.RtM.metrics "lxr.rc_log_processed" log;
+  result.Stw_collect.failed
+
+(* Concurrent trace for cyclic garbage and defrag-candidate selection. *)
+let run_trace t =
+  let rt = t.rt in
+  let heap = rt.RtM.heap in
+  let marker = t.marker in
+  Runtime.Safepoint.stw rt.RtM.safepoint Metrics.Init_mark (fun () ->
+      ignore (Heap_impl.begin_mark heap);
+      marker.Common.Marker.active <- true;
+      let tk =
+        Common.Ticker.create ~workers:(Sim.Engine.cores rt.RtM.engine) ()
+      in
+      Common.scan_roots rt tk (Common.Marker.gray marker);
+      Common.Ticker.flush tk);
+  Common.Marker.concurrent_mark marker ~workers:t.config.gc_threads;
+  Runtime.Safepoint.stw rt.RtM.safepoint Metrics.Remark (fun () ->
+      let tk =
+        Common.Ticker.create ~workers:(Sim.Engine.cores rt.RtM.engine) ()
+      in
+      Common.scan_roots rt tk (Common.Marker.gray marker);
+      Common.Marker.final_drain marker tk;
+      marker.Common.Marker.active <- false;
+      Heap_impl.end_mark heap;
+      let _, cleared = Heap_impl.process_weak_refs_marked heap in
+      Common.Ticker.tick tk (cleared * rt.RtM.costs.Costs.weak_ref_process);
+      ignore (Common.reclaim_dead_humongous rt tk);
+      Common.Ticker.flush tk);
+  let cands = ref [] in
+  Array.iter
+    (fun (r : Region.t) ->
+      if
+        r.Region.kind = Region.Old
+        && (not r.Region.humongous)
+        && r.Region.alloc_epoch < heap.Heap_impl.mark_epoch
+        && Region.live_ratio r < t.config.defrag_live_threshold
+      then cands := r :: !cands)
+    heap.Heap_impl.regions;
+  t.candidates <-
+    List.sort
+      (fun (a : Region.t) b ->
+        compare (Region.garbage_bytes b) (Region.garbage_bytes a))
+      !cands;
+  Metrics.add rt.RtM.metrics "lxr.traces" 1
+
+let controller t () =
+  let rt = t.rt in
+  let heap = rt.RtM.heap in
+  let low = max 2 (Heap_impl.num_regions heap / 50) in
+  while true do
+    let since =
+      heap.Heap_impl.bytes_allocated - t.last_epoch_bytes
+    in
+    if t.urgent || since >= t.config.epoch_alloc_bytes then begin
+      t.urgent <- false;
+      let failed = rc_epoch t ~defrag:(t.candidates <> []) in
+      if failed || Heap_impl.free_regions heap < low then begin
+        if t.candidates = [] then run_trace t;
+        let failed2 = rc_epoch t ~defrag:true in
+        if failed2 || Heap_impl.free_regions heap < low then begin
+          ignore (Common.stw_full_compact rt);
+          if Heap_impl.free_regions heap < low then begin
+            rt.RtM.oom <- true;
+            RtM.notify_memory_freed rt
+          end
+        end
+      end
+    end
+    else if
+      t.candidates = []
+      && Heap_impl.occupancy heap >= t.config.trace_trigger_occupancy
+      && not t.marker.Common.Marker.active
+    then run_trace t
+    else Sim.Engine.sleep rt.RtM.engine t.config.poll_interval
+  done
+
+let install ?(config = default_config) rt =
+  let heap = rt.RtM.heap in
+  let t =
+    {
+      rt;
+      config;
+      remsets = Region_remsets.create heap;
+      marker = Common.Marker.create rt;
+      rc_log = 0;
+      last_epoch_bytes = 0;
+      candidates = [];
+      urgent = false;
+    }
+  in
+  let costs = rt.RtM.costs in
+  let store_barrier ~src ~field ~old_v ~new_v =
+    (* Field-logging RC barrier on every reference store. *)
+    Sim.Engine.tick costs.Costs.rc_barrier;
+    t.rc_log <- t.rc_log + 1;
+    if t.marker.Common.Marker.active then (
+      match old_v with
+      | Some o -> Common.Marker.satb_enqueue t.marker o
+      | None -> ());
+    match new_v with
+    | Some child when child.Gobj.region <> src.Gobj.region ->
+        Stw_collect.barrier_insert rt t.remsets ~src ~field ~child
+    | _ -> ()
+  in
+  let alloc_failure () =
+    t.urgent <- true;
+    Runtime.Safepoint.park rt.RtM.safepoint;
+    Sim.Engine.wait rt.RtM.mem_freed;
+    Runtime.Safepoint.unpark rt.RtM.safepoint
+  in
+  RtM.install_collector rt
+    {
+      RtM.cname = "lxr";
+      store_barrier;
+      load_extra_cost = 0;
+      mutator_tax_pct = 0;
+      alloc_failure;
+    };
+  ignore
+    (Sim.Engine.spawn rt.RtM.engine ~daemon:true ~kind:Sim.Engine.Gc
+       ~name:"lxr-controller" (controller t));
+  t

@@ -1,0 +1,326 @@
+(** Shenandoah collector model (Flood et al., §2.3).
+
+    Heap-wise three-phase concurrent cycle: concurrent SATB marking over
+    the whole heap, concurrent evacuation of a collection set bounded by
+    the available free space, and a concurrent update-references pass
+    that walks *every* live object — memory is released only after all
+    three phases finish, which is exactly the long pre-reclamation cycle
+    the paper analyses (§2.3).  Allocation failure during a cycle
+    degenerates it: the remaining phases complete inside one
+    stop-the-world pause, and a full compaction follows if even that
+    cannot free memory. *)
+
+open Heap
+module RtM = Runtime.Rt
+module Metrics = Runtime.Metrics
+
+type config = {
+  gc_threads : int;
+  trigger_occupancy : float;  (** start a cycle above this heap occupancy *)
+  cset_live_threshold : float;
+  cset_filter : Region.t -> bool;
+      (** extra victim filter (GenShen restricts old cycles to old regions) *)
+  copy_hook : Gobj.t -> unit;
+      (** fires on every evacuated copy (GenShen rebuilds old-to-young
+          remembered-set entries for relocated holders) *)
+  poll_interval : int;
+}
+
+let default_config =
+  {
+    gc_threads = 2;
+    trigger_occupancy = 0.55;
+    cset_live_threshold = 0.85;
+    cset_filter = (fun _ -> true);
+    copy_hook = ignore;
+    poll_interval = 100 * Util.Units.us;
+  }
+
+type t = {
+  rt : RtM.t;
+  config : config;
+  marker : Common.Marker.t;
+  mutable cycle_running : bool;
+  mutable degen_requested : bool;
+  mutable urgent : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Collection-set selection (final mark).                               *)
+
+let select_cset t =
+  let heap = t.rt.RtM.heap in
+  let cset = ref [] in
+  (* Evacuation needs destination space: bound the cset's live bytes by
+     the free space (§2.3: "the number of objects collected in each GC
+     cycle is restricted by the remaining free space size"). *)
+  let budget =
+    ref (Heap_impl.free_regions heap * heap.Heap_impl.cfg.region_bytes * 9 / 10)
+  in
+  let candidates =
+    Array.to_list heap.Heap_impl.regions
+    |> List.filter (fun (r : Region.t) ->
+           (not (Region.is_free r))
+           && (not r.Region.humongous)
+           && r.Region.alloc_epoch < heap.Heap_impl.mark_epoch
+           && Region.live_ratio r < t.config.cset_live_threshold
+           && t.config.cset_filter r)
+    |> List.sort (fun (a : Region.t) b ->
+           compare a.Region.live_bytes b.Region.live_bytes)
+  in
+  List.iter
+    (fun (r : Region.t) ->
+      if r.Region.live_bytes <= !budget then begin
+        budget := !budget - r.Region.live_bytes;
+        r.Region.in_cset <- true;
+        cset := r :: !cset
+      end)
+    candidates;
+  !cset
+
+(* ------------------------------------------------------------------ *)
+(* Parallel phase drivers with degeneration checkpoints.                *)
+
+(* Run [f ctx tk item] over [items] with [n] GC workers (each with its
+   own [init ()] context, e.g. a destination buffer), stopping early when
+   the degeneration flag rises or [f] reports failure.  Returns the
+   unprocessed remainder (failure-item included). *)
+let parallel_drain t ~n ~name ~init items f =
+  let arr = Array.of_list items in
+  let next = ref 0 in
+  let leftover = ref [] in
+  let failed = ref false in
+  Common.run_workers t.rt ~n ~name (fun _ tk ->
+      let ctx = init () in
+      let continue_ = ref true in
+      while !continue_ do
+        if t.degen_requested || !failed || !next >= Array.length arr then
+          continue_ := false
+        else begin
+          let i = !next in
+          incr next;
+          match f ctx tk arr.(i) with
+          | () -> ()
+          | exception Common.Evac.Evacuation_failure ->
+              failed := true;
+              leftover := arr.(i) :: !leftover
+        end
+      done);
+  for i = !next to Array.length arr - 1 do
+    leftover := arr.(i) :: !leftover
+  done;
+  (!leftover, !failed)
+
+(* ------------------------------------------------------------------ *)
+(* Cycle.                                                               *)
+
+let release_cset t tk cset =
+  let heap = t.rt.RtM.heap in
+  List.iter
+    (fun (r : Region.t) ->
+      Heap_impl.release_region heap r;
+      Common.Ticker.tick tk t.rt.RtM.costs.Costs.region_reset)
+    cset;
+  Metrics.add t.rt.RtM.metrics "shen.regions_reclaimed" (List.length cset);
+  RtM.notify_memory_freed t.rt
+
+(* Finish the rest of a degenerated cycle inside one STW pause; returns
+   true when even the degenerated evacuation failed (full GC needed). *)
+let degenerate t ~evac_rest ~update_rest ~cset =
+  let rt = t.rt in
+  Metrics.add rt.RtM.metrics "shen.degenerated" 1;
+  Runtime.Safepoint.stw rt.RtM.safepoint Metrics.Degenerated (fun () ->
+      let tk =
+        Common.Ticker.create ~workers:(Sim.Engine.cores rt.RtM.engine) ()
+      in
+      let dest =
+        Common.Evac.make_dest ~on_copied:t.config.copy_hook rt Region.Old
+      in
+      let failed =
+        match
+          List.iter
+            (fun r -> ignore (Common.Evac.evacuate_region dest tk r))
+            evac_rest
+        with
+        | () -> false
+        | exception Common.Evac.Evacuation_failure -> true
+      in
+      if not failed then begin
+        List.iter
+          (fun (r : Region.t) ->
+            if (not (Region.is_free r)) && not r.Region.in_cset then
+              Common.update_refs_in_region rt tk r)
+          update_rest;
+        RtM.update_roots rt;
+        release_cset t tk cset
+      end
+      else List.iter (fun (r : Region.t) -> r.Region.in_cset <- false) cset;
+      Common.Ticker.flush tk;
+      failed)
+
+let run_cycle t =
+  let rt = t.rt in
+  let heap = rt.RtM.heap in
+  let metrics = rt.RtM.metrics in
+  let marker = t.marker in
+  t.cycle_running <- true;
+  t.degen_requested <- false;
+  let now () = Sim.Engine.now rt.RtM.engine in
+  let stw_tk () =
+    Common.Ticker.create ~workers:(Sim.Engine.cores rt.RtM.engine) ()
+  in
+  Metrics.phase_begin metrics "shen.cycle" ~now:(now ());
+  (* 1. Init mark (STW). *)
+  Runtime.Safepoint.stw rt.RtM.safepoint Metrics.Init_mark (fun () ->
+      RtM.retire_all_tlabs rt;
+      ignore (Heap_impl.begin_mark heap);
+      marker.Common.Marker.active <- true;
+      let tk = stw_tk () in
+      Common.scan_roots rt tk (Common.Marker.gray marker);
+      Common.Ticker.flush tk);
+  (* 2. Concurrent mark. *)
+  Metrics.phase_begin metrics "shen.mark" ~now:(now ());
+  Common.Marker.concurrent_mark marker ~workers:t.config.gc_threads;
+  Metrics.phase_end metrics "shen.mark" ~now:(now ());
+  (* 3. Final mark (STW): terminate marking, process weak refs, select
+     the collection set. *)
+  let cset = ref [] in
+  Runtime.Safepoint.stw rt.RtM.safepoint Metrics.Final_mark (fun () ->
+      let tk = stw_tk () in
+      Common.scan_roots rt tk (Common.Marker.gray marker);
+      Common.Marker.final_drain marker tk;
+      marker.Common.Marker.active <- false;
+      Heap_impl.end_mark heap;
+      let _, cleared = Heap_impl.process_weak_refs_marked heap in
+      Common.Ticker.tick tk (cleared * rt.RtM.costs.Costs.weak_ref_process);
+      cset := select_cset t;
+      ignore (Common.reclaim_dead_humongous rt tk);
+      Common.Ticker.flush tk);
+  (* 4. Concurrent evacuation. *)
+  Metrics.phase_begin metrics "shen.evac" ~now:(now ());
+  let evac_rest, evac_failed =
+    parallel_drain t ~n:t.config.gc_threads ~name:"shen-evac"
+      ~init:(fun () ->
+        Common.Evac.make_dest ~on_copied:t.config.copy_hook rt Region.Old)
+      !cset
+      (fun dest tk r -> ignore (Common.Evac.evacuate_region dest tk r))
+  in
+  Metrics.phase_end metrics "shen.evac" ~now:(now ());
+  let all_regions = Array.to_list heap.Heap_impl.regions in
+  let finish_ok =
+    if evac_failed || t.degen_requested then begin
+      let failed = degenerate t ~evac_rest ~update_rest:all_regions ~cset:!cset in
+      if failed then begin
+        ignore (Common.stw_full_compact rt);
+        if
+          Heap_impl.free_regions heap
+          < max 2 (Heap_impl.num_regions heap / 50)
+        then begin
+          rt.RtM.oom <- true;
+          RtM.notify_memory_freed rt
+        end
+      end;
+      false
+    end
+    else begin
+      (* 5. Concurrent update-refs over every live region. *)
+      Metrics.phase_begin metrics "shen.update_refs" ~now:(now ());
+      let update_rest, _ =
+        parallel_drain t ~n:t.config.gc_threads ~name:"shen-update"
+          ~init:(fun () -> ())
+          all_regions
+          (fun () tk (r : Region.t) ->
+            if (not (Region.is_free r)) && not r.Region.in_cset then
+              Common.update_refs_in_region rt tk r)
+      in
+      Metrics.phase_end metrics "shen.update_refs" ~now:(now ());
+      if t.degen_requested then begin
+        let failed =
+          degenerate t ~evac_rest:[] ~update_rest ~cset:!cset
+        in
+        if failed then ignore (Common.stw_full_compact rt);
+        false
+      end
+      else true
+    end
+  in
+  (* 6. Final update-refs (STW): fix roots, release the cset. *)
+  if finish_ok then
+    Runtime.Safepoint.stw rt.RtM.safepoint Metrics.Remark (fun () ->
+        let tk = stw_tk () in
+        RtM.update_roots rt;
+        release_cset t tk !cset;
+        Common.Ticker.flush tk);
+  Common.check_reachability rt ~where:"shen_cycle";
+  Metrics.phase_end metrics "shen.cycle" ~now:(now ());
+  Metrics.add metrics "shen.cycles" 1;
+  t.cycle_running <- false
+
+(* ------------------------------------------------------------------ *)
+(* Controller and plumbing.                                             *)
+
+let controller t () =
+  let rt = t.rt in
+  let heap = rt.RtM.heap in
+  while true do
+    if t.urgent || Heap_impl.occupancy heap >= t.config.trigger_occupancy
+    then begin
+      t.urgent <- false;
+      run_cycle t;
+      (* Escalate if the cycle made no usable progress while mutators are
+         starving: full GC, then OOM. *)
+      let low = max 2 (Heap_impl.num_regions heap / 50) in
+      if rt.RtM.stalled_mutators > 0 && Heap_impl.free_regions heap < low
+      then begin
+        ignore (Common.stw_full_compact rt);
+        if Heap_impl.free_regions heap < low then begin
+          rt.RtM.oom <- true;
+          RtM.notify_memory_freed rt
+        end
+      end
+    end
+    else Sim.Engine.sleep rt.RtM.engine t.config.poll_interval
+  done
+
+let install ?(config = default_config) rt =
+  let t =
+    {
+      rt;
+      config;
+      marker = Common.Marker.create rt;
+      cycle_running = false;
+      degen_requested = false;
+      urgent = false;
+    }
+  in
+  let costs = rt.RtM.costs in
+  let store_barrier ~src ~field ~old_v ~new_v =
+    ignore src;
+    ignore field;
+    ignore new_v;
+    if t.marker.Common.Marker.active then begin
+      Sim.Engine.tick costs.Costs.satb_barrier;
+      match old_v with
+      | Some o -> Common.Marker.satb_enqueue t.marker o
+      | None -> ()
+    end
+  in
+  let alloc_failure () =
+    t.urgent <- true;
+    if t.cycle_running then t.degen_requested <- true;
+    Runtime.Safepoint.park rt.RtM.safepoint;
+    Sim.Engine.wait rt.RtM.mem_freed;
+    Runtime.Safepoint.unpark rt.RtM.safepoint
+  in
+  RtM.install_collector rt
+    {
+      RtM.cname = "shenandoah";
+      store_barrier;
+      load_extra_cost = 1;
+      mutator_tax_pct = 0;
+      alloc_failure;
+    };
+  ignore
+    (Sim.Engine.spawn rt.RtM.engine ~daemon:true ~kind:Sim.Engine.Gc
+       ~name:"shen-controller" (controller t));
+  t

@@ -1,0 +1,308 @@
+(** Stop-the-world evacuating collection (the G1/LXR pause).
+
+    Collects a *collection set* — every young region plus an optional
+    slice of old regions — in a single pause: trace from the roots and
+    from the cset regions' remembered sets, copying each reachable cset
+    object on first visit (young survivors to survivor regions or, past
+    the tenuring age, to old; old cset objects to old), fixing references
+    as the trace goes, then release the whole cset.
+
+    Liveness inside the cset is defined by the trace itself; remembered
+    sets make the trace sound without scanning non-cset old regions. *)
+
+open Heap
+module RtM = Runtime.Rt
+module Metrics = Runtime.Metrics
+
+type config = { tenure_age : int; gc_threads : int }
+
+let default_config = { tenure_age = 2; gc_threads = 2 }
+
+type result = {
+  reclaimed_regions : int;
+  copied_bytes : int;
+  promoted_bytes : int;
+  cards_scanned : int;
+  failed : bool;  (** evacuation ran out of space: caller must full-GC *)
+}
+
+(* Should stores out of this region be remembered?  Old holders and
+   humongous holders are not re-traced by young collections. *)
+let remember_from (r : Region.t) = r.Region.kind = Region.Old || r.Region.humongous
+
+(** The write-barrier insertion rule shared by G1 and LXR: remember
+    cross-region references from old/humongous holders. *)
+let barrier_insert rt remsets ~(src : Gobj.t) ~field ~(child : Gobj.t) =
+  let heap = rt.RtM.heap in
+  if child.Gobj.region <> src.Gobj.region then begin
+    let src_r = Heap_impl.region heap src.Gobj.region in
+    if remember_from src_r then begin
+      Sim.Engine.tick rt.RtM.costs.Costs.remset_barrier;
+      Region_remsets.add remsets ~target_rid:child.Gobj.region
+        ~card:(Heap_impl.card_of_field heap src field)
+    end
+  end
+
+(** Run one collection pause.  [old_cset] must be non-humongous old
+    regions chosen by the caller's policy (empty for a young-only GC). *)
+let collect rt ~(remsets : Region_remsets.t) ~config ~(old_cset : Region.t list)
+    ?(extra_roots = []) ~pause_kind () =
+  let heap = rt.RtM.heap in
+  let costs = rt.RtM.costs in
+  ignore config.gc_threads;
+  Runtime.Safepoint.stw rt.RtM.safepoint pause_kind (fun () ->
+      RtM.retire_all_tlabs rt;
+      (* STW pause work is shared by parallel GC workers on the idle
+         cores; see {!Common.Ticker}. *)
+      let tk =
+        Common.Ticker.create ~workers:(Sim.Engine.cores rt.RtM.engine) ()
+      in
+      (* Snapshot the cset. *)
+      let cset = ref [] in
+      Array.iter
+        (fun (r : Region.t) ->
+          if r.Region.kind = Region.Young && not r.Region.humongous then begin
+            r.Region.in_cset <- true;
+            cset := r :: !cset
+          end)
+        heap.Heap_impl.regions;
+      List.iter
+        (fun (r : Region.t) ->
+          assert (r.Region.kind = Region.Old && not r.Region.humongous);
+          r.Region.in_cset <- true;
+          cset := r :: !cset)
+        old_cset;
+      let in_cset (o : Gobj.t) =
+        (Heap_impl.region heap o.Gobj.region).Region.in_cset
+      in
+      let dest_young = Common.Evac.make_dest rt Region.Young in
+      let dest_old = Common.Evac.make_dest rt Region.Old in
+      let copied = ref 0 and promoted = ref 0 and cards = ref 0 in
+      (* Humongous regions observed to be referenced during this pause
+         (for G1-style eager reclaim below). *)
+      let humongous_reached = Hashtbl.create 8 in
+      let note_humongous (o : Gobj.t) =
+        if (Heap_impl.region heap o.Gobj.region).Region.humongous then
+          Hashtbl.replace humongous_reached o.Gobj.region ()
+      in
+      let survivor_bytes = ref 0 in
+      let survivor_cap = heap.Heap_impl.cfg.heap_bytes / 16 in
+      let scan_list = Util.Vec.create Region.dummy_obj in
+      (* Copy a cset object (idempotent) and queue its copy for scanning.
+         Survivor overflow promotes directly (HotSpot-style adaptive
+         tenuring). *)
+      let copy_out (o : Gobj.t) =
+        if Gobj.is_forwarded o then Gobj.resolve o
+        else begin
+          let promote =
+            (Heap_impl.region heap o.Gobj.region).Region.kind = Region.Old
+            || o.Gobj.age >= config.tenure_age
+            || !survivor_bytes > survivor_cap
+          in
+          let dest = if promote then dest_old else dest_young in
+          let o' = Common.Evac.copy_object dest tk o in
+          copied := !copied + o.Gobj.size;
+          if promote then promoted := !promoted + o.Gobj.size
+          else survivor_bytes := !survivor_bytes + o.Gobj.size;
+          Util.Vec.push scan_list o';
+          o'
+        end
+      in
+      (* Fix one slot: copy cset children, heal staleness, and insert the
+         remembered-set entries the new topology needs. *)
+      let fix_slot (holder : Gobj.t) i =
+        match Gobj.get_field holder i with
+        | None -> ()
+        | Some child ->
+            Common.Ticker.tick tk costs.Costs.mark_ref;
+            let child = Gobj.resolve child in
+            note_humongous child;
+            let child = if in_cset child then copy_out child else child in
+            Gobj.set_field holder i (Some child);
+            if
+              child.Gobj.region <> holder.Gobj.region
+              && remember_from (Heap_impl.region heap holder.Gobj.region)
+            then begin
+              Common.Ticker.tick tk costs.Costs.remset_insert;
+              Region_remsets.add remsets ~target_rid:child.Gobj.region
+                ~card:(Heap_impl.card_of_field heap holder i)
+            end
+      in
+      (if Common.paranoid then
+         Array.iter
+           (fun (r : Region.t) ->
+             if
+               r.Region.kind = Region.Young
+               && (not r.Region.humongous)
+               && not r.Region.in_cset
+             then
+               Printf.eprintf
+                 "[paranoid] young region r%d outside cset! top=%d epoch=%d heap_epoch=%d\n%!"
+                 r.Region.rid r.Region.top r.Region.alloc_epoch
+                 heap.Heap_impl.mark_epoch)
+           heap.Heap_impl.regions);
+      let failed = ref false in
+      (try
+         (* Roots. *)
+         Common.scan_roots rt tk (fun o ->
+             note_humongous o;
+             if in_cset o then ignore (copy_out o));
+         RtM.update_roots rt;
+         (* Extra root vectors (a concurrent marker's worklists: SATB
+            snapshot-live objects must survive young collections that run
+            during old marking, as in G1). *)
+         List.iter
+           (fun vec ->
+             Util.Vec.iteri
+               (fun i (o : Gobj.t) ->
+                 let o = Gobj.resolve o in
+                 let o = if in_cset o then copy_out o else o in
+                 Util.Vec.set vec i o)
+               vec)
+           extra_roots;
+         (* Remembered sets of every cset region. *)
+         List.iter
+           (fun (r : Region.t) ->
+             match Region_remsets.get remsets r.Region.rid with
+             | None -> ()
+             | Some rs ->
+                 Remset.iter
+                   (fun card ->
+                     let holder_r =
+                       Heap_impl.region heap (Heap_impl.card_to_region heap card)
+                     in
+                     (* Cards inside the cset are traced anyway. *)
+                     if not holder_r.Region.in_cset then begin
+                       incr cards;
+                       Common.Ticker.tick tk costs.Costs.card_scan;
+                       Heap_impl.scan_card heap card ~f:(fun o i ->
+                           Common.Ticker.tick tk costs.Costs.mark_ref;
+                           match Gobj.get_field o i with
+                           | Some stored ->
+                               let child = Gobj.resolve stored in
+                               if in_cset child then begin
+                                 let child' = copy_out child in
+                                 Gobj.set_field o i (Some child');
+                                 (* The holder stays outside the cset: its
+                                    entry for the survivor's new region. *)
+                                 Common.Ticker.tick tk costs.Costs.remset_insert;
+                                 Region_remsets.add remsets
+                                   ~target_rid:child'.Gobj.region
+                                   ~card:
+                                     (Heap_impl.card_of_field heap o i)
+                               end
+                               else if child != stored then
+                                 Gobj.set_field o i (Some child)
+                           | None -> ())
+                     end)
+                   rs)
+           !cset;
+         (* Transitive closure over new copies. *)
+         let continue_ = ref true in
+         while !continue_ do
+           match Util.Vec.pop scan_list with
+           | None -> continue_ := false
+           | Some o' ->
+               Common.Ticker.tick tk costs.Costs.mark_obj;
+               for i = 0 to Gobj.num_fields o' - 1 do
+                 fix_slot o' i
+               done
+         done
+       with Common.Evac.Evacuation_failure -> failed := true);
+      (* Paranoid: before releasing, every reachable object inside the
+         cset must have been copied out by the trace. *)
+      (if Common.paranoid && not !failed then begin
+         let seen = Hashtbl.create 4096 in
+         let rec visit path (o : Gobj.t) =
+           let o = Gobj.resolve o in
+           if not (Hashtbl.mem seen o.Gobj.id) then begin
+             Hashtbl.replace seen o.Gobj.id ();
+             if
+               (Heap_impl.region heap o.Gobj.region).Region.in_cset
+               && not (Gobj.is_forwarded o)
+             then
+               failwith
+                 (Printf.sprintf
+                    "stw_collect pre-release: #%d (r%d age=%d) reachable in cset but not copied; path=[%s]"
+                    o.Gobj.id o.Gobj.region o.Gobj.age
+                    (String.concat ";"
+                       (List.rev_map
+                          (fun (p : Gobj.t) ->
+                            Printf.sprintf "#%d(r%d %s)" p.Gobj.id
+                              p.Gobj.region
+                              (Region.kind_to_string
+                                 (Heap_impl.region heap p.Gobj.region)
+                                   .Region.kind))
+                          path)));
+             Gobj.iter_fields (fun _ c -> visit (o :: path) c) o
+           end
+         in
+         RtM.iter_roots rt (function Some o -> visit [] o | None -> ())
+       end);
+      let reclaimed = ref 0 in
+      if not !failed then begin
+        List.iter
+          (fun (r : Region.t) ->
+            Region_remsets.clear remsets r.Region.rid;
+            Heap_impl.release_region heap r;
+            Common.Ticker.tick tk costs.Costs.region_reset;
+            incr reclaimed)
+          !cset;
+        (* Eager humongous reclaim (G1): a humongous region that was not
+           reached during this pause and whose remembered set holds no
+           actual incoming reference is dead — old holders would have
+           inserted entries at store time, and young holders were all
+           traced just now. *)
+        Array.iter
+          (fun (r : Region.t) ->
+            if
+              (not (Region.is_free r))
+              && r.Region.humongous
+              && not (Hashtbl.mem humongous_reached r.Region.rid)
+            then begin
+              let referenced = ref false in
+              (match Region_remsets.get remsets r.Region.rid with
+              | None -> ()
+              | Some rs ->
+                  if Remset.cardinal rs > 8 then referenced := true
+                  else
+                    Remset.iter
+                      (fun card ->
+                        Common.Ticker.tick tk costs.Costs.card_scan;
+                        Heap_impl.scan_card heap card ~f:(fun o i ->
+                            match Gobj.get_field o i with
+                            | Some child
+                              when (Gobj.resolve child).Gobj.region
+                                   = r.Region.rid ->
+                                ignore o;
+                                ignore i;
+                                referenced := true
+                            | _ -> ()))
+                      rs);
+              if not !referenced then begin
+                Region_remsets.clear remsets r.Region.rid;
+                Heap_impl.release_region heap r;
+                Common.Ticker.tick tk costs.Costs.region_reset;
+                incr reclaimed
+              end
+            end)
+          heap.Heap_impl.regions;
+        let _, cleared = Heap_impl.process_weak_refs_freed_only heap in
+        Common.Ticker.tick tk (cleared * costs.Costs.weak_ref_process)
+      end
+      else
+        (* Leave the heap consistent: forwarded copies stay, nothing is
+           released; the caller must fall back to a full compaction. *)
+        List.iter (fun (r : Region.t) -> r.Region.in_cset <- false) !cset;
+      Common.Ticker.flush tk;
+      Common.check_reachability rt ~where:"stw_collect";
+      Metrics.add rt.RtM.metrics "stw_collections" 1;
+      Metrics.add rt.RtM.metrics "cards_scanned" !cards;
+      RtM.notify_memory_freed rt;
+      {
+        reclaimed_regions = !reclaimed;
+        copied_bytes = !copied;
+        promoted_bytes = !promoted;
+        cards_scanned = !cards;
+        failed = !failed;
+      })

@@ -1,0 +1,212 @@
+(** ZGC collector model (§2.4).
+
+    Region-wise incremental collection: a whole-heap concurrent marking
+    phase (with colored-pointer costs: an atomic recolor per object and
+    remapping of every stale reference it meets), then concurrent
+    relocation where each region is released *immediately* after its live
+    objects are copied out — off-heap forwarding tables keep the
+    old-to-new mappings alive until the next cycle remaps.  There is no
+    degenerated mode: when allocation fails, the mutator stalls until
+    relocation frees a region (§2.2 observed this "has the same effect as
+    a pause").  Colored pointers enlarge the address space 16x and defeat
+    compressed references, billed as a mutator tax (§2.4). *)
+
+open Heap
+module RtM = Runtime.Rt
+module Metrics = Runtime.Metrics
+
+type config = {
+  gc_threads : int;
+  trigger_occupancy : float;
+  relocation_live_threshold : float;
+  cset_filter : Region.t -> bool;
+      (** extra victim filter (GenZ restricts old cycles to old regions) *)
+  copy_hook : Gobj.t -> unit;
+      (** fires on every relocated copy (GenZ rebuilds old-to-young
+          remembered-set entries for relocated holders) *)
+  poll_interval : int;
+}
+
+let default_config =
+  {
+    gc_threads = 2;
+    trigger_occupancy = 0.50;
+    relocation_live_threshold = 0.85;
+    cset_filter = (fun _ -> true);
+    copy_hook = ignore;
+    poll_interval = 100 * Util.Units.us;
+  }
+
+type t = {
+  rt : RtM.t;
+  config : config;
+  marker : Common.Marker.t;
+  mutable forwarding : Forwarding.t list;  (** tables of the current cycle *)
+  mutable cycle_running : bool;
+  mutable urgent : bool;
+}
+
+let select_relocation_set t =
+  let heap = t.rt.RtM.heap in
+  Array.to_list heap.Heap_impl.regions
+  |> List.filter (fun (r : Region.t) ->
+         (not (Region.is_free r))
+         && (not r.Region.humongous)
+         && r.Region.alloc_epoch < heap.Heap_impl.mark_epoch
+         && Region.live_ratio r < t.config.relocation_live_threshold
+         && t.config.cset_filter r)
+  |> List.sort (fun (a : Region.t) b ->
+         compare a.Region.live_bytes b.Region.live_bytes)
+
+let run_cycle t =
+  let rt = t.rt in
+  let heap = rt.RtM.heap in
+  let metrics = rt.RtM.metrics in
+  let marker = t.marker in
+  t.cycle_running <- true;
+  let now () = Sim.Engine.now rt.RtM.engine in
+  let stw_tk () =
+    Common.Ticker.create ~workers:(Sim.Engine.cores rt.RtM.engine) ()
+  in
+  Metrics.phase_begin metrics "zgc.cycle" ~now:(now ());
+  (* Pause Mark Start. *)
+  Runtime.Safepoint.stw rt.RtM.safepoint Metrics.Init_mark (fun () ->
+      RtM.retire_all_tlabs rt;
+      ignore (Heap_impl.begin_mark heap);
+      marker.Common.Marker.active <- true;
+      let tk = stw_tk () in
+      Common.scan_roots rt tk (Common.Marker.gray marker);
+      Common.Ticker.flush tk);
+  (* Concurrent mark: remaps every stale reference it encounters — the
+     previous cycle's forwarding tables can be dropped afterwards. *)
+  Metrics.phase_begin metrics "zgc.mark" ~now:(now ());
+  Common.Marker.concurrent_mark marker ~workers:t.config.gc_threads;
+  Metrics.phase_end metrics "zgc.mark" ~now:(now ());
+  (* Pause Mark End. *)
+  Runtime.Safepoint.stw rt.RtM.safepoint Metrics.Final_mark (fun () ->
+      let tk = stw_tk () in
+      Common.scan_roots rt tk (Common.Marker.gray marker);
+      Common.Marker.final_drain marker tk;
+      marker.Common.Marker.active <- false;
+      Heap_impl.end_mark heap;
+      RtM.update_roots rt;
+      let _, cleared = Heap_impl.process_weak_refs_marked heap in
+      Common.Ticker.tick tk (cleared * rt.RtM.costs.Costs.weak_ref_process);
+      ignore (Common.reclaim_dead_humongous rt tk);
+      Common.Ticker.flush tk);
+  t.forwarding <- [];
+  (* Concurrent relocation: each region is freed the moment its live
+     objects are out — this is the incremental reclamation G1/Shenandoah
+     lack, and the reason ZGC stalls rather than degenerates. *)
+  Metrics.phase_begin metrics "zgc.relocate" ~now:(now ());
+  let rset = select_relocation_set t in
+  let arr = Array.of_list rset in
+  let next = ref 0 in
+  let out_of_space = ref false in
+  Common.run_workers rt ~n:t.config.gc_threads ~name:"zgc-relocate"
+    (fun _ tk ->
+      let dest =
+        Common.Evac.make_dest ~on_copied:t.config.copy_hook rt Region.Old
+      in
+      let continue_ = ref true in
+      while !continue_ do
+        if !out_of_space || !next >= Array.length arr then continue_ := false
+        else begin
+          let i = !next in
+          incr next;
+          let r = arr.(i) in
+          let fwd =
+            Forwarding.create ~rid:r.Region.rid
+              ~expected:(Region.object_count r)
+          in
+          match Common.Evac.evacuate_region dest tk r with
+          | _copied ->
+              Util.Vec.iter
+                (fun (o : Gobj.t) ->
+                  match o.Gobj.forward with
+                  | Some o' -> Forwarding.add fwd ~old_offset:o.Gobj.offset o'
+                  | None -> ())
+                r.Region.objects;
+              t.forwarding <- fwd :: t.forwarding;
+              Metrics.add rt.RtM.metrics "zgc.reclaimed_bytes" r.Region.top;
+              Heap_impl.release_region heap r;
+              Common.Ticker.tick tk rt.RtM.costs.Costs.region_reset;
+              Common.Ticker.flush tk;
+              RtM.notify_memory_freed rt
+          | exception Common.Evac.Evacuation_failure -> out_of_space := true
+        end
+      done);
+  Common.check_reachability rt ~where:"zgc_relocate";
+  Metrics.phase_end metrics "zgc.relocate" ~now:(now ());
+  Metrics.phase_end metrics "zgc.cycle" ~now:(now ());
+  Metrics.add metrics "zgc.cycles" 1;
+  Metrics.add metrics "zgc.forwarding_bytes"
+    (List.fold_left (fun a f -> a + Forwarding.byte_size f) 0 t.forwarding);
+  if !out_of_space then begin
+    (* Relocation wedged with no free destination: compact under STW and
+       declare OOM if even that cannot free memory (ZGC would stall
+       forever; we bound the simulation the way Table 4 reports OOMs). *)
+    ignore (Common.stw_full_compact rt);
+    let low = max 2 (Heap_impl.num_regions heap / 50) in
+    if Heap_impl.free_regions heap < low then begin
+      rt.RtM.oom <- true;
+      RtM.notify_memory_freed rt
+    end
+  end;
+  t.cycle_running <- false
+
+let controller t () =
+  let rt = t.rt in
+  while true do
+    if
+      t.urgent
+      || Heap_impl.occupancy rt.RtM.heap >= t.config.trigger_occupancy
+    then begin
+      t.urgent <- false;
+      run_cycle t
+    end
+    else Sim.Engine.sleep rt.RtM.engine t.config.poll_interval
+  done
+
+let install ?(config = default_config) rt =
+  let t =
+    {
+      rt;
+      config;
+      marker = Common.Marker.create ~remap:true ~atomic_cost:true rt;
+      forwarding = [];
+      cycle_running = false;
+      urgent = false;
+    }
+  in
+  let costs = rt.RtM.costs in
+  let store_barrier ~src ~field ~old_v ~new_v =
+    ignore src;
+    ignore field;
+    ignore new_v;
+    if t.marker.Common.Marker.active then begin
+      Sim.Engine.tick costs.Costs.satb_barrier;
+      match old_v with
+      | Some o -> Common.Marker.satb_enqueue t.marker o
+      | None -> ()
+    end
+  in
+  let alloc_failure () =
+    (* No degenerated mode: stall until relocation frees something. *)
+    t.urgent <- true;
+    Runtime.Safepoint.park rt.RtM.safepoint;
+    Sim.Engine.wait rt.RtM.mem_freed;
+    Runtime.Safepoint.unpark rt.RtM.safepoint
+  in
+  RtM.install_collector rt
+    {
+      RtM.cname = "zgc";
+      store_barrier;
+      load_extra_cost = costs.Costs.colored_load_extra;
+      mutator_tax_pct = costs.Costs.compressed_oops_tax_pct;
+      alloc_failure;
+    };
+  ignore
+    (Sim.Engine.spawn rt.RtM.engine ~daemon:true ~kind:Sim.Engine.Gc
+       ~name:"zgc-controller" (controller t));
+  t

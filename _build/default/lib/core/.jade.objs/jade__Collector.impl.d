@@ -1,0 +1,1 @@
+lib/core/collector.ml: Array Collectors Costs Crdt Gobj Heap Heap_impl Jade_config Old Region Remset Runtime Sim Young

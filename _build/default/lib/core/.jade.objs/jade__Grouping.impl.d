@@ -1,0 +1,1 @@
+lib/core/grouping.ml: Array Heap Jade_config List Region

@@ -1,0 +1,1 @@
+lib/core/jade_config.ml: Util

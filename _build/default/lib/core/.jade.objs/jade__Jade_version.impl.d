@@ -1,0 +1,1 @@
+lib/core/jade_version.ml:

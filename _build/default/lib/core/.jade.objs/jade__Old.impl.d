@@ -1,0 +1,1 @@
+lib/core/old.ml: Array Collectors Costs Crdt Gobj Grouping Heap Heap_impl Jade_config List Printf Region Remset Runtime Sim Sys Util Young

@@ -1,0 +1,1 @@
+lib/core/young.ml: Array Collectors Costs Gobj Heap Heap_impl Jade_config List Region Remset Runtime Sim Util

@@ -1,0 +1,201 @@
+(** The Jade collector: co-running young and old controllers, combined
+    write barrier, allocation-failure policy, chasing mode and the
+    full-GC last resort (§3–4). *)
+
+open Heap
+module RtM = Runtime.Rt
+module Common = Collectors.Common
+module Metrics = Runtime.Metrics
+
+type t = {
+  rt : RtM.t;
+  config : Jade_config.t;
+  young : Young.t;
+  old_gc : Old.t;
+  mutable young_urgent : bool;
+  mutable old_urgent : bool;
+  mutable full_requested : bool;
+  mutable young_failures : int;  (** consecutive, triggers full GC (§4.3) *)
+}
+
+let young_count t =
+  let n = ref 0 in
+  Array.iter
+    (fun (r : Region.t) -> if r.Region.kind = Region.Young then incr n)
+    t.rt.RtM.heap.Heap_impl.regions;
+  !n
+
+let old_occupancy t =
+  let heap = t.rt.RtM.heap in
+  let n = ref 0 in
+  Array.iter
+    (fun (r : Region.t) -> if r.Region.kind = Region.Old then incr n)
+    heap.Heap_impl.regions;
+  float_of_int !n /. float_of_int (Heap_impl.num_regions heap)
+
+let low_watermark heap = max 2 (Heap_impl.num_regions heap / 50)
+
+let full_gc t =
+  let rt = t.rt in
+  let heap = rt.RtM.heap in
+  (* A compaction moves everything: group remsets, the old-to-young
+     remembered set and the CRDT all go stale.  Rebuild old-to-young from
+     the surviving references; the others are per-cycle anyway. *)
+  Remset.clear t.young.Young.remset;
+  Array.iter Remset.clear t.old_gc.Old.group_remsets;
+  Crdt.reset t.old_gc.Old.crdt;
+  let on_live_ref (holder : Gobj.t) i (child : Gobj.t) =
+    let child = Gobj.resolve child in
+    let holder_r = Heap_impl.region heap holder.Gobj.region in
+    let child_r = Heap_impl.region heap child.Gobj.region in
+    if
+      holder_r.Region.kind = Region.Old
+      && child_r.Region.kind = Region.Young
+    then
+      ignore
+        (Remset.add t.young.Young.remset
+           (Heap_impl.card_of_field heap holder i))
+  in
+  ignore (Common.stw_full_compact ~on_live_ref rt);
+  Metrics.add rt.RtM.metrics "jade.full_gcs" 1;
+  if Heap_impl.free_regions heap < low_watermark heap then begin
+    rt.RtM.oom <- true;
+    RtM.notify_memory_freed rt
+  end
+
+(* Young controller: §4.1.  Chasing mode also applies here — a stalled
+   mutator's core goes to young evacuation. *)
+let young_controller t () =
+  let rt = t.rt in
+  let heap = rt.RtM.heap in
+  while true do
+    let budget =
+      max 4 (Heap_impl.num_regions heap / t.config.young_budget_fraction)
+    in
+    if t.full_requested then begin
+      if not t.old_gc.Old.cycle_running then begin
+        t.full_requested <- false;
+        full_gc t
+      end
+      else Sim.Engine.sleep rt.RtM.engine t.config.poll_interval
+    end
+    else if
+      t.young_urgent
+      || young_count t >= budget
+      (* Keep enough headroom that the next young evacuation still has
+         destination regions — critical on small heaps. *)
+      || Heap_impl.free_regions heap
+         <= max 4 (Heap_impl.num_regions heap / 8)
+         && young_count t > 0
+    then begin
+      t.young_urgent <- false;
+      let workers =
+        if t.config.chasing_mode && rt.RtM.stalled_mutators > 0 then
+          Sim.Engine.cores rt.RtM.engine
+        else t.config.young_workers
+      in
+      let ok = Young.collect t.young ~workers in
+      if ok && Heap_impl.free_regions heap >= low_watermark heap then
+        t.young_failures <- 0
+      else begin
+        t.young_failures <- t.young_failures + 1;
+        (* Ask the old collector to hurry; consecutive starved collections
+           are the paper's full-GC trigger (§4.3). *)
+        t.old_urgent <- true;
+        if t.young_failures >= 3 then t.full_requested <- true
+      end
+    end
+    else Sim.Engine.sleep rt.RtM.engine t.config.poll_interval
+  done
+
+let old_controller t () =
+  let rt = t.rt in
+  let heap = rt.RtM.heap in
+  let last_cycle_bytes = ref 0 in
+  while true do
+    (* Proactive rule (as in generational ZGC): even without occupancy
+       pressure, run an old cycle once a heap's worth of allocation has
+       passed — it is what finds dead humongous regions and slow old
+       garbage on quiet workloads. *)
+    let proactive =
+      heap.Heap_impl.bytes_allocated - !last_cycle_bytes
+      > heap.Heap_impl.cfg.heap_bytes
+      && old_occupancy t > 0.15
+    in
+    if
+      (t.old_urgent
+      || old_occupancy t >= t.config.old_trigger_occupancy
+      || proactive
+      || Heap_impl.free_regions heap <= max 4 (Heap_impl.num_regions heap / 8)
+         && old_occupancy t > 0.2)
+      && not t.full_requested
+    then begin
+      t.old_urgent <- false;
+      last_cycle_bytes := heap.Heap_impl.bytes_allocated;
+      let ok = Old.run_cycle t.old_gc in
+      if not ok then t.full_requested <- true
+    end
+    else Sim.Engine.sleep rt.RtM.engine t.config.poll_interval
+  done
+
+let install ?(config = Jade_config.default) rt =
+  let young = Young.create ~config rt in
+  let old_gc = Old.create ~config ~young rt in
+  young.Young.promoted_old_ref <-
+    Some
+      (fun o' i child ->
+        if old_gc.Old.current_group >= 0 then begin
+          let g =
+            (Heap_impl.region rt.RtM.heap child.Gobj.region).Region.group
+          in
+          if g >= old_gc.Old.current_group then
+            ignore
+              (Remset.add old_gc.Old.group_remsets.(g)
+                 (Heap_impl.card_of_field rt.RtM.heap o' i))
+        end);
+  let t =
+    {
+      rt;
+      config;
+      young;
+      old_gc;
+      young_urgent = false;
+      old_urgent = false;
+      full_requested = false;
+      young_failures = 0;
+    }
+  in
+  let costs = rt.RtM.costs in
+  let store_barrier ~src ~field ~old_v ~new_v =
+    if t.old_gc.Old.marker.Common.Marker.active then begin
+      Sim.Engine.tick costs.Costs.satb_barrier;
+      match old_v with
+      | Some o -> Common.Marker.satb_enqueue t.old_gc.Old.marker o
+      | None -> ()
+    end;
+    Young.barrier t.young ~src ~field ~new_v;
+    Old.barrier t.old_gc ~src ~field ~new_v
+  in
+  let alloc_failure () =
+    t.young_urgent <- true;
+    Runtime.Safepoint.park rt.RtM.safepoint;
+    Sim.Engine.wait rt.RtM.mem_freed;
+    Runtime.Safepoint.unpark rt.RtM.safepoint
+  in
+  RtM.install_collector rt
+    {
+      RtM.cname = "jade";
+      store_barrier;
+      load_extra_cost = 1;
+      mutator_tax_pct =
+        (if config.compressed_oops then 0
+         else costs.Costs.compressed_oops_tax_pct);
+      alloc_failure;
+    };
+  ignore
+    (Sim.Engine.spawn rt.RtM.engine ~daemon:true ~kind:Sim.Engine.Gc
+       ~name:"jade-young-controller" (young_controller t));
+  ignore
+    (Sim.Engine.spawn rt.RtM.engine ~daemon:true ~kind:Sim.Engine.Gc
+       ~name:"jade-old-controller" (old_controller t));
+  t

@@ -1,0 +1,19 @@
+(** The Jade collector (§3–4): co-running young and old controllers, the
+    combined write barrier, the allocation-failure policy, chasing mode
+    and the full-GC last resort.
+
+    Young collections are single-phase (marking, evacuation and reference
+    updating fused into one concurrent copy-on-trace pass, §4.1); old
+    collections are group-wise (concurrent marking with CRDT piggyback,
+    Algorithm 1 grouping, group remembered sets, one incremental
+    evacuation-and-release round per group, §3).  Both generations
+    collect concurrently with the mutators and with each other. *)
+
+type t
+(** Handle to an installed Jade instance (opaque; all observable state
+    flows through the runtime's metrics). *)
+
+val install : ?config:Jade_config.t -> Runtime.Rt.t -> t
+(** Install Jade on a runtime: plugs in the write barrier and the
+    allocation-failure policy, and spawns the young and old controller
+    daemons.  Call once per runtime, before mutators start. *)

@@ -1,0 +1,46 @@
+(** Jade configuration (§3–4 defaults).
+
+    The paper's defaults: regions are filtered out of the tracked list
+    above 85 % liveness, at most 16 groups are built per cycle, the
+    free-space estimator reserves 85 % of free memory for the young
+    generation, and the chasing mode raises the number of concurrent GC
+    threads to the core count while mutators are stalled. *)
+
+type t = {
+  young_workers : int;  (** concurrent young GC threads *)
+  old_workers : int;  (** concurrent old GC threads *)
+  max_groups : int;  (** Algorithm 1, MAX_GROUP *)
+  live_threshold : float;  (** tracked-list filter (85 %) *)
+  young_ratio : float;  (** Algorithm 2 reservation (85 %) *)
+  tenure_age : int;  (** young collections survived before promotion *)
+  young_budget_fraction : int;  (** young GC when young regions > heap/n *)
+  old_trigger_occupancy : float;  (** start an old cycle above this *)
+  chasing_mode : bool;  (** §4.3: all-core evacuation during stalls *)
+  compressed_oops : bool;
+      (** disabled only for the Table 5 apples-to-apples comparison *)
+  use_crdt : bool;
+      (** ablation: when false, remembered-set building ignores the CRDT
+          and conservatively scans every dirty card (§3.3 without the
+          piggyback optimization) *)
+  concurrent_weak_refs : bool;
+      (** §4.4 future work: process the weak discover list concurrently
+          instead of inside the final-mark pause *)
+  poll_interval : int;
+}
+
+let default =
+  {
+    young_workers = 1;
+    old_workers = 1;
+    max_groups = 16;
+    live_threshold = 0.85;
+    young_ratio = 0.85;
+    tenure_age = 2;
+    young_budget_fraction = 4;
+    old_trigger_occupancy = 0.45;
+    chasing_mode = true;
+    compressed_oops = true;
+    use_crdt = true;
+    concurrent_weak_refs = false;
+    poll_interval = 100 * Util.Units.us;
+  }

@@ -1,0 +1,2 @@
+(** Placeholder until the Jade collector lands. *)
+let version = "0.1.0"

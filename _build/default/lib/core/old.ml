@@ -1,0 +1,408 @@
+(** Jade's group-wise old collection (§3).
+
+    One cycle: concurrent SATB marking that *piggybacks* CRDT recording
+    (§3.3), sub-millisecond simulation-based grouping (Algorithm 1),
+    CRDT-accelerated group remembered-set building, and then one
+    evacuation *round per group* — each round copies one group's live
+    objects, heals the group's incoming references through its remembered
+    set, and releases the group's regions immediately, giving per-group
+    incremental reclamation with the same marking results reused by every
+    round (§3.1).
+
+    Hand-over-hand maintenance: while copying, references from new copies
+    into *later* groups are inserted into those groups' remembered sets,
+    and references into the *current* group are queued in its own set so
+    the post-evacuation scan heals them.  References into already
+    released groups are healed on the spot. *)
+
+open Heap
+module RtM = Runtime.Rt
+module Common = Collectors.Common
+module Metrics = Runtime.Metrics
+
+type t = {
+  rt : RtM.t;
+  config : Jade_config.t;
+  marker : Common.Marker.t;
+  crdt : Crdt.t;
+  group_remsets : Remset.t array;
+  young : Young.t;  (** for old-to-young inserts and promotion stats *)
+  mutable plan : Grouping.plan option;
+  mutable current_group : int;  (** round in progress; -1 outside rounds *)
+  mutable cycle_running : bool;
+  mutable est_cycle_time : int;  (** EMA of cycle duration, Algorithm 2 *)
+  mutable cards_scanned_last_build : int;
+  mutable cards_inserted_via_crdt : int;
+}
+
+let debug =
+  match Sys.getenv_opt "SIM_DEBUG" with Some "1" -> true | _ -> false
+
+let create ~config ~young rt =
+  let heap = rt.RtM.heap in
+  let crdt = Crdt.create ~total_cards:(Heap_impl.total_cards heap) in
+  {
+    rt;
+    config;
+    marker = Common.Marker.create ~remap:true ~crdt rt;
+    crdt;
+    group_remsets =
+      Array.init config.Jade_config.max_groups (fun i ->
+          Remset.create
+            ~name:(Printf.sprintf "jade-group-%d" i)
+            ~total_cards:(Heap_impl.total_cards heap));
+    young;
+    plan = None;
+    current_group = -1;
+    cycle_running = false;
+    est_cycle_time = 50 * Util.Units.ms;
+    cards_scanned_last_build = 0;
+    cards_inserted_via_crdt = 0;
+  }
+
+(** Write-barrier hook (old half): during evacuation rounds, stores that
+    create references into a still-pending group must reach that group's
+    remembered set (§3.3); everything cross-region dirties its card for
+    the next cycle's remset build. *)
+let barrier t ~(src : Gobj.t) ~field ~(new_v : Gobj.t option) =
+  let heap = t.rt.RtM.heap in
+  match new_v with
+  | Some child when child.Gobj.region <> src.Gobj.region ->
+      Sim.Engine.tick t.rt.RtM.costs.Costs.card_barrier;
+      let card = Heap_impl.card_of_field heap src field in
+      Heap_impl.dirty_card heap card;
+      if t.current_group >= 0 then begin
+        let g = (Heap_impl.region heap child.Gobj.region).Region.group in
+        if g >= t.current_group then begin
+          Sim.Engine.tick t.rt.RtM.costs.Costs.remset_barrier;
+          ignore (Remset.add t.group_remsets.(g) card)
+        end
+      end
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Marking.                                                             *)
+
+let mark_phase t =
+  let rt = t.rt in
+  let heap = rt.RtM.heap in
+  let metrics = rt.RtM.metrics in
+  let marker = t.marker in
+  let now () = Sim.Engine.now rt.RtM.engine in
+  let stw_tk () =
+    Common.Ticker.create ~workers:(Sim.Engine.cores rt.RtM.engine) ()
+  in
+  Runtime.Safepoint.stw rt.RtM.safepoint Metrics.Init_mark (fun () ->
+      ignore (Heap_impl.begin_mark heap);
+      Crdt.reset t.crdt;
+      marker.Common.Marker.active <- true;
+      t.young.Young.old_marker <- Some marker;
+      let tk = stw_tk () in
+      Common.scan_roots rt tk (Common.Marker.gray marker);
+      Common.Ticker.flush tk);
+  Metrics.phase_begin metrics "jade.mark" ~now:(now ());
+  Common.Marker.concurrent_mark marker ~workers:t.config.old_workers;
+  Metrics.phase_end metrics "jade.mark" ~now:(now ());
+  Runtime.Safepoint.stw rt.RtM.safepoint Metrics.Final_mark (fun () ->
+      let tk = stw_tk () in
+      Common.scan_roots rt tk (Common.Marker.gray marker);
+      Common.Marker.final_drain marker tk;
+      marker.Common.Marker.active <- false;
+      t.young.Young.old_marker <- None;
+      Heap_impl.end_mark heap;
+      (* §4.4: weak references checked in an extra STW phase — unless the
+         concurrent variant (the paper's stated future work) is on, in
+         which case only the discovery snapshot happens here. *)
+      if not t.config.Jade_config.concurrent_weak_refs then begin
+        let _, cleared = Heap_impl.process_weak_refs_marked heap in
+        Common.Ticker.tick tk (cleared * rt.RtM.costs.Costs.weak_ref_process);
+        Metrics.add metrics "jade.weak_stw_cleared" cleared
+      end;
+      ignore (Common.reclaim_dead_humongous rt tk);
+      Common.Ticker.flush tk);
+  if t.config.Jade_config.concurrent_weak_refs then begin
+    (* Concurrent weak processing: safe because the mark results are
+       stable after final mark, referents are judged through resolve, and
+       clearing only drops entries from the collector-private list. *)
+    let tk = Common.Ticker.create () in
+    let _, cleared = Heap_impl.process_weak_refs_marked heap in
+    Common.Ticker.tick tk (cleared * rt.RtM.costs.Costs.weak_ref_process);
+    Common.Ticker.flush tk;
+    Metrics.add metrics "jade.weak_concurrent_cleared" cleared
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Grouping (concurrent; microsecond-scale by construction).            *)
+
+let group_phase t =
+  let rt = t.rt in
+  let heap = rt.RtM.heap in
+  let metrics = rt.RtM.metrics in
+  let now () = Sim.Engine.now rt.RtM.engine in
+  Metrics.phase_begin metrics "jade.group" ~now:(now ());
+  let candidates =
+    Array.to_list heap.Heap_impl.regions
+    |> List.filter (fun (r : Region.t) ->
+           r.Region.kind = Region.Old
+           && (not r.Region.humongous)
+           && (not (Region.is_free r))
+           && r.Region.alloc_epoch < heap.Heap_impl.mark_epoch)
+  in
+  let free_bytes =
+    Grouping.estimate_free_space
+      ~free_region_count:(Heap_impl.free_regions heap)
+      ~region_bytes:heap.Heap_impl.cfg.region_bytes
+      ~promotion_rate:t.young.Young.promotion_rate
+      ~estimated_gc_time_ns:t.est_cycle_time
+      ~young_ratio:t.config.young_ratio
+  in
+  let plan = Grouping.build ~config:t.config ~free_bytes candidates in
+  (* Install group ids on the regions and reset the group remsets. *)
+  Array.iteri
+    (fun gi regions ->
+      List.iter (fun (r : Region.t) -> r.Region.group <- gi) regions)
+    plan.Grouping.groups;
+  Array.iter Remset.clear t.group_remsets;
+  (* The grouping itself is a simulation over region metadata: bill a few
+     tens of ns per tracked region (sort + scan), microseconds total. *)
+  Sim.Engine.tick (60 * max 1 plan.Grouping.tracked);
+  Metrics.phase_end metrics "jade.group" ~now:(now ());
+  Metrics.add metrics "jade.groups_built" (Grouping.num_groups plan);
+  if debug then
+    Printf.eprintf
+      "[jade-old] %.3fs grouping: candidates=%d tracked=%d groups=%d regions=%d free_est=%s free_regions=%d promo_rate=%.1fMB/s est_time=%s\n%!"
+      (float_of_int (now ()) /. 1e9)
+      (List.length candidates) plan.Grouping.tracked
+      (Grouping.num_groups plan) (Grouping.total_regions plan)
+      (Util.Units.pp_bytes free_bytes)
+      (Heap_impl.free_regions heap)
+      (t.young.Young.promotion_rate /. 1e6)
+      (Util.Units.pp_time_ns t.est_cycle_time);
+  plan
+
+(* ------------------------------------------------------------------ *)
+(* Remembered-set building with the CRDT shortcut (§3.3).               *)
+
+let build_remsets t (plan : Grouping.plan) =
+  let rt = t.rt in
+  let heap = rt.RtM.heap in
+  let metrics = rt.RtM.metrics in
+  let costs = rt.RtM.costs in
+  let now () = Sim.Engine.now rt.RtM.engine in
+  ignore plan;
+  Metrics.phase_begin metrics "jade.build" ~now:(now ());
+  let scanned = ref 0 and via_crdt = ref 0 in
+  let group_of_region rid = (Heap_impl.region heap rid).Region.group in
+  let insert_for_target tk ~card ~target_rid =
+    let own_group = group_of_region (Heap_impl.card_to_region heap card) in
+    let g = group_of_region target_rid in
+    (* Regions of the same group are released together: intra-group
+       references need no memorization (§3.3). *)
+    if g >= 0 && g <> own_group then begin
+      Common.Ticker.tick tk costs.Costs.remset_insert;
+      ignore (Remset.add t.group_remsets.(g) card)
+    end
+  in
+  let scan_card_for_targets tk card =
+    incr scanned;
+    Common.Ticker.tick tk costs.Costs.card_scan;
+    Heap_impl.scan_card heap card ~f:(fun o i ->
+        match Gobj.get_field o i with
+        | Some child ->
+            let child = Gobj.resolve child in
+            if child.Gobj.region <> o.Gobj.region then
+              insert_for_target tk ~card ~target_rid:child.Gobj.region
+        | None -> ())
+  in
+  (* Work list: cards known to the CRDT (live cross-region refs found by
+     marking) plus cards dirtied by mutators that the CRDT knows nothing
+     about (post-snapshot stores). *)
+  let work = Util.Vec.create 0 in
+  Crdt.iter_nonempty (fun card _ -> Util.Vec.push work card) t.crdt;
+  Heap_impl.iter_dirty_cards
+    (fun card -> if Crdt.get t.crdt card = Crdt.Empty then Util.Vec.push work card)
+    heap;
+  (* Ablation: without the CRDT shortcut every card is scanned. *)
+  let crdt_get card =
+    if t.config.Jade_config.use_crdt then Crdt.get t.crdt card
+    else if Crdt.get t.crdt card = Crdt.Empty then Crdt.Empty
+    else Crdt.Overflow
+  in
+  let narr = Util.Vec.length work in
+  let next = ref 0 in
+  Common.run_workers rt ~n:t.config.old_workers ~name:"jade-build" (fun _ tk ->
+      let continue_ = ref true in
+      while !continue_ do
+        if !next >= narr then continue_ := false
+        else begin
+          let card = Util.Vec.get work !next in
+          incr next;
+          (match crdt_get card with
+          | Crdt.Empty ->
+              (* Dirtied after the marking snapshot: conservative scan. *)
+              scan_card_for_targets tk card
+          | Crdt.One r1 ->
+              incr via_crdt;
+              insert_for_target tk ~card ~target_rid:r1
+          | Crdt.Two (r1, r2) ->
+              incr via_crdt;
+              insert_for_target tk ~card ~target_rid:r1;
+              insert_for_target tk ~card ~target_rid:r2
+          | Crdt.Overflow ->
+              (* Three or more referenced regions: rescan (§3.3). *)
+              scan_card_for_targets tk card);
+          Heap_impl.clean_card heap card
+        end
+      done);
+  t.cards_scanned_last_build <- !scanned;
+  t.cards_inserted_via_crdt <- !via_crdt;
+  Metrics.add metrics "jade.build_cards_scanned" !scanned;
+  Metrics.add metrics "jade.build_cards_via_crdt" !via_crdt;
+  Metrics.phase_end metrics "jade.build" ~now:(now ())
+
+(* ------------------------------------------------------------------ *)
+(* Per-group evacuation rounds.                                         *)
+
+let evacuate_object_fields t tk (o' : Gobj.t) ~group =
+  let heap = t.rt.RtM.heap in
+  let costs = t.rt.RtM.costs in
+  for i = 0 to Gobj.num_fields o' - 1 do
+    match Gobj.get_field o' i with
+    | None -> ()
+    | Some child -> (
+        let child_r = Heap_impl.region heap child.Gobj.region in
+        match child_r.Region.kind with
+        | Region.Young ->
+            Common.Ticker.tick tk costs.Costs.remset_insert;
+            ignore
+              (Remset.add t.young.Young.remset
+                 (Heap_impl.card_of_field heap o' i))
+        | _ ->
+            let g = child_r.Region.group in
+            if g >= group then begin
+              (* Hand-over-hand: the new location's reference into a
+                 pending (or this) group goes to that group's remset. *)
+              Common.Ticker.tick tk costs.Costs.remset_insert;
+              ignore
+                (Remset.add t.group_remsets.(g)
+                   (Heap_impl.card_of_field heap o' i))
+            end
+            else if Gobj.is_forwarded child then begin
+              (* Earlier group, already moved: heal on the spot. *)
+              Common.Ticker.tick tk costs.Costs.heal;
+              Gobj.set_field o' i (Some (Gobj.resolve child))
+            end)
+  done
+
+let evacuate_group t ~group (regions : Region.t list) =
+  let rt = t.rt in
+  let heap = rt.RtM.heap in
+  let metrics = rt.RtM.metrics in
+  let costs = rt.RtM.costs in
+  t.current_group <- group;
+  let arr = Array.of_list regions in
+  let next = ref 0 in
+  let failed = ref false in
+  (* Chasing mode (§4.3): when mutators are stalled their cores are idle;
+     run with as many workers as cores to finish the round sooner. *)
+  let workers =
+    if t.config.chasing_mode && rt.RtM.stalled_mutators > 0 then
+      Sim.Engine.cores rt.RtM.engine
+    else t.config.old_workers
+  in
+  if workers > t.config.old_workers then
+    Metrics.add metrics "jade.chasing_rounds" 1;
+  Common.run_workers rt ~n:workers ~name:"jade-evac" (fun _ tk ->
+      let dest = Common.Evac.make_dest rt Region.Old in
+      let continue_ = ref true in
+      while !continue_ do
+        if !failed || !next >= Array.length arr then continue_ := false
+        else begin
+          let i = !next in
+          incr next;
+          let r = arr.(i) in
+          match
+            Util.Vec.iter
+              (fun (o : Gobj.t) ->
+                if
+                  (not (Gobj.is_forwarded o)) && Heap_impl.is_marked heap o
+                then begin
+                  let o' = Common.Evac.copy_object dest tk o in
+                  evacuate_object_fields t tk o' ~group
+                end)
+              r.Region.objects
+          with
+          | () -> ()
+          | exception Common.Evac.Evacuation_failure -> failed := true
+        end
+      done);
+  if not !failed then begin
+    (* Heal every remembered incoming reference, then release the group:
+       this is the per-group incremental reclamation of §3.1. *)
+    let cards = ref [] in
+    Remset.iter (fun c -> cards := c :: !cards) t.group_remsets.(group);
+    let cards = Array.of_list !cards in
+    let nextc = ref 0 in
+    Common.run_workers rt ~n:workers ~name:"jade-heal" (fun _ tk ->
+        let continue_ = ref true in
+        while !continue_ do
+          if !nextc >= Array.length cards then continue_ := false
+          else begin
+            let c = !nextc in
+            incr nextc;
+            Common.update_refs_in_card rt tk cards.(c)
+          end
+        done);
+    Remset.clear t.group_remsets.(group);
+    let tk = Common.Ticker.create () in
+    List.iter
+      (fun (r : Region.t) ->
+        Metrics.add metrics "jade.old_bytes_reclaimed" r.Region.top;
+        Heap_impl.release_region heap r;
+        Common.Ticker.tick tk costs.Costs.region_reset)
+      regions;
+    Common.Ticker.flush tk;
+    Metrics.add metrics "jade.rounds" 1;
+    Common.check_reachability rt ~where:"jade_round";
+    RtM.notify_memory_freed rt
+  end;
+  t.current_group <- -1;
+  not !failed
+
+(* ------------------------------------------------------------------ *)
+(* The cycle.                                                           *)
+
+(** Run one full group-wise old collection; returns false when
+    evacuation ran out of space (caller escalates). *)
+let run_cycle t =
+  let rt = t.rt in
+  let metrics = rt.RtM.metrics in
+  let now () = Sim.Engine.now rt.RtM.engine in
+  let t0 = now () in
+  t.cycle_running <- true;
+  Metrics.phase_begin metrics "jade.old_cycle" ~now:t0;
+  mark_phase t;
+  let plan = group_phase t in
+  t.plan <- Some plan;
+  build_remsets t plan;
+  Metrics.phase_begin metrics "jade.old_evac" ~now:(now ());
+  let ok = ref true in
+  Array.iteri
+    (fun gi regions ->
+      if !ok && regions <> [] then ok := evacuate_group t ~group:gi regions)
+    plan.Grouping.groups;
+  Metrics.phase_end metrics "jade.old_evac" ~now:(now ());
+  (* Cycle epilogue: fix roots in a tiny pause. *)
+  Runtime.Safepoint.stw rt.RtM.safepoint Metrics.Remark (fun () ->
+      RtM.update_roots rt);
+  (* Clear group labels on everything that survived ungrouped. *)
+  Array.iter
+    (fun (r : Region.t) -> r.Region.group <- -1)
+    rt.RtM.heap.Heap_impl.regions;
+  t.plan <- None;
+  let dur = now () - t0 in
+  t.est_cycle_time <- ((t.est_cycle_time * 7) + (dur * 3)) / 10;
+  Metrics.phase_end metrics "jade.old_cycle" ~now:(now ());
+  Metrics.add metrics "jade.old_cycles" 1;
+  t.cycle_running <- false;
+  !ok

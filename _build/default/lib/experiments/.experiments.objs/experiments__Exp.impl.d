@@ -1,0 +1,1 @@
+lib/experiments/exp.ml: Harness List Registry Util Workload

@@ -1,0 +1,1 @@
+lib/experiments/harness.ml: Hashtbl Heap List Printf Runtime Sim Util Workload

@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Collectors Jade List Runtime Util

@@ -1,0 +1,1 @@
+lib/heap/forwarding.mli: Gobj

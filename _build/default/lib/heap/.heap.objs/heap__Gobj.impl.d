@@ -1,0 +1,1 @@
+lib/heap/gobj.ml: Array Format

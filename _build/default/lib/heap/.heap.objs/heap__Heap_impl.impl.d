@@ -1,0 +1,1 @@
+lib/heap/heap_impl.ml: Array Costs Crdt Gobj Hashtbl Queue Region String Sys Util

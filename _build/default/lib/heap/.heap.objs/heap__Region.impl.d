@@ -1,0 +1,1 @@
+lib/heap/region.ml: Gobj Util

@@ -1,0 +1,26 @@
+(** Off-heap forwarding tables (ZGC-style, §2.4).
+
+    ZGC frees an evacuated region before the references into it are
+    updated; the old-address→new-object mapping must therefore outlive the
+    region, in a side table kept until the *next* marking cycle has
+    remapped every stale reference.  Our object records already carry an
+    in-header [forward] field, but ZGC cannot use headers of freed memory,
+    so its collector model routes lookups through these tables and accounts
+    their footprint. *)
+
+type t = {
+  rid : int;
+  table : (int, Gobj.t) Hashtbl.t; (* old offset -> new copy *)
+}
+
+let create ~rid ~expected = { rid; table = Hashtbl.create (max expected 16) }
+
+let add t ~old_offset obj = Hashtbl.replace t.table old_offset obj
+
+let find t ~old_offset = Hashtbl.find_opt t.table old_offset
+
+let entries t = Hashtbl.length t.table
+
+(** Approximate footprint: 16 bytes per entry plus table overhead, matching
+    ZGC's reported forwarding-table cost. *)
+let byte_size t = 32 + (24 * Hashtbl.length t.table)

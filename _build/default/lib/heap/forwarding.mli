@@ -1,0 +1,17 @@
+(** Off-heap forwarding tables (ZGC-style, §2.4).
+
+    ZGC frees an evacuated region before the references into it are
+    updated; the old-address→new-object mapping must therefore outlive
+    the region in a side table, kept until the next marking cycle has
+    remapped every stale reference.  The ZGC collector model routes
+    relocations through these tables and accounts their footprint. *)
+
+type t
+
+val create : rid:int -> expected:int -> t
+val add : t -> old_offset:int -> Gobj.t -> unit
+val find : t -> old_offset:int -> Gobj.t option
+val entries : t -> int
+
+val byte_size : t -> int
+(** Approximate footprint (per-entry cost), for overhead reporting. *)

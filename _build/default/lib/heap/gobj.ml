@@ -1,0 +1,84 @@
+(** Simulated heap objects.
+
+    An object is a record holding real reference slots ([fields]) to other
+    objects, so marking genuinely traverses the graph and evacuation
+    genuinely copies.  Relocation creates a fresh record for the new copy
+    and installs it in the old copy's [forward] slot: references elsewhere
+    in the heap keep pointing at the old record, which is exactly a stale
+    reference in a concurrent copying collector, and healing replaces them
+    with {!resolve}.  The new copy shares the [fields] array (the payload
+    moved; there is one logical set of slots). *)
+
+type t = {
+  id : int;  (** logical identity, preserved across copies *)
+  size : int;  (** bytes, header included *)
+  fields : t option array;
+  mutable region : int;
+  mutable offset : int;  (** byte offset of the header inside the region *)
+  mutable forward : t option;  (** newer copy, if relocated *)
+  mutable mark : int;  (** epoch of the last old/full marking that reached it *)
+  mutable ymark : int;
+      (** epoch of the last *young* marking that reached it — young and
+          old cycles co-run, so their mark state must not alias *)
+  mutable age : int;  (** young collections survived *)
+  mutable flags : int;
+}
+
+let header_bytes = 16
+let slot_bytes = 8
+
+(* Flag bits *)
+let flag_weak_referent = 1
+let flag_humongous = 2
+let flag_freed = 4
+
+let no_fields : t option array = [||]
+
+let make ~id ~size ~nrefs ~region ~offset =
+  {
+    id;
+    size;
+    fields = (if nrefs = 0 then no_fields else Array.make nrefs None);
+    region;
+    offset;
+    forward = None;
+    mark = 0;
+    ymark = 0;
+    age = 0;
+    flags = 0;
+  }
+
+let has_flag t f = t.flags land f <> 0
+let set_flag t f = t.flags <- t.flags lor f
+let clear_flag t f = t.flags <- t.flags land lnot f
+
+let is_weak_referent t = has_flag t flag_weak_referent
+let is_humongous t = has_flag t flag_humongous
+let is_freed t = has_flag t flag_freed
+
+let is_forwarded t = t.forward <> None
+
+(** Newest copy of an object (identity: follows the forwarding chain). *)
+let rec resolve t = match t.forward with None -> t | Some t' -> resolve t'
+
+(** Length of the forwarding chain, for tests and cost accounting. *)
+let forward_depth t =
+  let rec go t n = match t.forward with None -> n | Some t' -> go t' (n + 1) in
+  go t 0
+
+let num_fields t = Array.length t.fields
+
+(** Byte offset of field slot [i] inside the object's region. *)
+let field_offset t i = t.offset + header_bytes + (i * slot_bytes)
+
+let get_field t i = t.fields.(i)
+let set_field t i v = t.fields.(i) <- v
+
+let iter_fields f t =
+  for i = 0 to Array.length t.fields - 1 do
+    match t.fields.(i) with Some o -> f i o | None -> ()
+  done
+
+let pp fmt t =
+  Format.fprintf fmt "#%d(%dB r%d+%d%s)" t.id t.size t.region t.offset
+    (if is_forwarded t then " fwd" else "")

@@ -1,0 +1,311 @@
+(** The simulated heap: a fixed array of equal-sized regions, a free list,
+    a global card table, and allocation bookkeeping shared by mutators
+    (through TLABs, see the runtime library) and GC threads (evacuation
+    destinations).
+
+    Addresses.  A heap "address" is [(region id, byte offset)]; the global
+    card index of an address is [rid * cards_per_region + offset / 512].
+    This keeps card, remembered-set and CRDT arithmetic identical to a real
+    flat address space while letting regions be recycled freely. *)
+
+type config = {
+  heap_bytes : int;
+  region_bytes : int;
+  card_bytes : int;
+  tlab_bytes : int;
+}
+
+let default_config =
+  {
+    heap_bytes = 64 * Util.Units.mib;
+    region_bytes = 512 * Util.Units.kib;
+    card_bytes = 512;
+    tlab_bytes = 32 * Util.Units.kib;
+  }
+
+let config ?(heap_bytes = default_config.heap_bytes)
+    ?(region_bytes = default_config.region_bytes)
+    ?(card_bytes = default_config.card_bytes)
+    ?(tlab_bytes = default_config.tlab_bytes) () =
+  if heap_bytes mod region_bytes <> 0 then
+    invalid_arg "Heap.config: heap_bytes must be a multiple of region_bytes";
+  if region_bytes mod card_bytes <> 0 then
+    invalid_arg "Heap.config: region_bytes must be a multiple of card_bytes";
+  { heap_bytes; region_bytes; card_bytes; tlab_bytes }
+
+type t = {
+  cfg : config;
+  costs : Costs.t;
+  regions : Region.t array;
+  free_q : int Queue.t;
+  mutable free_count : int;
+  card_dirty : Util.Bitset.t;  (** global card table: dirtied by stores *)
+  mutable next_obj_id : int;
+  mutable mark_epoch : int;  (** current/most recent old/full marking id *)
+  mutable young_epoch : int;  (** current/most recent young marking id *)
+  mutable allocate_live : bool;
+      (** while an old mark is running, new objects are born marked (SATB) *)
+  mutable allocate_live_young : bool;
+      (** same for a co-running young marking cycle *)
+  mutable bytes_allocated : int;  (** cumulative, for rate estimation *)
+  mutable weak_refs : (Gobj.t * (unit -> unit) option) Util.Vec.t;
+      (** registered weak references: referent + optional callback *)
+}
+
+(* Debug aid: per-region event history, recorded when SIM_HEAP_TRACE=1. *)
+let trace_regions =
+  match Sys.getenv_opt "SIM_HEAP_TRACE" with Some "1" -> true | _ -> false
+
+let region_history : (int, string list ref) Hashtbl.t = Hashtbl.create 64
+
+let record_region_event rid ev =
+  if trace_regions then begin
+    let l =
+      match Hashtbl.find_opt region_history rid with
+      | Some l -> l
+      | None ->
+          let l = ref [] in
+          Hashtbl.replace region_history rid l;
+          l
+    in
+    l := ev :: !l
+  end
+
+let dump_region_history rid =
+  match Hashtbl.find_opt region_history rid with
+  | None -> "no history"
+  | Some l -> String.concat " <- " !l
+
+let create ?(costs = Costs.default) cfg =
+  let nregions = cfg.heap_bytes / cfg.region_bytes in
+  if nregions < 2 then invalid_arg "Heap.create: need at least two regions";
+  if nregions > Crdt.max_region_id then
+    invalid_arg "Heap.create: too many regions for CRDT encoding";
+  let regions =
+    Array.init nregions (fun rid -> Region.make ~rid ~size:cfg.region_bytes)
+  in
+  let free_q = Queue.create () in
+  Array.iter (fun (r : Region.t) -> Queue.push r.rid free_q) regions;
+  {
+    cfg;
+    costs;
+    regions;
+    free_q;
+    free_count = nregions;
+    card_dirty = Util.Bitset.create (cfg.heap_bytes / cfg.card_bytes);
+    next_obj_id = 0;
+    mark_epoch = 0;
+    young_epoch = 0;
+    allocate_live = false;
+    allocate_live_young = false;
+    bytes_allocated = 0;
+    weak_refs = Util.Vec.create (Region.dummy_obj, None);
+  }
+
+let num_regions t = Array.length t.regions
+let region t rid = t.regions.(rid)
+let free_regions t = t.free_count
+let used_regions t = num_regions t - t.free_count
+let total_cards t = t.cfg.heap_bytes / t.cfg.card_bytes
+let cards_per_region t = t.cfg.region_bytes / t.cfg.card_bytes
+
+(** Occupancy as a fraction of the whole heap, at region granularity (the
+    trigger metric used by all the collectors). *)
+let occupancy t =
+  float_of_int (used_regions t) /. float_of_int (num_regions t)
+
+let used_bytes t =
+  Array.fold_left
+    (fun acc (r : Region.t) -> if Region.is_free r then acc else acc + r.top)
+    0 t.regions
+
+(* ------------------------------------------------------------------ *)
+(* Cards.                                                               *)
+
+let card_of t ~rid ~offset = (rid * cards_per_region t) + (offset / t.cfg.card_bytes)
+
+(** Card holding field slot [i] of [o]. *)
+let card_of_field t (o : Gobj.t) i = card_of t ~rid:o.region ~offset:(Gobj.field_offset o i)
+
+let card_to_region t card = card / cards_per_region t
+
+(** First byte offset covered by [card] inside its region. *)
+let card_to_offset t card = card mod cards_per_region t * t.cfg.card_bytes
+
+let dirty_card t card = ignore (Util.Bitset.set t.card_dirty card)
+let card_is_dirty t card = Util.Bitset.get t.card_dirty card
+let clean_card t card = Util.Bitset.clear t.card_dirty card
+
+let iter_dirty_cards f t = Util.Bitset.iter_set f t.card_dirty
+
+(** Scan the objects overlapping [card] in its region, applying [f] to each
+    reference slot that falls inside the card. *)
+let scan_card t card ~f =
+  let r = t.regions.(card_to_region t card) in
+  if not (Region.is_free r) then begin
+    let off = card_to_offset t card in
+    Region.iter_objects_in_range r ~off ~len:t.cfg.card_bytes (fun o ->
+        for i = 0 to Gobj.num_fields o - 1 do
+          let foff = Gobj.field_offset o i in
+          if foff >= off && foff < off + t.cfg.card_bytes then f o i
+        done)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Region lifecycle.                                                    *)
+
+(** Claim a free region for allocation of the given kind. *)
+let claim_region t kind =
+  match Queue.take_opt t.free_q with
+  | None -> None
+  | Some rid ->
+      t.free_count <- t.free_count - 1;
+      let r = t.regions.(rid) in
+      assert (Region.is_free r);
+      r.kind <- kind;
+      r.alloc_epoch <- t.mark_epoch;
+      record_region_event rid ("claim:" ^ Region.kind_to_string kind);
+      Some r
+
+(** Release a region back to the free list; resident (non-evacuated)
+    objects become garbage, the region's own cards are cleaned. *)
+let release_region t (r : Region.t) =
+  assert (not (Region.is_free r));
+  let c0 = r.rid * cards_per_region t in
+  for c = c0 to c0 + cards_per_region t - 1 do
+    clean_card t c
+  done;
+  Region.reset r;
+  record_region_event r.rid "release";
+  Queue.push r.rid t.free_q;
+  t.free_count <- t.free_count + 1
+
+(* ------------------------------------------------------------------ *)
+(* Object allocation (bump within a region the caller owns).            *)
+
+let fresh_obj_id t =
+  let id = t.next_obj_id in
+  t.next_obj_id <- id + 1;
+  id
+
+(** Allocate an object at [r]'s bump pointer.  The caller has checked
+    [Region.fits] and owns the region (mutator TLAB or GC destination).
+    When [id] is given the object is a relocated copy keeping its logical
+    identity; otherwise a fresh id is minted. *)
+let alloc_in t (r : Region.t) ?id ~size ~nrefs () =
+  assert (Region.fits r size);
+  let id = match id with Some id -> id | None -> fresh_obj_id t in
+  let o = Gobj.make ~id ~size ~nrefs ~region:r.rid ~offset:r.top in
+  if t.allocate_live then o.mark <- t.mark_epoch;
+  if t.allocate_live_young then o.ymark <- t.young_epoch;
+  Region.push_obj r o;
+  t.bytes_allocated <- t.bytes_allocated + size;
+  o
+
+(** Round a requested payload size up to the slot grid, header included. *)
+let object_size ~nrefs ~data_bytes =
+  Gobj.header_bytes + (nrefs * Gobj.slot_bytes) + ((data_bytes + 7) / 8 * 8)
+
+(* ------------------------------------------------------------------ *)
+(* Marking support.                                                     *)
+
+(** Start a marking cycle.  [scope] restricts which regions' liveness
+    accounting is reset and later published — a generational young
+    collection marks only young regions and must not clobber the old
+    generation's results from its own marking cycle. *)
+let begin_mark ?(scope = fun (_ : Region.t) -> true) t =
+  t.mark_epoch <- t.mark_epoch + 1;
+  t.allocate_live <- true;
+  Array.iter
+    (fun (r : Region.t) ->
+      if scope r then begin
+        r.marking_live <- 0;
+        Region.livemap_clear r
+      end)
+    t.regions;
+  t.mark_epoch
+
+let end_mark ?(scope = fun (_ : Region.t) -> true) t =
+  t.allocate_live <- false;
+  (* Publish marking results. *)
+  Array.iter
+    (fun (r : Region.t) ->
+      if (not (Region.is_free r)) && scope r then
+        r.live_bytes <-
+          (if r.alloc_epoch >= t.mark_epoch then r.top (* born after snapshot *)
+           else r.marking_live))
+    t.regions
+
+let is_marked t (o : Gobj.t) = o.mark >= t.mark_epoch
+
+(** Mark [o] in the current old epoch; returns false if it already was.
+    Also accounts region live bytes and sets the region's live bitmap. *)
+let mark_object t (o : Gobj.t) =
+  if o.mark >= t.mark_epoch then false
+  else begin
+    o.mark <- t.mark_epoch;
+    let r = t.regions.(o.region) in
+    r.marking_live <- r.marking_live + o.size;
+    Region.livemap_mark r o;
+    true
+  end
+
+(* -- young-generation marking: an independent mark word and epoch so a
+   young cycle can overlap an old cycle without corrupting it. -------- *)
+
+let begin_young_mark t =
+  t.young_epoch <- t.young_epoch + 1;
+  t.allocate_live_young <- true;
+  Array.iter
+    (fun (r : Region.t) ->
+      if r.kind = Region.Young then r.marking_live <- 0)
+    t.regions;
+  t.young_epoch
+
+let end_young_mark t = t.allocate_live_young <- false
+
+let is_marked_young t (o : Gobj.t) = o.ymark >= t.young_epoch
+
+let mark_object_young t (o : Gobj.t) =
+  if o.ymark >= t.young_epoch then false
+  else begin
+    o.ymark <- t.young_epoch;
+    let r = t.regions.(o.region) in
+    r.marking_live <- r.marking_live + o.size;
+    true
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Weak references.                                                     *)
+
+let register_weak t (o : Gobj.t) ~callback =
+  Gobj.set_flag o Gobj.flag_weak_referent;
+  Util.Vec.push t.weak_refs (o, callback)
+
+(** Process registered weak references: referents judged dead by [alive]
+    are dropped (their callbacks run) and the rest survive.  Tracing
+    collectors pass a mark test; young-only collections pass a
+    freed-region test.  Returns (survivors, cleared). *)
+let process_weak_refs t ~alive =
+  let survivors = Util.Vec.create (Region.dummy_obj, None) in
+  let cleared = ref 0 in
+  Util.Vec.iter
+    (fun (o, cb) ->
+      let o = Gobj.resolve o in
+      if Gobj.is_freed o || not (alive o) then begin
+        incr cleared;
+        match cb with Some f -> f () | None -> ()
+      end
+      else Util.Vec.push survivors (o, cb))
+    t.weak_refs;
+  let n = Util.Vec.length survivors in
+  t.weak_refs <- survivors;
+  (n, !cleared)
+
+(** Weak processing against the current mark (old/full collections). *)
+let process_weak_refs_marked t = process_weak_refs t ~alive:(is_marked t)
+
+(** Weak processing for young-only collections: a referent is dead only
+    when its region was reclaimed (freed flag). *)
+let process_weak_refs_freed_only t =
+  process_weak_refs t ~alive:(fun _ -> true)

@@ -1,0 +1,134 @@
+(** Equal-sized heap regions (§3.1).
+
+    A region is a bump-allocated span holding the objects whose [region]
+    field names it, in allocation (= offset) order, which lets card scans
+    binary-search for the first object overlapping a card.  [live_bytes]
+    is the result of the last completed marking cycle and drives
+    collection-set / group selection. *)
+
+type kind = Free | Young | Old
+
+let kind_to_string = function Free -> "free" | Young -> "young" | Old -> "old"
+
+type t = {
+  rid : int;
+  size : int;
+  mutable kind : kind;
+  mutable top : int;  (** bump pointer: bytes used *)
+  objects : Gobj.t Util.Vec.t;
+  mutable live_bytes : int;  (** per last completed mark *)
+  mutable marking_live : int;  (** accumulator of the in-progress mark *)
+  mutable livemap : Util.Bitset.t option;  (** one bit per 8 bytes, lazy *)
+  mutable group : int;  (** Jade collection group, -1 when none *)
+  mutable in_cset : bool;  (** selected for evacuation this cycle *)
+  mutable alloc_epoch : int;  (** mark epoch current when first allocated *)
+  mutable humongous : bool;
+}
+
+let dummy_obj = Gobj.make ~id:(-1) ~size:0 ~nrefs:0 ~region:(-1) ~offset:0
+
+let make ~rid ~size =
+  {
+    rid;
+    size;
+    kind = Free;
+    top = 0;
+    objects = Util.Vec.create ~capacity:64 dummy_obj;
+    live_bytes = 0;
+    marking_live = 0;
+    livemap = None;
+    group = -1;
+    in_cset = false;
+    alloc_epoch = 0;
+    humongous = false;
+  }
+
+let is_free t = t.kind = Free
+let free_bytes t = t.size - t.top
+let used_bytes t = t.top
+let object_count t = Util.Vec.length t.objects
+
+(** Fraction of the region's *capacity* occupied by live data per the
+    last mark.  Capacity, not filled bytes: evacuating a region reclaims
+    the whole region, so a barely-filled region whose few bytes are all
+    live is still a cheap, profitable victim — dividing by [top] would
+    make retired allocation buffers look dense and let them accumulate. *)
+let live_ratio t = float_of_int t.live_bytes /. float_of_int t.size
+
+(** Region capacity reclaimed by evacuating this region. *)
+let garbage_bytes t = t.size - t.live_bytes
+
+(** Can [size] more bytes be bump-allocated here? *)
+let fits t size = t.top + size <= t.size
+
+(** Append an already-constructed object at the current top. The caller
+    guarantees [fits]. *)
+let push_obj t (o : Gobj.t) =
+  o.region <- t.rid;
+  o.offset <- t.top;
+  t.top <- t.top + o.size;
+  Util.Vec.push t.objects o
+
+(** Live bitmap management (one bit per 8 bytes, as in the paper). *)
+let livemap_get t =
+  match t.livemap with
+  | Some m -> m
+  | None ->
+      let m = Util.Bitset.create (t.size / 8) in
+      t.livemap <- Some m;
+      m
+
+let livemap_mark t (o : Gobj.t) =
+  ignore (Util.Bitset.set (livemap_get t) (o.offset / 8))
+
+let livemap_is_marked t (o : Gobj.t) =
+  match t.livemap with None -> false | Some m -> Util.Bitset.get m (o.offset / 8)
+
+let livemap_clear t = match t.livemap with None -> () | Some m -> Util.Bitset.clear_all m
+
+(** First index in [objects] whose span reaches byte offset [off] or later.
+    Objects are offset-sorted, so this starts a card scan. *)
+let first_object_at t ~off =
+  (* find first object with offset + size > off; since objects are disjoint
+     and sorted, that is the first with offset > off - max_size... a clean
+     lower bound is the first object with offset >= off, minus one if its
+     predecessor spans across. *)
+  let i =
+    Util.Vec.find_first_geq t.objects ~key:off ~of_elt:(fun (o : Gobj.t) ->
+        o.offset)
+  in
+  if i > 0 then
+    let prev = Util.Vec.get t.objects (i - 1) in
+    if prev.offset + prev.size > off then i - 1 else i
+  else i
+
+(** Iterate objects whose bytes intersect [off, off+len).  The length is
+    re-read on every step: [f] may suspend the calling fiber (batched GC
+    cost accounting), and a concurrent collection cycle may reclaim this
+    region meanwhile — the reset empties [objects], which safely ends the
+    scan (the card's contents are gone with the region). *)
+let iter_objects_in_range t ~off ~len f =
+  let stop = off + len in
+  let i = ref (first_object_at t ~off) in
+  let continue_ = ref true in
+  while !continue_ && !i < Util.Vec.length t.objects do
+    let o = Util.Vec.get t.objects !i in
+    if o.offset >= stop then continue_ := false
+    else begin
+      f o;
+      incr i
+    end
+  done
+
+(** Reset to an empty, [Free] region; marks resident objects freed. *)
+let reset t =
+  Util.Vec.iter (fun (o : Gobj.t) -> Gobj.set_flag o Gobj.flag_freed) t.objects;
+  Util.Vec.clear t.objects;
+  t.kind <- Free;
+  t.top <- 0;
+  t.live_bytes <- 0;
+  t.marking_live <- 0;
+  livemap_clear t;
+  t.group <- -1;
+  t.in_cset <- false;
+  t.humongous <- false

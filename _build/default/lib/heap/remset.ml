@@ -1,0 +1,24 @@
+(** Remembered sets (§3.3).
+
+    A remembered set records, at card (512-byte) granularity, the heap
+    locations that may hold references *into* the memory the set covers
+    (a region for G1, a whole collection group for Jade, the old
+    generation for old-to-young sets).  Implemented as a bitset over the
+    heap's global card index space — each set costs heap_size/4096 bytes,
+    matching the paper's overhead arithmetic. *)
+
+type t = { name : string; cards : Util.Bitset.t }
+
+let create ~name ~total_cards = { name; cards = Util.Bitset.create total_cards }
+
+(** [add t card] returns true when the card was newly inserted. *)
+let add t card = Util.Bitset.set t.cards card
+
+let mem t card = Util.Bitset.get t.cards card
+let remove t card = Util.Bitset.clear t.cards card
+let cardinal t = Util.Bitset.cardinal t.cards
+let clear t = Util.Bitset.clear_all t.cards
+let iter f t = Util.Bitset.iter_set f t.cards
+
+(** Memory footprint, for overhead reporting. *)
+let byte_size t = Util.Bitset.byte_size t.cards

@@ -1,0 +1,1 @@
+lib/runtime/driver.ml: Metrics Mutator Printf Rt Sim Util

@@ -1,0 +1,1 @@
+lib/runtime/mutator.ml: Heap Metrics Option Rt Safepoint Sim Util

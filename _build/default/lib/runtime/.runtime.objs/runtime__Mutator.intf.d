@@ -1,0 +1,1 @@
+lib/runtime/mutator.mli: Heap Rt Sim Util

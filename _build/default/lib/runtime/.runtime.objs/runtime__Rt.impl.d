@@ -1,0 +1,1 @@
+lib/runtime/rt.ml: Heap List Metrics Safepoint Sim Util

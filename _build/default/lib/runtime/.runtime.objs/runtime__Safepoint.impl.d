@@ -1,0 +1,1 @@
+lib/runtime/safepoint.ml: Heap Metrics Sim

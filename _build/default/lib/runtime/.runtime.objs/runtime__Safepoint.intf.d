@@ -1,0 +1,1 @@
+lib/runtime/safepoint.mli: Heap Metrics Sim

@@ -1,0 +1,33 @@
+(** Request drivers: how load is offered to the simulated application.
+
+    - {!Closed}: every mutator issues the next request as soon as the
+      previous one finishes — measures peak throughput.
+    - {!Open}: requests arrive as a Poisson process at a fixed aggregate
+      QPS split across mutators; latency is measured from {e arrival} to
+      completion, so queueing behind a GC pause lands in the tail exactly
+      as it does for the paper's throttled clients (§5.5).
+    - {!Fixed}: a fixed number of requests (DaCapo-style iterations);
+      the metric is wall-clock execution time. *)
+
+type mode = Closed | Open of float | Fixed of int
+
+type result = {
+  completed : int;  (** requests finished inside the recording window *)
+  elapsed_ns : int;  (** recording-window length *)
+  oom : string option;  (** [Some reason] when the run died of OOM *)
+}
+
+val run :
+  Rt.t ->
+  n_mutators:int ->
+  mode:mode ->
+  ?warmup:int ->
+  ?duration:int ->
+  request:(Mutator.t -> unit) ->
+  unit ->
+  result
+(** Spawn [n_mutators] application fibers and drive the engine to
+    completion.  For [Closed]/[Open], [warmup] ns run unrecorded, then
+    [duration] ns recorded, then mutators wind down; for [Fixed n]
+    everything is recorded until the [n] requests complete.
+    Out-of-memory aborts are reported in the result, not raised. *)

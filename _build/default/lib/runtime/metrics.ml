@@ -1,0 +1,170 @@
+(** Measurement sink for a simulation run.
+
+    Collects request latencies, STW pauses, allocation stalls, named GC
+    phase durations and free-form counters.  A [recording] flag gates
+    everything so the harness can exclude warmup. *)
+
+type pause_kind =
+  | Init_mark
+  | Final_mark
+  | Remark
+  | Young_stw  (** STW young collection (G1, LXR) *)
+  | Mixed_stw  (** STW mixed/old evacuation (G1) *)
+  | Rc_epoch  (** LXR reference-count processing pause *)
+  | Degenerated  (** Shenandoah degenerated cycle *)
+  | Full_gc
+  | Weak_refs
+  | Alloc_stall  (** mutator stalled on allocation: same effect as a pause *)
+
+let pause_kind_to_string = function
+  | Init_mark -> "init-mark"
+  | Final_mark -> "final-mark"
+  | Remark -> "remark"
+  | Young_stw -> "young-stw"
+  | Mixed_stw -> "mixed-stw"
+  | Rc_epoch -> "rc-epoch"
+  | Degenerated -> "degenerated"
+  | Full_gc -> "full-gc"
+  | Weak_refs -> "weak-refs"
+  | Alloc_stall -> "alloc-stall"
+
+type pause = { at : int; dur : int; kind : pause_kind }
+
+type phase = {
+  mutable total_ns : int;
+  mutable count : int;
+  mutable started_at : int option;
+}
+
+type t = {
+  mutable recording : bool;
+  mutable window_start : int;
+  mutable window_end : int;
+  mutable busy_window_start : int;  (** engine busy-ns when recording began *)
+  mutable busy_window_end : int;
+  latency : Util.Histogram.t;
+  pause_hist : Util.Histogram.t;
+  stall_hist : Util.Histogram.t;
+  pauses : pause Util.Vec.t;
+  phases : (string, phase) Hashtbl.t;
+  counters : (string, int) Hashtbl.t;
+  mutable requests_completed : int;
+}
+
+let create () =
+  {
+    recording = true;
+    window_start = 0;
+    window_end = 0;
+    busy_window_start = 0;
+    busy_window_end = 0;
+    latency = Util.Histogram.create ();
+    pause_hist = Util.Histogram.create ();
+    stall_hist = Util.Histogram.create ();
+    pauses = Util.Vec.create { at = 0; dur = 0; kind = Full_gc };
+    phases = Hashtbl.create 16;
+    counters = Hashtbl.create 16;
+    requests_completed = 0;
+  }
+
+let set_recording ?(busy = 0) t ~now on =
+  t.recording <- on;
+  if on then begin
+    t.window_start <- now;
+    t.busy_window_start <- busy
+  end
+  else begin
+    t.window_end <- now;
+    t.busy_window_end <- busy
+  end
+
+(** Fraction of total core time spent busy during the recording window. *)
+let cpu_utilization t ~cores =
+  let window = t.window_end - t.window_start in
+  if window <= 0 then 0.
+  else
+    float_of_int (t.busy_window_end - t.busy_window_start)
+    /. float_of_int (cores * window)
+
+let record_latency t ns =
+  if t.recording then begin
+    Util.Histogram.record t.latency ns;
+    t.requests_completed <- t.requests_completed + 1
+  end
+
+(** Pauses affect every mutator; stalls hit one mutator but have the same
+    effect on its latency (§2.2), so both feed pause statistics. *)
+let record_pause t ~at ~dur kind =
+  if t.recording then begin
+    Util.Vec.push t.pauses { at; dur; kind };
+    Util.Histogram.record t.pause_hist dur;
+    if kind = Alloc_stall then Util.Histogram.record t.stall_hist dur
+  end
+
+(* -- named phases ---------------------------------------------------- *)
+
+let phase t name =
+  match Hashtbl.find_opt t.phases name with
+  | Some p -> p
+  | None ->
+      let p = { total_ns = 0; count = 0; started_at = None } in
+      Hashtbl.replace t.phases name p;
+      p
+
+let phase_begin t name ~now =
+  let p = phase t name in
+  assert (p.started_at = None);
+  p.started_at <- Some now
+
+let phase_end t name ~now =
+  let p = phase t name in
+  match p.started_at with
+  | None -> invalid_arg ("Metrics.phase_end without begin: " ^ name)
+  | Some t0 ->
+      p.started_at <- None;
+      if t.recording then begin
+        p.total_ns <- p.total_ns + (now - t0);
+        p.count <- p.count + 1
+      end
+
+let phase_total t name = (phase t name).total_ns
+let phase_count t name = (phase t name).count
+
+let phase_avg t name =
+  let p = phase t name in
+  if p.count = 0 then 0 else p.total_ns / p.count
+
+(* -- counters -------------------------------------------------------- *)
+
+let add t key n =
+  if t.recording then
+    Hashtbl.replace t.counters key
+      (n + Option.value ~default:0 (Hashtbl.find_opt t.counters key))
+
+let counter t key = Option.value ~default:0 (Hashtbl.find_opt t.counters key)
+
+(* -- summaries ------------------------------------------------------- *)
+
+let cumulative_pause t =
+  Util.Vec.fold (fun acc p -> acc + p.dur) 0 t.pauses
+
+let cumulative_pause_of t kind =
+  Util.Vec.fold (fun acc p -> if p.kind = kind then acc + p.dur else acc) 0
+    t.pauses
+
+let pause_count t = Util.Vec.length t.pauses
+let p99_pause t = Util.Histogram.percentile t.pause_hist 99.
+let max_pause t = Util.Histogram.max_value t.pause_hist
+let avg_pause t = int_of_float (Util.Histogram.mean t.pause_hist)
+let p99_latency t = Util.Histogram.percentile t.latency 99.
+let p50_latency t = Util.Histogram.percentile t.latency 50.
+let p999_latency t = Util.Histogram.percentile t.latency 99.9
+let max_latency t = Util.Histogram.max_value t.latency
+
+(** Completed requests per second over the recording window. *)
+let throughput t =
+  let window = t.window_end - t.window_start in
+  if window <= 0 then 0.
+  else float_of_int t.requests_completed /. Util.Units.to_sec window
+
+let window_ns t = t.window_end - t.window_start

@@ -1,0 +1,233 @@
+(** Mutator (application thread) operations.
+
+    Workloads drive the heap exclusively through this module: every
+    allocation, reference load and reference store goes through the fast
+    paths here, which charge the cost model, apply the active collector's
+    barriers and poll the safepoint.  The loaded-value barrier is built in:
+    a load whose target has been relocated is healed to the newest copy,
+    exactly as in ZGC/Jade (§3.1).
+
+    Costs of consecutive fast-path operations are accumulated locally and
+    flushed to the engine at safepoint polls and blocking points, keeping
+    host overhead low without changing any measured interval by more than
+    a few virtual microseconds. *)
+
+type t = {
+  mid : int;
+  rt : Rt.t;
+  prng : Util.Prng.t;
+  roots : Heap.Gobj.t option Util.Vec.t;  (** simulated stack slots *)
+  mutable tlab : Heap.Region.t option;
+  mutable ops : int;  (** ops since the last safepoint poll *)
+  mutable pending_ns : int;  (** accumulated unflushed CPU cost *)
+}
+
+let poll_interval = 24
+
+(* Mutator work is chunked so safepoint polls stay frequent even inside
+   long [work] calls; 4 us keeps time-to-safepoint well under a quantum. *)
+let work_chunk_ns = 4_000
+
+let next_mid = ref 0
+
+let create rt =
+  let mid = !next_mid in
+  incr next_mid;
+  let m =
+    {
+      mid;
+      rt;
+      prng = Util.Prng.split rt.Rt.prng;
+      roots = Util.Vec.create None;
+      tlab = None;
+      ops = 0;
+      pending_ns = 0;
+    }
+  in
+  Safepoint.register rt.Rt.safepoint;
+  Rt.register_root_set rt m.roots;
+  Rt.add_retire_hook rt (fun () -> m.tlab <- None);
+  m
+
+let engine m = m.rt.Rt.engine
+
+let flush m =
+  if m.pending_ns > 0 then begin
+    let n = m.pending_ns in
+    m.pending_ns <- 0;
+    Sim.Engine.tick n
+  end
+
+let now m =
+  flush m;
+  Sim.Engine.now (engine m)
+
+let check_safepoint m =
+  flush m;
+  Safepoint.check m.rt.Rt.safepoint
+
+let maybe_check m =
+  m.ops <- m.ops + 1;
+  if m.ops >= poll_interval then begin
+    m.ops <- 0;
+    check_safepoint m
+  end
+
+(* Apply the collector's mutator tax (e.g. compressed-oops disabled). *)
+let taxed m ns = ns + (ns * m.rt.Rt.collector.mutator_tax_pct / 100)
+
+let tick m ns = m.pending_ns <- m.pending_ns + taxed m ns
+
+(** Burn [ns] of application CPU, polling safepoints along the way. *)
+let work m ns =
+  flush m;
+  let remaining = ref (taxed m ns) in
+  while !remaining > 0 do
+    let c = min !remaining work_chunk_ns in
+    Sim.Engine.tick c;
+    remaining := !remaining - c;
+    Safepoint.check m.rt.Rt.safepoint
+  done
+
+(** Park-aware blocking: the mutator counts as stopped for safepoints
+    while waiting, and waits out any STW before resuming. *)
+let safe_wait m cond =
+  flush m;
+  Safepoint.park m.rt.Rt.safepoint;
+  Sim.Engine.wait cond;
+  Safepoint.unpark m.rt.Rt.safepoint
+
+let safe_sleep_until m wake =
+  flush m;
+  Safepoint.park m.rt.Rt.safepoint;
+  Sim.Engine.sleep_until (engine m) wake;
+  Safepoint.unpark m.rt.Rt.safepoint
+
+let safe_sleep m ns = safe_sleep_until m (now m + max ns 0)
+
+(* ------------------------------------------------------------------ *)
+(* Allocation.                                                          *)
+
+let rec alloc_slow m ~size ~nrefs ~humongous =
+  let rt = m.rt in
+  let claimed =
+    if humongous then Rt.claim_humongous_region rt
+    else begin
+      (match m.tlab with
+      | Some r when not (Heap.Region.fits r size) -> m.tlab <- None
+      | _ -> ());
+      match m.tlab with
+      | Some r -> Some r
+      | None ->
+          let r = Rt.claim_tlab_region rt in
+          (match r with
+          | Some _ -> tick m rt.Rt.costs.alloc_tlab_refill
+          | None -> ());
+          m.tlab <- r;
+          r
+    end
+  in
+  match claimed with
+  | Some r -> Heap.Heap_impl.alloc_in rt.Rt.heap r ~size ~nrefs ()
+  | None ->
+      if rt.Rt.oom then
+        raise (Rt.Out_of_memory "allocation failed after full collection");
+      (* Allocation stall: same effect as a pause for this mutator (§2.2).
+         The collector decides how to make progress (trigger a cycle,
+         degenerate, enter chasing mode...) and returns when retrying makes
+         sense. *)
+      flush m;
+      let t0 = Sim.Engine.now rt.Rt.engine in
+      rt.Rt.stalled_mutators <- rt.Rt.stalled_mutators + 1;
+      rt.Rt.collector.alloc_failure ();
+      rt.Rt.stalled_mutators <- rt.Rt.stalled_mutators - 1;
+      let dur = Sim.Engine.now rt.Rt.engine - t0 in
+      if dur > 0 then
+        Metrics.record_pause rt.Rt.metrics ~at:t0 ~dur Metrics.Alloc_stall;
+      check_safepoint m;
+      alloc_slow m ~size ~nrefs ~humongous
+
+(** Allocate an object with [nrefs] reference slots and [data_bytes] of
+    payload.  Objects larger than half a region take the humongous path. *)
+let alloc m ~data_bytes ~nrefs =
+  maybe_check m;
+  let rt = m.rt in
+  let size = Heap.Heap_impl.object_size ~nrefs ~data_bytes in
+  let region_size = rt.Rt.heap.Heap.Heap_impl.cfg.region_bytes in
+  if size > region_size then
+    invalid_arg "Mutator.alloc: object larger than a region";
+  let humongous = size > region_size / 2 in
+  tick m rt.Rt.costs.alloc_fast;
+  let o =
+    match m.tlab with
+    | Some r when (not humongous) && Heap.Region.fits r size ->
+        Heap.Heap_impl.alloc_in rt.Rt.heap r ~size ~nrefs ()
+    | _ -> alloc_slow m ~size ~nrefs ~humongous
+  in
+  if humongous then Heap.Gobj.set_flag o Heap.Gobj.flag_humongous;
+  o
+
+(* ------------------------------------------------------------------ *)
+(* Reference loads and stores.                                          *)
+
+(* Loaded-value barrier: resolve a (possibly stale) reference, healing the
+   holding slot when the collector runs concurrent evacuation. *)
+let heal_load m (holder : Heap.Gobj.t) i (v : Heap.Gobj.t) =
+  if Heap.Gobj.is_forwarded v then begin
+    tick m m.rt.Rt.costs.heal;
+    let v' = Heap.Gobj.resolve v in
+    Heap.Gobj.set_field holder i (Some v');
+    v'
+  end
+  else v
+
+(** Load field [i] of [o]; the reference to [o] itself is resolved first
+    (the caller may hold a stale pointer). *)
+let read m (o : Heap.Gobj.t) i =
+  maybe_check m;
+  let rt = m.rt in
+  tick m (rt.Rt.costs.load_barrier + rt.Rt.collector.load_extra_cost);
+  let o = Heap.Gobj.resolve o in
+  match Heap.Gobj.get_field o i with
+  | None -> None
+  | Some v -> Some (heal_load m o i v)
+
+(** Store [v] into field [i] of [o], running the collector's write
+    barrier (SATB / card dirtying / remembered sets / RC logging). *)
+let write m (o : Heap.Gobj.t) i v =
+  maybe_check m;
+  let rt = m.rt in
+  let o = Heap.Gobj.resolve o in
+  let v = Option.map Heap.Gobj.resolve v in
+  let old_v = Heap.Gobj.get_field o i in
+  rt.Rt.collector.store_barrier ~src:o ~field:i ~old_v ~new_v:v;
+  Heap.Gobj.set_field o i v
+
+(* ------------------------------------------------------------------ *)
+(* Stack-root management for workloads.                                 *)
+
+let push_root m o =
+  Util.Vec.push m.roots (Some o);
+  Util.Vec.length m.roots - 1
+
+let set_root m i o = Util.Vec.set m.roots i o
+
+let get_root m i =
+  match Util.Vec.get m.roots i with
+  | None -> None
+  | Some o ->
+      let o' = Heap.Gobj.resolve o in
+      if o' != o then Util.Vec.set m.roots i (Some o');
+      Some o'
+
+(** Drop stack roots above index [n] (end-of-request cleanup). *)
+let truncate_roots m n =
+  while Util.Vec.length m.roots > n do
+    ignore (Util.Vec.pop m.roots)
+  done
+
+let clear_roots m = Util.Vec.clear m.roots
+
+let finish m =
+  flush m;
+  Safepoint.deregister m.rt.Rt.safepoint

@@ -1,0 +1,81 @@
+(** Mutator (application thread) operations — the only API workloads use
+    to touch the heap.
+
+    Every allocation, reference load and reference store pays the cost
+    model, runs the installed collector's barriers and polls the
+    safepoint.  The loaded-value barrier is built in: a load whose target
+    has been relocated is healed to the newest copy in place (§3.1).
+
+    {b Handle discipline.}  Any operation here may reach a safepoint and
+    let a copying collection run.  An object handle held only in an OCaml
+    local across such a point is invisible to the collector (the classic
+    unrooted-handle bug, reproduced and regression-tested in this
+    repository): keep live handles in stack-root slots
+    ({!push_root}/{!set_root}) across every polling operation. *)
+
+type t = {
+  mid : int;  (** mutator id (workloads key per-thread state on it) *)
+  rt : Rt.t;
+  prng : Util.Prng.t;  (** this thread's deterministic random stream *)
+  roots : Heap.Gobj.t option Util.Vec.t;  (** simulated stack slots *)
+  mutable tlab : Heap.Region.t option;
+  mutable ops : int;
+  mutable pending_ns : int;
+}
+
+val create : Rt.t -> t
+(** Register a mutator: safepoint membership, a root set, a TLAB retire
+    hook.  Call from inside the mutator's own fiber. *)
+
+val finish : t -> unit
+(** Deregister (flushes pending costs).  Must be called before the fiber
+    returns or safepoints would wait for it forever. *)
+
+val now : t -> int
+(** Virtual time (flushes the batched cost accumulator first). *)
+
+val work : t -> int -> unit
+(** Burn application CPU, polling safepoints every few microseconds. *)
+
+val alloc : t -> data_bytes:int -> nrefs:int -> Heap.Gobj.t
+(** Allocate an object with [nrefs] reference slots and [data_bytes] of
+    payload.  Objects over half a region take the humongous path (their
+    own old-generation region).  Blocks in an allocation stall when the
+    heap is exhausted (the collector's policy decides how to make
+    progress); raises {!Rt.Out_of_memory} when even a full collection
+    cannot free memory. *)
+
+val read : t -> Heap.Gobj.t -> int -> Heap.Gobj.t option
+(** Load field [i]: resolves a stale holder, heals a stale slot in place
+    (loaded-value barrier), and returns the newest copy. *)
+
+val write : t -> Heap.Gobj.t -> int -> Heap.Gobj.t option -> unit
+(** Store into field [i], running the collector's write barrier (SATB /
+    card dirtying / remembered sets / RC logging). *)
+
+(** {2 Stack roots} *)
+
+val push_root : t -> Heap.Gobj.t -> int
+(** Append a root slot; returns its stable index. *)
+
+val set_root : t -> int -> Heap.Gobj.t option -> unit
+val get_root : t -> int -> Heap.Gobj.t option
+
+val truncate_roots : t -> int -> unit
+(** Drop root slots at index [n] and above (end-of-request cleanup). *)
+
+val clear_roots : t -> unit
+
+(** {2 Blocking helpers (safepoint-safe)} *)
+
+val safe_wait : t -> Sim.Engine.cond -> unit
+(** Wait on a condition while counting as stopped for safepoints. *)
+
+val safe_sleep : t -> int -> unit
+val safe_sleep_until : t -> int -> unit
+
+(** {2 Low-level} *)
+
+val check_safepoint : t -> unit
+val tick : t -> int -> unit
+(** Charge mutator CPU (collector tax applied; batched). *)

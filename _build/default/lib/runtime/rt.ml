@@ -1,0 +1,139 @@
+(** The managed-runtime bundle tying engine, heap, metrics and the active
+    collector together, plus the shared allocation path.
+
+    The collector is plugged in as a record of closures ({!collector}) so
+    that the mutator fast paths (allocation, reference load/store) stay
+    generic while barrier behaviour and the allocation-failure policy stay
+    collector-specific. *)
+
+type collector = {
+  cname : string;
+  store_barrier :
+    src:Heap.Gobj.t ->
+    field:int ->
+    old_v:Heap.Gobj.t option ->
+    new_v:Heap.Gobj.t option ->
+    unit;
+      (** write barrier, runs in the storing mutator's fiber (may tick) *)
+  load_extra_cost : int;  (** per-reference-load surcharge beyond LVB base *)
+  mutator_tax_pct : int;
+      (** % slowdown of all mutator work (compressed-oops-disabled tax) *)
+  alloc_failure : unit -> unit;
+      (** called from the allocating mutator's fiber when no free region is
+          available; must return when a retry is sensible, and may park the
+          caller, trigger a GC cycle, or set {!field-oom} *)
+}
+
+exception Out_of_memory of string
+
+type t = {
+  engine : Sim.Engine.t;
+  heap : Heap.Heap_impl.t;
+  costs : Heap.Costs.t;
+  metrics : Metrics.t;
+  safepoint : Safepoint.t;
+  mem_freed : Sim.Engine.cond;  (** broadcast whenever regions are released *)
+  globals : Heap.Gobj.t option Util.Vec.t;  (** global root slots *)
+  mutable root_sets : Heap.Gobj.t option Util.Vec.t list;
+      (** all root vectors: globals plus each mutator's stack *)
+  mutable collector : collector;
+  mutable retire_tlab_hooks : (unit -> unit) list;
+      (** one per mutator; collectors call {!retire_all_tlabs} at cycle
+          starts so partially-filled allocation regions become collectible *)
+  mutable stalled_mutators : int;
+  mutable oom : bool;
+  mutable stop_flag : bool;  (** harness tells mutator loops to wind down *)
+  prng : Util.Prng.t;
+}
+
+(* A collector that cannot reclaim anything: allocation failure is OOM.
+   Used by unit tests that never exhaust the heap. *)
+let null_collector : collector =
+  {
+    cname = "none";
+    store_barrier = (fun ~src:_ ~field:_ ~old_v:_ ~new_v:_ -> ());
+    load_extra_cost = 0;
+    mutator_tax_pct = 0;
+    alloc_failure = (fun () -> raise (Out_of_memory "no collector installed"));
+  }
+
+let create ?(seed = 42) ~engine ~heap () =
+  let costs = heap.Heap.Heap_impl.costs in
+  let metrics = Metrics.create () in
+  let globals = Util.Vec.create None in
+  {
+    engine;
+    heap;
+    costs;
+    metrics;
+    safepoint = Safepoint.create engine metrics costs;
+    mem_freed = Sim.Engine.cond "rt.mem_freed";
+    globals;
+    root_sets = [ globals ];
+    collector = null_collector;
+    retire_tlab_hooks = [];
+    stalled_mutators = 0;
+    oom = false;
+    stop_flag = false;
+    prng = Util.Prng.create seed;
+  }
+
+let install_collector t c = t.collector <- c
+
+let register_root_set t v = t.root_sets <- v :: t.root_sets
+
+(** Total root slots across all root sets (for root-scan cost). *)
+let root_count t =
+  List.fold_left (fun acc v -> acc + Util.Vec.length v) 0 t.root_sets
+
+let iter_roots t f = List.iter (fun v -> Util.Vec.iter f v) t.root_sets
+
+(** Replace every root slot with the newest copy of its target (STW root
+    fixup done at collection-cycle boundaries). *)
+let update_roots t =
+  List.iter
+    (fun v ->
+      Util.Vec.iteri
+        (fun i slot ->
+          match slot with
+          | Some o when Heap.Gobj.is_forwarded o ->
+              Util.Vec.set v i (Some (Heap.Gobj.resolve o))
+          | _ -> ())
+        v)
+    t.root_sets
+
+let notify_memory_freed t = Sim.Engine.broadcast t.engine t.mem_freed
+
+(* ------------------------------------------------------------------ *)
+(* Slow-path allocation.                                                *)
+
+(** Each mutator uses a whole region as its TLAB (regions are small
+    relative to the heap; this keeps every region single-writer so object
+    offsets stay sorted).  Returns [None] when the heap is out of free
+    regions — the caller must then invoke the collector's
+    allocation-failure policy and retry. *)
+let claim_tlab_region t = Heap.Heap_impl.claim_region t.heap Heap.Region.Young
+
+let add_retire_hook t f = t.retire_tlab_hooks <- f :: t.retire_tlab_hooks
+
+(** Detach every mutator from its current allocation region (called under
+    STW at collection-cycle starts). *)
+let retire_all_tlabs t = List.iter (fun f -> f ()) t.retire_tlab_hooks
+
+(** Claim a whole region for a humongous allocation.  Humongous objects
+    are allocated directly in the old generation (as in HotSpot): they
+    are never young-evacuated, and their regions feed the old-occupancy
+    triggers so dead ones are found by marking and eagerly reclaimed. *)
+let claim_humongous_region t =
+  match Heap.Heap_impl.claim_region t.heap Heap.Region.Old with
+  | None -> None
+  | Some r ->
+      r.humongous <- true;
+      Some r
+
+let add_global t o =
+  Util.Vec.push t.globals (Some o);
+  Util.Vec.length t.globals - 1
+
+let set_global t i o = Util.Vec.set t.globals i o
+let get_global t i = Util.Vec.get t.globals i

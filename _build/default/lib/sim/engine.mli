@@ -1,0 +1,100 @@
+(** Deterministic discrete-event simulation engine.
+
+    Threads are OCaml-5 effect-handler coroutines multiplexed over a
+    fixed number of virtual cores by quantum-based round-robin
+    scheduling: each scheduling round advances the virtual clock by one
+    quantum and gives at most [cores] runnable threads a quantum of CPU
+    each, so [r > cores] CPU-bound threads each progress at [cores/r]
+    speed — the machine model every collector and mutator in this
+    repository runs on.
+
+    Determinism: scheduling order is a pure function of the spawn order
+    and the threads' behaviour; two runs of the same configuration
+    produce identical traces. *)
+
+(** Thread classes, for CPU accounting ({!busy_ns}). *)
+type kind = Mutator | Gc | Aux
+
+type thread
+(** A spawned coroutine.  Values remain valid after the thread finishes. *)
+
+type cond
+(** A condition variable: threads {!wait} on it and are released by
+    {!signal} (one waiter) or {!broadcast} (all waiters). *)
+
+type t
+(** An engine instance: virtual clock, run queue, sleepers, accounting. *)
+
+exception Deadlock of string
+(** Raised by {!run} when no thread can make progress: nothing runnable,
+    nothing sleeping, and at least one non-daemon thread blocked. *)
+
+val create : ?cores:int -> ?quantum:int -> unit -> t
+(** [create ~cores ~quantum ()] builds an engine with [cores] virtual
+    cores (default 8) and a scheduling quantum in virtual ns (default
+    20 µs — measurement error of any interval is below one quantum). *)
+
+val now : t -> int
+(** Virtual time in ns as seen by the currently running thread (includes
+    its progress within the current quantum). *)
+
+val cores : t -> int
+
+val busy_ns : t -> kind -> int
+(** Cumulative CPU consumed by threads of [kind], in virtual ns. *)
+
+val total_busy_ns : t -> int
+
+val cond : string -> cond
+(** [cond name] creates a condition variable; the name appears in
+    diagnostics and {!Deadlock} reports. *)
+
+val spawn :
+  t -> ?daemon:bool -> name:string -> kind:kind -> (unit -> unit) -> thread
+(** Create a coroutine.  Daemon threads (collector controllers) do not
+    keep the simulation alive: {!run} returns when every non-daemon
+    thread has finished. *)
+
+(** {2 Operations performed from inside a thread}
+
+    These suspend the calling coroutine and must only be called from
+    within a spawned body. *)
+
+val tick : int -> unit
+(** Charge the calling thread [n] ns of virtual CPU time. *)
+
+val yield : unit -> unit
+(** Give up the rest of the current quantum, staying runnable. *)
+
+val wait : cond -> unit
+(** Block until the condition is signalled. *)
+
+val sleep : t -> int -> unit
+(** Sleep for [n] virtual ns without consuming CPU. *)
+
+val sleep_until : t -> int -> unit
+(** Sleep until an absolute virtual time. *)
+
+val join : t -> thread -> unit
+(** Block until [thread] finishes (returns immediately if it has). *)
+
+(** {2 Operations from anywhere} *)
+
+val signal : t -> cond -> unit
+(** Wake one waiter (FIFO). *)
+
+val broadcast : t -> cond -> unit
+(** Wake all waiters. *)
+
+val request_stop : t -> unit
+(** Make {!run} return at the next scheduling round. *)
+
+val on_finish : thread -> (unit -> unit) -> unit
+(** Register a callback to run when the thread finishes. *)
+
+val run : ?until:int -> t -> unit
+(** Run the simulation until all non-daemon threads finish, the virtual
+    clock reaches [until], or {!request_stop} is called.  Re-raises the
+    first exception escaping any thread; raises {!Deadlock} when no
+    progress is possible.  May be called again to continue (e.g. after a
+    setup phase). *)

@@ -1,0 +1,84 @@
+(** Dense bitset backed by [Bytes].
+
+    Backs the live bitmaps (one bit per 8 heap bytes, §3.1 of the paper),
+    remembered sets and the old-to-young remembered set (one bit per 512-byte
+    card), mirroring the memory-overhead arithmetic the paper reports
+    (1.56 % for live bitmaps, 1/4096 of heap per group remembered set). *)
+
+type t = { bits : Bytes.t; nbits : int; mutable cardinal : int }
+
+let create nbits =
+  if nbits < 0 then invalid_arg "Bitset.create";
+  { bits = Bytes.make ((nbits + 7) / 8) '\000'; nbits; cardinal = 0 }
+
+let length t = t.nbits
+let cardinal t = t.cardinal
+
+(** Memory footprint in bytes, for overhead accounting. *)
+let byte_size t = Bytes.length t.bits
+
+let check t i =
+  if i < 0 || i >= t.nbits then invalid_arg "Bitset: index out of bounds"
+
+let get t i =
+  check t i;
+  Char.code (Bytes.unsafe_get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+(** [set t i] returns [true] when the bit was newly set (was clear). *)
+let set t i =
+  check t i;
+  let byte = i lsr 3 and mask = 1 lsl (i land 7) in
+  let old = Char.code (Bytes.unsafe_get t.bits byte) in
+  if old land mask = 0 then begin
+    Bytes.unsafe_set t.bits byte (Char.chr (old lor mask));
+    t.cardinal <- t.cardinal + 1;
+    true
+  end
+  else false
+
+let clear t i =
+  check t i;
+  let byte = i lsr 3 and mask = 1 lsl (i land 7) in
+  let old = Char.code (Bytes.unsafe_get t.bits byte) in
+  if old land mask <> 0 then begin
+    Bytes.unsafe_set t.bits byte (Char.chr (old land lnot mask));
+    t.cardinal <- t.cardinal - 1
+  end
+
+let clear_all t =
+  Bytes.fill t.bits 0 (Bytes.length t.bits) '\000';
+  t.cardinal <- 0
+
+(** Iterate set bits in increasing order, skipping zero bytes cheaply. *)
+let iter_set f t =
+  let nbytes = Bytes.length t.bits in
+  for byte = 0 to nbytes - 1 do
+    let v = Char.code (Bytes.unsafe_get t.bits byte) in
+    if v <> 0 then
+      for bit = 0 to 7 do
+        if v land (1 lsl bit) <> 0 then begin
+          let i = (byte lsl 3) lor bit in
+          if i < t.nbits then f i
+        end
+      done
+  done
+
+(** Iterate set bits within [lo, hi) only. *)
+let iter_set_range f t ~lo ~hi =
+  let lo = max 0 lo and hi = min t.nbits hi in
+  let b0 = lo lsr 3 and b1 = (hi + 7) lsr 3 in
+  for byte = b0 to b1 - 1 do
+    let v = Char.code (Bytes.unsafe_get t.bits byte) in
+    if v <> 0 then
+      for bit = 0 to 7 do
+        if v land (1 lsl bit) <> 0 then begin
+          let i = (byte lsl 3) lor bit in
+          if i >= lo && i < hi then f i
+        end
+      done
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter_set (fun i -> acc := i :: !acc) t;
+  List.rev !acc

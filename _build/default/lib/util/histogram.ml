@@ -1,0 +1,117 @@
+(** Log-bucketed latency histogram (HDR-histogram style).
+
+    Values are non-negative integers (virtual nanoseconds in practice).
+    Small values (below [2^sub_bits]) are recorded exactly; larger values
+    fall into log buckets with [sub_bits] bits of mantissa, giving a
+    worst-case relative quantization error of [2^-sub_bits] (~0.8 % with
+    the default 7 bits) — ample for p99/p999 reporting. *)
+
+type t = {
+  sub_bits : int;
+  counts : int array;
+  mutable total : int;
+  mutable sum : float;
+  mutable max_value : int;
+  mutable min_value : int;
+}
+
+let create ?(sub_bits = 7) () =
+  if sub_bits < 1 || sub_bits > 16 then invalid_arg "Histogram.create";
+  let nbuckets = (63 - sub_bits) * (1 lsl sub_bits) in
+  {
+    sub_bits;
+    counts = Array.make nbuckets 0;
+    total = 0;
+    sum = 0.;
+    max_value = 0;
+    min_value = max_int;
+  }
+
+let clear t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.total <- 0;
+  t.sum <- 0.;
+  t.max_value <- 0;
+  t.min_value <- max_int
+
+let msb_position v =
+  let pos = ref 0 and x = ref v in
+  while !x > 1 do
+    incr pos;
+    x := !x lsr 1
+  done;
+  !pos
+
+(* Bucket layout: bucket = v for v < 2^sub_bits; otherwise buckets are
+   indexed by (exponent, mantissa) where exponent = msb - sub_bits + 1 >= 1
+   and mantissa is the sub_bits bits below the most significant bit. *)
+let bucket_of t v =
+  let v = max v 0 in
+  let sub = t.sub_bits in
+  if v < 1 lsl sub then v
+  else begin
+    let exponent = msb_position v - sub + 1 in
+    let mantissa = (v lsr exponent) land ((1 lsl sub) - 1) in
+    (exponent * (1 lsl sub)) + mantissa
+  end
+
+(* Midpoint of the value range a bucket covers; exact for small values.
+   For bucket (e, m) the covered range is [m << e, (m+1) << e). *)
+let midpoint_of t bucket =
+  let sub = t.sub_bits in
+  if bucket < 1 lsl sub then bucket
+  else begin
+    let exponent = bucket / (1 lsl sub) in
+    let mantissa = bucket mod (1 lsl sub) in
+    (mantissa lsl exponent) + (1 lsl (exponent - 1))
+  end
+
+let record ?(count = 1) t v =
+  if count > 0 then begin
+    let b = min (bucket_of t v) (Array.length t.counts - 1) in
+    t.counts.(b) <- t.counts.(b) + count;
+    t.total <- t.total + count;
+    t.sum <- t.sum +. (float_of_int v *. float_of_int count);
+    if v > t.max_value then t.max_value <- v;
+    if v < t.min_value then t.min_value <- v
+  end
+
+let total t = t.total
+let max_value t = t.max_value
+let min_value t = if t.total = 0 then 0 else t.min_value
+let mean t = if t.total = 0 then 0. else t.sum /. float_of_int t.total
+let sum t = t.sum
+
+(** [percentile t p] with [p] in [0, 100]; 0 when empty. *)
+let percentile t p =
+  if t.total = 0 then 0
+  else begin
+    let rank =
+      max 1 (int_of_float (ceil (p /. 100. *. float_of_int t.total)))
+    in
+    let acc = ref 0 and result = ref t.max_value in
+    (try
+       Array.iteri
+         (fun b c ->
+           if c > 0 then begin
+             acc := !acc + c;
+             if !acc >= rank then begin
+               result := min (midpoint_of t b) t.max_value;
+               raise Exit
+             end
+           end)
+         t.counts
+     with Exit -> ());
+    !result
+  end
+
+let merge ~into src =
+  if into.sub_bits <> src.sub_bits then invalid_arg "Histogram.merge";
+  Array.iteri
+    (fun i c -> if c > 0 then into.counts.(i) <- into.counts.(i) + c)
+    src.counts;
+  into.total <- into.total + src.total;
+  into.sum <- into.sum +. src.sum;
+  if src.max_value > into.max_value then into.max_value <- src.max_value;
+  if src.total > 0 && src.min_value < into.min_value then
+    into.min_value <- src.min_value

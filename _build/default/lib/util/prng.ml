@@ -1,0 +1,69 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic decision in the simulator draws from an explicit [t]
+    so that a run is a pure function of its seed: two simulations with the
+    same configuration and seed produce byte-identical results.  splitmix64
+    is small, fast, passes BigCrush, and supports cheap stream splitting. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* Core splitmix64 step (Steele, Lea & Flood 2014). *)
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(** [split t] derives an independent generator; used to give each thread or
+    mutator its own stream without sharing mutable state. *)
+let split t = { state = next_int64 t }
+
+(** Non-negative int uniform in [0, 2^62). *)
+let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+(** [int t n] is uniform in [0, n). Requires [n > 0]. *)
+let int t n =
+  if n <= 0 then invalid_arg "Prng.int: bound must be positive";
+  bits t mod n
+
+(** [int_in t lo hi] is uniform in [lo, hi] inclusive. *)
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Prng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+(** Uniform float in [0, 1). *)
+let float t = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11)
+              *. 0x1.0p-53
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(** [chance t p] is true with probability [p]. *)
+let chance t p = float t < p
+
+(** Exponentially distributed value with the given [mean]; used for Poisson
+    arrival processes in the open-loop request driver. *)
+let exponential t ~mean =
+  let u = float t in
+  (* Guard against log 0. *)
+  let u = if u <= 0. then epsilon_float else u in
+  -.mean *. log u
+
+(** [choose t arr] picks a uniformly random element of a non-empty array. *)
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.choose: empty array";
+  arr.(int t (Array.length arr))
+
+(** Fisher-Yates shuffle in place. *)
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

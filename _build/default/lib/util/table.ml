@@ -1,0 +1,60 @@
+(** Plain-text table rendering for benchmark output.
+
+    Columns are sized to their widest cell; the first column is
+    left-aligned, the rest right-aligned (numbers read better that way). *)
+
+type t = { title : string; headers : string list; rows : string list list }
+
+let create ~title ~headers = { title; headers; rows = [] }
+
+let add_row t row = { t with rows = t.rows @ [ row ] }
+
+let widths t =
+  let all = t.headers :: t.rows in
+  let ncols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let w = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i c -> w.(i) <- max w.(i) (String.length c)) row)
+    all;
+  w
+
+let pad align width s =
+  let n = width - String.length s in
+  if n <= 0 then s
+  else
+    match align with
+    | `Left -> s ^ String.make n ' '
+    | `Right -> String.make n ' ' ^ s
+
+let render_row w row =
+  let cells =
+    List.mapi
+      (fun i c -> pad (if i = 0 then `Left else `Right) w.(i) c)
+      row
+  in
+  "| " ^ String.concat " | " cells ^ " |"
+
+let render t =
+  let w = widths t in
+  let sep =
+    "+"
+    ^ String.concat "+"
+        (Array.to_list (Array.map (fun n -> String.make (n + 2) '-') w))
+    ^ "+"
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  Buffer.add_string buf (sep ^ "\n");
+  Buffer.add_string buf (render_row w t.headers ^ "\n");
+  Buffer.add_string buf (sep ^ "\n");
+  List.iter (fun r -> Buffer.add_string buf (render_row w r ^ "\n")) t.rows;
+  Buffer.add_string buf (sep ^ "\n");
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+(** Shorthands for formatting numeric cells. *)
+let f1 x = Printf.sprintf "%.1f" x
+let f2 x = Printf.sprintf "%.2f" x
+let i x = string_of_int x

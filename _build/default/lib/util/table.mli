@@ -1,0 +1,17 @@
+(** Plain-text table rendering for benchmark output.
+
+    Columns size to their widest cell; the first column is left-aligned,
+    the rest right-aligned. *)
+
+type t
+
+val create : title:string -> headers:string list -> t
+val add_row : t -> string list -> t
+val render : t -> string
+val print : t -> unit
+
+(** Formatting shorthands for numeric cells. *)
+
+val f1 : float -> string
+val f2 : float -> string
+val i : int -> string

@@ -1,0 +1,33 @@
+(** Time and size units.
+
+    All simulator time is expressed as [int] virtual nanoseconds (63-bit
+    ints cover ~292 years, far beyond any run), and sizes as bytes. *)
+
+let ns = 1
+let us = 1_000
+let ms = 1_000_000
+let sec = 1_000_000_000
+
+let kib = 1024
+let mib = 1024 * 1024
+let gib = 1024 * 1024 * 1024
+
+(** Pretty-print a duration with an adaptive unit, e.g. ["1.23ms"]. *)
+let pp_time_ns n =
+  let f = float_of_int n in
+  if n < us then Printf.sprintf "%dns" n
+  else if n < ms then Printf.sprintf "%.2fus" (f /. float_of_int us)
+  else if n < sec then Printf.sprintf "%.2fms" (f /. float_of_int ms)
+  else Printf.sprintf "%.2fs" (f /. float_of_int sec)
+
+(** Duration in (fractional) milliseconds / seconds, for table output. *)
+let to_ms n = float_of_int n /. float_of_int ms
+let to_sec n = float_of_int n /. float_of_int sec
+
+(** Pretty-print a byte count, e.g. ["512.0KiB"]. *)
+let pp_bytes n =
+  let f = float_of_int n in
+  if n < kib then Printf.sprintf "%dB" n
+  else if n < mib then Printf.sprintf "%.1fKiB" (f /. float_of_int kib)
+  else if n < gib then Printf.sprintf "%.1fMiB" (f /. float_of_int mib)
+  else Printf.sprintf "%.2fGiB" (f /. float_of_int gib)

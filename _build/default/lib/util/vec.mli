@@ -1,0 +1,41 @@
+(** Growable array (OCaml 5.1 predates [Dynarray] in the stdlib).
+
+    Used pervasively: region object lists, GC mark stacks, SATB buffers,
+    root sets.  Amortized O(1) push; indices are stable until {!pop},
+    {!swap_remove} or {!clear}. *)
+
+type 'a t
+
+val create : ?capacity:int -> 'a -> 'a t
+(** [create dummy] — the dummy value fills unused slots so the vector
+    never retains dead values. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val clear : 'a t -> unit
+
+val push : 'a t -> 'a -> unit
+val pop : 'a t -> 'a option
+val pop_exn : 'a t -> 'a
+
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+
+val swap_remove : 'a t -> int -> 'a
+(** O(1) unordered removal: swaps the last element into slot [i]. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+val exists : ('a -> bool) -> 'a t -> bool
+val to_list : 'a t -> 'a list
+val to_array : 'a t -> 'a array
+val of_list : 'a -> 'a list -> 'a t
+
+val sort : ('a -> 'a -> int) -> 'a t -> unit
+(** In-place stable sort of the live prefix. *)
+
+val find_first_geq : 'a t -> key:int -> of_elt:('a -> int) -> int
+(** Binary search over a vector sorted by [of_elt]: first index whose
+    key is >= [key], or [length t] when all keys are smaller.  Locates
+    the first object overlapping a card during remembered-set scans. *)

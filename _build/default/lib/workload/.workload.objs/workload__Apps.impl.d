@@ -1,0 +1,1 @@
+lib/workload/apps.ml: List Spec Util

@@ -1,0 +1,225 @@
+(** The paper's applications, §5.1, as generator profiles.
+
+    Absolute simulator magnitudes are scaled from the paper's testbed
+    (DESIGN.md §5): live sets are ~1/64 of the Java originals and request
+    service times are set so that 8 virtual cores reach peak throughputs
+    whose *ratios* across collectors are the reproduction target.
+    [live_bytes] doubles as the minimum-heap anchor used to derive the
+    1.5x/2x/4x heap configurations. *)
+
+type t = {
+  name : string;
+  spec : Spec.t;
+  fixed_requests : int;  (** request count for fixed-work (DaCapo) runs *)
+}
+
+let mib = Util.Units.mib
+
+let make ?(fixed_requests = 50_000) name spec = { name; spec; fixed_requests }
+
+(** H2 running TPC-C (the DaCapo-derived workload of §2.2 and Table 1/2/6):
+    a relational database with a ~2 GB live set under 8 GB heaps, scaled. *)
+let h2_tpcc : t =
+  make "h2-tpcc"
+    {
+      Spec.name = "h2-tpcc";
+      mutators = 8;
+      live_bytes = 32 * mib;
+      node_data = 160;
+      chain_len = 6;
+      temp_objs = 120;
+      temp_data_min = 48;
+      temp_data_max = 320;
+      survivors = 6;
+      pool_slots = 192;
+      store_reads = 24;
+      update_pct = 0.5;
+      cpu_ns = 140_000;
+      weak_pct = 0.02;
+    }
+
+(** H2 with the DaCapo "large" size (4099 MB min heap vs 1941 MB), §5.5. *)
+let h2_large : t =
+  make "h2-large"
+    { h2_tpcc.spec with Spec.name = "h2-large"; live_bytes = 64 * mib }
+
+(** Specjbb2015: the de-facto GC benchmark; an online supermarket with a
+    large, slowly churning product/order live set. *)
+let specjbb : t =
+  make "specjbb2015"
+    {
+      Spec.name = "specjbb2015";
+      mutators = 8;
+      live_bytes = 48 * mib;
+      node_data = 128;
+      chain_len = 5;
+      temp_objs = 150;
+      temp_data_min = 32;
+      temp_data_max = 256;
+      survivors = 10;
+      pool_slots = 256;
+      store_reads = 30;
+      update_pct = 0.4;
+      cpu_ns = 110_000;
+      weak_pct = 0.05;
+    }
+
+(** HBase via YCSB, insert-only workload: large values, nearly every
+    request replaces store state; write-heavy promotion traffic. *)
+let hbase_insert : t =
+  make "hbase-insert"
+    {
+      Spec.name = "hbase-insert";
+      mutators = 8;
+      live_bytes = 40 * mib;
+      node_data = 480;
+      chain_len = 3;
+      temp_objs = 60;
+      temp_data_min = 64;
+      temp_data_max = 512;
+      survivors = 12;
+      pool_slots = 256;
+      store_reads = 4;
+      update_pct = 0.95;
+      cpu_ns = 200_000;
+      weak_pct = 0.;
+    }
+
+(** HBase mixed: 50 % read / 50 % insert. *)
+let hbase_mixed : t =
+  make "hbase-mixed"
+    {
+      hbase_insert.spec with
+      Spec.name = "hbase-mixed";
+      store_reads = 20;
+      update_pct = 0.5;
+      cpu_ns = 180_000;
+    }
+
+(** Shop: Alibaba's online-shop page service — large-fanout requests with
+    heavy read traffic and a strict (1 s scaled) availability SLO. *)
+let shop : t =
+  make "shop"
+    {
+      Spec.name = "shop";
+      mutators = 8;
+      live_bytes = 32 * mib;
+      node_data = 192;
+      chain_len = 8;
+      temp_objs = 400;
+      temp_data_min = 64;
+      temp_data_max = 384;
+      survivors = 24;
+      pool_slots = 384;
+      store_reads = 80;
+      update_pct = 0.25;
+      cpu_ns = 750_000;
+      weak_pct = 0.03;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* DaCapo: 22 workloads with small memory budgets (§5.5, Table 4).      *)
+
+let dacapo_profile ~name ~live_mib ~node_data ~chain_len ~temp_objs
+    ~temp_range:(temp_data_min, temp_data_max) ~survivors ~store_reads
+    ~update_pct ~cpu_us ~requests =
+  make ~fixed_requests:requests name
+    {
+      Spec.name;
+      mutators = 4;
+      live_bytes = live_mib * mib;
+      node_data;
+      chain_len;
+      temp_objs;
+      temp_data_min;
+      temp_data_max;
+      survivors;
+      pool_slots = 128;
+      store_reads;
+      update_pct;
+      cpu_ns = cpu_us * 1_000;
+      weak_pct = 0.01;
+    }
+
+(** The DaCapo suite: per-workload profiles chosen to match each
+    benchmark's published character (allocation intensity, live-set size,
+    survival rate).  xalan and lusearch are allocation-extreme; h2 and
+    h2o carry large live sets; jme/kafka are compute-bound with little
+    garbage. *)
+let dacapo : t list =
+  [
+    dacapo_profile ~name:"avrora" ~live_mib:2 ~node_data:96 ~chain_len:4
+      ~temp_objs:12 ~temp_range:(16, 96) ~survivors:1 ~store_reads:6
+      ~update_pct:0.1 ~cpu_us:40 ~requests:40_000;
+    dacapo_profile ~name:"batik" ~live_mib:4 ~node_data:192 ~chain_len:4
+      ~temp_objs:40 ~temp_range:(48, 256) ~survivors:2 ~store_reads:8
+      ~update_pct:0.2 ~cpu_us:45 ~requests:25_000;
+    dacapo_profile ~name:"biojava" ~live_mib:4 ~node_data:128 ~chain_len:5
+      ~temp_objs:90 ~temp_range:(24, 160) ~survivors:3 ~store_reads:10
+      ~update_pct:0.25 ~cpu_us:55 ~requests:25_000;
+    dacapo_profile ~name:"cassandra" ~live_mib:8 ~node_data:256 ~chain_len:4
+      ~temp_objs:70 ~temp_range:(64, 384) ~survivors:6 ~store_reads:14
+      ~update_pct:0.35 ~cpu_us:70 ~requests:20_000;
+    dacapo_profile ~name:"eclipse" ~live_mib:12 ~node_data:160 ~chain_len:6
+      ~temp_objs:60 ~temp_range:(32, 256) ~survivors:4 ~store_reads:12
+      ~update_pct:0.2 ~cpu_us:80 ~requests:20_000;
+    dacapo_profile ~name:"fop" ~live_mib:2 ~node_data:128 ~chain_len:3
+      ~temp_objs:80 ~temp_range:(32, 192) ~survivors:5 ~store_reads:6
+      ~update_pct:0.4 ~cpu_us:30 ~requests:20_000;
+    dacapo_profile ~name:"graphchi" ~live_mib:8 ~node_data:224 ~chain_len:4
+      ~temp_objs:100 ~temp_range:(64, 320) ~survivors:4 ~store_reads:16
+      ~update_pct:0.3 ~cpu_us:60 ~requests:20_000;
+    dacapo_profile ~name:"h2" ~live_mib:16 ~node_data:160 ~chain_len:6
+      ~temp_objs:110 ~temp_range:(48, 320) ~survivors:6 ~store_reads:20
+      ~update_pct:0.5 ~cpu_us:75 ~requests:20_000;
+    dacapo_profile ~name:"h2o" ~live_mib:14 ~node_data:256 ~chain_len:5
+      ~temp_objs:90 ~temp_range:(64, 384) ~survivors:5 ~store_reads:12
+      ~update_pct:0.35 ~cpu_us:70 ~requests:20_000;
+    dacapo_profile ~name:"jme" ~live_mib:3 ~node_data:96 ~chain_len:3
+      ~temp_objs:8 ~temp_range:(16, 64) ~survivors:0 ~store_reads:4
+      ~update_pct:0.02 ~cpu_us:90 ~requests:25_000;
+    dacapo_profile ~name:"jython" ~live_mib:4 ~node_data:112 ~chain_len:4
+      ~temp_objs:130 ~temp_range:(24, 144) ~survivors:4 ~store_reads:10
+      ~update_pct:0.3 ~cpu_us:50 ~requests:20_000;
+    dacapo_profile ~name:"kafka" ~live_mib:6 ~node_data:192 ~chain_len:4
+      ~temp_objs:20 ~temp_range:(64, 256) ~survivors:1 ~store_reads:6
+      ~update_pct:0.1 ~cpu_us:85 ~requests:25_000;
+    dacapo_profile ~name:"luindex" ~live_mib:3 ~node_data:128 ~chain_len:4
+      ~temp_objs:50 ~temp_range:(32, 192) ~survivors:2 ~store_reads:8
+      ~update_pct:0.25 ~cpu_us:45 ~requests:25_000;
+    dacapo_profile ~name:"lusearch" ~live_mib:2 ~node_data:96 ~chain_len:3
+      ~temp_objs:220 ~temp_range:(24, 128) ~survivors:2 ~store_reads:6
+      ~update_pct:0.2 ~cpu_us:35 ~requests:25_000;
+    dacapo_profile ~name:"pmd" ~live_mib:6 ~node_data:144 ~chain_len:5
+      ~temp_objs:100 ~temp_range:(32, 224) ~survivors:6 ~store_reads:10
+      ~update_pct:0.35 ~cpu_us:55 ~requests:20_000;
+    dacapo_profile ~name:"spring" ~live_mib:6 ~node_data:128 ~chain_len:5
+      ~temp_objs:140 ~temp_range:(32, 208) ~survivors:7 ~store_reads:12
+      ~update_pct:0.4 ~cpu_us:55 ~requests:20_000;
+    dacapo_profile ~name:"sunflow" ~live_mib:3 ~node_data:112 ~chain_len:3
+      ~temp_objs:180 ~temp_range:(24, 160) ~survivors:3 ~store_reads:6
+      ~update_pct:0.25 ~cpu_us:40 ~requests:25_000;
+    dacapo_profile ~name:"tomcat" ~live_mib:8 ~node_data:160 ~chain_len:4
+      ~temp_objs:70 ~temp_range:(48, 256) ~survivors:4 ~store_reads:12
+      ~update_pct:0.25 ~cpu_us:70 ~requests:20_000;
+    dacapo_profile ~name:"tradebeans" ~live_mib:10 ~node_data:176 ~chain_len:5
+      ~temp_objs:120 ~temp_range:(48, 288) ~survivors:8 ~store_reads:14
+      ~update_pct:0.45 ~cpu_us:65 ~requests:20_000;
+    dacapo_profile ~name:"tradesoap" ~live_mib:8 ~node_data:176 ~chain_len:5
+      ~temp_objs:150 ~temp_range:(48, 288) ~survivors:9 ~store_reads:14
+      ~update_pct:0.5 ~cpu_us:60 ~requests:20_000;
+    dacapo_profile ~name:"xalan" ~live_mib:4 ~node_data:128 ~chain_len:4
+      ~temp_objs:260 ~temp_range:(32, 192) ~survivors:12 ~store_reads:8
+      ~update_pct:0.6 ~cpu_us:40 ~requests:20_000;
+    dacapo_profile ~name:"zxing" ~live_mib:3 ~node_data:112 ~chain_len:3
+      ~temp_objs:60 ~temp_range:(32, 176) ~survivors:2 ~store_reads:6
+      ~update_pct:0.15 ~cpu_us:50 ~requests:25_000;
+  ]
+
+let all : t list =
+  [ h2_tpcc; h2_large; specjbb; hbase_insert; hbase_mixed; shop ] @ dacapo
+
+let find name =
+  match List.find_opt (fun a -> a.name = name) all with
+  | Some a -> a
+  | None -> invalid_arg ("unknown workload: " ^ name)

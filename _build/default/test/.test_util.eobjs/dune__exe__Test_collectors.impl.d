@@ -1,0 +1,1 @@
+test/test_collectors.ml: Alcotest Array Collectors Experiments Hashtbl Heap Jade List Printf Runtime Util Workload

@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Crdt Forwarding Gobj Heap Heap_impl List QCheck2 QCheck_alcotest Region Remset Util

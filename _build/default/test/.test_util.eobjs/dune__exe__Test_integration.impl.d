@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Collectors Experiments Heap Jade List Printf Runtime Sim Util Workload

@@ -1,0 +1,1 @@
+test/test_jade.ml: Alcotest Array Experiments Gobj Hashtbl Heap Heap_impl Jade List Option Printf QCheck2 QCheck_alcotest Region Runtime Util Workload

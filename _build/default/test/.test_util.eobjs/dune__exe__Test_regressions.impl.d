@@ -1,0 +1,1 @@
+test/test_regressions.ml: Alcotest Array Collectors Experiments Gobj Heap Heap_impl Jade List Printf Region Runtime Sim Util Workload

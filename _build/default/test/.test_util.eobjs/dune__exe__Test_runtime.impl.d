@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Driver Heap Metrics Mutator Option Printf Rt Runtime Safepoint Sim Util

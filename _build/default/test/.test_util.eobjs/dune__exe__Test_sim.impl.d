@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Buffer Engine List Printf QCheck2 QCheck_alcotest Sim Util

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitset Fun Hashtbl Histogram List Printf Prng QCheck2 QCheck_alcotest String Table Units Util Vec

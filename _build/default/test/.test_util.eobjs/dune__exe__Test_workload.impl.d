@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Hashtbl Heap List Option Printf QCheck2 QCheck_alcotest Runtime Sim Util Workload

@@ -1,0 +1,1 @@
+test/test_young_gen.ml: Alcotest Array Collectors Gobj Heap Heap_impl Jade Option Printf Region Remset Runtime Sim Util

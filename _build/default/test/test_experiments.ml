@@ -1,0 +1,135 @@
+(* Tests for the experiments layer: the collector registry, heap sizing,
+   machine construction, and summary arithmetic. *)
+
+let mib = Util.Units.mib
+let kib = Util.Units.kib
+
+let test_registry_complete () =
+  let names = List.map (fun e -> e.Experiments.Registry.name) Experiments.Registry.all in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) (expected ^ " registered") true
+        (List.mem expected names))
+    [ "jade"; "g1"; "g1-10ms"; "zgc"; "shenandoah"; "lxr"; "genz"; "genshen" ];
+  Alcotest.(check int) "eight collectors" 8 (List.length names);
+  Alcotest.check_raises "unknown collector"
+    (Invalid_argument "unknown collector: nope") (fun () ->
+      ignore (Experiments.Registry.find "nope"))
+
+let test_concurrent_copy_classification () =
+  let conc e = e.Experiments.Registry.concurrent_copy in
+  Alcotest.(check bool) "jade concurrent" true (conc Experiments.Registry.jade);
+  Alcotest.(check bool) "zgc concurrent" true (conc Experiments.Registry.zgc);
+  Alcotest.(check bool) "g1 stw" false (conc Experiments.Registry.g1);
+  Alcotest.(check bool) "lxr stw" false (conc Experiments.Registry.lxr)
+
+let test_min_heap_anchor () =
+  (* Big apps: 1.4x live; small apps: live + fixed floor. *)
+  let big = Workload.Apps.specjbb in
+  Alcotest.(check int) "1.4x live for large apps"
+    (big.Workload.Apps.spec.Workload.Spec.live_bytes * 7 / 5)
+    (Experiments.Exp.min_heap big);
+  let small = Workload.Apps.find "avrora" in
+  Alcotest.(check int) "live + 4MiB floor for small apps"
+    (small.Workload.Apps.spec.Workload.Spec.live_bytes + (4 * mib))
+    (Experiments.Exp.min_heap small)
+
+let test_machine_region_sizing () =
+  (* Production-sized heaps keep 512 KiB regions; tiny heaps shrink the
+     region so at least ~48 regions exist. *)
+  let m_big = Experiments.Exp.machine_for Workload.Apps.specjbb ~mult:4.0 in
+  Alcotest.(check int) "big heap keeps 512KiB regions" (512 * kib)
+    m_big.Experiments.Harness.region_bytes;
+  let m_small =
+    Experiments.Exp.machine_for (Workload.Apps.find "avrora") ~mult:1.5
+  in
+  Alcotest.(check bool) "small heap shrinks regions" true
+    (m_small.Experiments.Harness.region_bytes < 512 * kib);
+  Alcotest.(check bool) "at least 48 regions" true
+    (m_small.Experiments.Harness.heap_bytes
+     / m_small.Experiments.Harness.region_bytes
+    >= 48);
+  Alcotest.(check int) "heap is a whole number of regions" 0
+    (m_small.Experiments.Harness.heap_bytes
+    mod m_small.Experiments.Harness.region_bytes)
+
+let test_machine_scales_with_mult () =
+  let at mult =
+    (Experiments.Exp.machine_for Workload.Apps.specjbb ~mult)
+      .Experiments.Harness.heap_bytes
+  in
+  Alcotest.(check bool) "monotone in mult" true (at 1.5 < at 2.0 && at 2.0 < at 4.0)
+
+let test_fixed_run_deterministic_summary () =
+  let app : Workload.Apps.t =
+    {
+      Workload.Apps.name = "det";
+      fixed_requests = 400;
+      spec =
+        {
+          Workload.Spec.name = "det";
+          mutators = 2;
+          live_bytes = 2 * mib;
+          node_data = 96;
+          chain_len = 3;
+          temp_objs = 20;
+          temp_data_min = 32;
+          temp_data_max = 128;
+          survivors = 2;
+          pool_slots = 32;
+          store_reads = 4;
+          update_pct = 0.3;
+          cpu_ns = 20_000;
+          weak_pct = 0.;
+        };
+    }
+  in
+  let machine =
+    { Experiments.Harness.default_machine with
+      Experiments.Harness.heap_bytes = 16 * mib; cores = 2 }
+  in
+  let run () =
+    Experiments.Harness.run_fixed ~machine
+      ~install:(fun rt -> ignore (Jade.Collector.install rt))
+      ~collector:"jade" app
+  in
+  let a = run () and b = run () in
+  Alcotest.(check int) "same elapsed" a.Experiments.Harness.elapsed
+    b.Experiments.Harness.elapsed;
+  Alcotest.(check int) "same pause count" a.Experiments.Harness.pause_count
+    b.Experiments.Harness.pause_count;
+  Alcotest.(check int) "all requests done" 400 a.Experiments.Harness.completed
+
+let test_summary_cpu_split () =
+  let app = Workload.Apps.find "avrora" in
+  let s =
+    Experiments.Exp.fixed_time ~cores:2 ~requests:2_000 Experiments.Registry.g1
+      app ~mult:3.0
+  in
+  Alcotest.(check bool) "mutator cpu positive" true (s.Experiments.Harness.cpu_mutator > 0);
+  Alcotest.(check bool) "cpu utilization sane" true
+    (s.Experiments.Harness.cpu_utilization > 0.
+    && s.Experiments.Harness.cpu_utilization <= 1.01)
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "complete" `Quick test_registry_complete;
+          Alcotest.test_case "classification" `Quick
+            test_concurrent_copy_classification;
+        ] );
+      ( "sizing",
+        [
+          Alcotest.test_case "min heap anchor" `Quick test_min_heap_anchor;
+          Alcotest.test_case "region sizing" `Quick test_machine_region_sizing;
+          Alcotest.test_case "mult monotone" `Quick test_machine_scales_with_mult;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "deterministic summary" `Slow
+            test_fixed_run_deterministic_summary;
+          Alcotest.test_case "cpu split" `Slow test_summary_cpu_split;
+        ] );
+    ]

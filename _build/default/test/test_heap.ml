@@ -1,0 +1,368 @@
+(* Tests for the heap substrate: regions, objects, cards, marking, weak
+   references, CRDT, remembered sets, forwarding tables. *)
+
+open Heap
+
+let kib = Util.Units.kib
+let mib = Util.Units.mib
+
+let mk_heap ?(heap_bytes = 4 * mib) ?(region_bytes = 256 * kib) () =
+  Heap_impl.create (Heap_impl.config ~heap_bytes ~region_bytes ())
+
+let claim_exn heap kind =
+  match Heap_impl.claim_region heap kind with
+  | Some r -> r
+  | None -> Alcotest.fail "no free region"
+
+let alloc heap r ~size ~nrefs = Heap_impl.alloc_in heap r ~size ~nrefs ()
+
+(* ------------------------------------------------------------------ *)
+
+let test_config_validation () =
+  Alcotest.check_raises "heap multiple of region"
+    (Invalid_argument "Heap.config: heap_bytes must be a multiple of region_bytes")
+    (fun () ->
+      ignore (Heap_impl.config ~heap_bytes:mib ~region_bytes:(384 * kib) ()));
+  Alcotest.check_raises "region multiple of card"
+    (Invalid_argument "Heap.config: region_bytes must be a multiple of card_bytes")
+    (fun () ->
+      ignore
+        (Heap_impl.config ~heap_bytes:(1000 * 1024) ~region_bytes:1000
+           ~card_bytes:512 ()))
+
+let test_claim_release () =
+  let heap = mk_heap () in
+  let n = Heap_impl.num_regions heap in
+  Alcotest.(check int) "all free initially" n (Heap_impl.free_regions heap);
+  let r = claim_exn heap Region.Young in
+  Alcotest.(check int) "one claimed" (n - 1) (Heap_impl.free_regions heap);
+  Alcotest.(check bool) "kind set" true (r.Region.kind = Region.Young);
+  let o = alloc heap r ~size:64 ~nrefs:2 in
+  Alcotest.(check int) "bump" 64 r.Region.top;
+  Heap_impl.release_region heap r;
+  Alcotest.(check int) "released" n (Heap_impl.free_regions heap);
+  Alcotest.(check bool) "object freed flag" true (Gobj.is_freed o);
+  Alcotest.(check bool) "region reset" true (Region.is_free r && r.Region.top = 0)
+
+let test_exhaustion () =
+  let heap = mk_heap () in
+  let n = Heap_impl.num_regions heap in
+  for _ = 1 to n do
+    ignore (claim_exn heap Region.Old)
+  done;
+  Alcotest.(check bool) "claim fails when empty" true
+    (Heap_impl.claim_region heap Region.Old = None)
+
+let test_object_size () =
+  (* header 16 + 2 slots of 8 + payload rounded to 8. *)
+  Alcotest.(check int) "size arithmetic" (16 + 16 + 24)
+    (Heap_impl.object_size ~nrefs:2 ~data_bytes:20)
+
+let test_object_offsets_sorted () =
+  let heap = mk_heap () in
+  let r = claim_exn heap Region.Young in
+  let sizes = [ 64; 128; 32; 256; 48 ] in
+  let objs = List.map (fun s -> alloc heap r ~size:s ~nrefs:0) sizes in
+  let offsets = List.map (fun (o : Gobj.t) -> o.Gobj.offset) objs in
+  Alcotest.(check (list int)) "bump offsets" [ 0; 64; 192; 224; 480 ] offsets
+
+let test_forwarding_resolve () =
+  let heap = mk_heap () in
+  let r = claim_exn heap Region.Old in
+  let a = alloc heap r ~size:64 ~nrefs:0 in
+  let b = alloc heap r ~size:64 ~nrefs:0 in
+  let c = alloc heap r ~size:64 ~nrefs:0 in
+  a.Gobj.forward <- Some b;
+  b.Gobj.forward <- Some c;
+  Alcotest.(check bool) "resolve follows chain" true (Gobj.resolve a == c);
+  Alcotest.(check int) "depth" 2 (Gobj.forward_depth a);
+  Alcotest.(check bool) "unforwarded resolves to self" true (Gobj.resolve c == c)
+
+let test_card_math () =
+  let heap = mk_heap ~region_bytes:(256 * kib) () in
+  let cards_per_region = Heap_impl.cards_per_region heap in
+  Alcotest.(check int) "cards per region" 512 cards_per_region;
+  let card = Heap_impl.card_of heap ~rid:3 ~offset:1024 in
+  Alcotest.(check int) "card index" ((3 * 512) + 2) card;
+  Alcotest.(check int) "card -> region" 3 (Heap_impl.card_to_region heap card);
+  Alcotest.(check int) "card -> offset" 1024 (Heap_impl.card_to_offset heap card)
+
+let test_card_of_field () =
+  let heap = mk_heap () in
+  let r = claim_exn heap Region.Old in
+  (* Push a filler so the test object starts at offset 500 (card 0 ends
+     at 512; slot placement must pick the right card). *)
+  ignore (alloc heap r ~size:500 ~nrefs:0);
+  let o = alloc heap r ~size:64 ~nrefs:4 in
+  (* field 0 at offset 500+16 = 516 -> card 1. *)
+  Alcotest.(check int) "field card"
+    ((r.Region.rid * Heap_impl.cards_per_region heap) + 1)
+    (Heap_impl.card_of_field heap o 0)
+
+let test_scan_card_finds_slots () =
+  let heap = mk_heap () in
+  let r = claim_exn heap Region.Old in
+  let target = alloc heap r ~size:32 ~nrefs:0 in
+  let holder = alloc heap r ~size:64 ~nrefs:3 in
+  Gobj.set_field holder 1 (Some target);
+  let card = Heap_impl.card_of_field heap holder 1 in
+  let hits = ref [] in
+  Heap_impl.scan_card heap card ~f:(fun o i ->
+      if Gobj.get_field o i <> None then hits := (o.Gobj.id, i) :: !hits);
+  Alcotest.(check (list (pair int int)))
+    "found the populated slot"
+    [ (holder.Gobj.id, 1) ]
+    !hits
+
+let test_dirty_cards () =
+  let heap = mk_heap () in
+  Heap_impl.dirty_card heap 7;
+  Heap_impl.dirty_card heap 9;
+  Alcotest.(check bool) "dirty" true (Heap_impl.card_is_dirty heap 7);
+  let acc = ref [] in
+  Heap_impl.iter_dirty_cards (fun c -> acc := c :: !acc) heap;
+  Alcotest.(check (list int)) "iter" [ 9; 7 ] (List.sort (fun a b -> compare b a) !acc);
+  Heap_impl.clean_card heap 7;
+  Alcotest.(check bool) "cleaned" false (Heap_impl.card_is_dirty heap 7)
+
+let test_release_clears_own_cards () =
+  let heap = mk_heap () in
+  let r = claim_exn heap Region.Old in
+  let o = alloc heap r ~size:64 ~nrefs:2 in
+  let card = Heap_impl.card_of_field heap o 0 in
+  Heap_impl.dirty_card heap card;
+  Heap_impl.release_region heap r;
+  Alcotest.(check bool) "card cleaned on release" false
+    (Heap_impl.card_is_dirty heap card)
+
+(* ------------------------------------------------------------------ *)
+(* Marking *)
+
+let test_mark_accounting () =
+  let heap = mk_heap () in
+  let r = claim_exn heap Region.Old in
+  let a = alloc heap r ~size:64 ~nrefs:0 in
+  let b = alloc heap r ~size:128 ~nrefs:0 in
+  ignore (alloc heap r ~size:32 ~nrefs:0);
+  ignore (Heap_impl.begin_mark heap);
+  (* Make the region pre-date the snapshot. *)
+  r.Region.alloc_epoch <- heap.Heap_impl.mark_epoch - 1;
+  Alcotest.(check bool) "first mark" true (Heap_impl.mark_object heap a);
+  Alcotest.(check bool) "second mark is no-op" false (Heap_impl.mark_object heap a);
+  ignore (Heap_impl.mark_object heap b);
+  Heap_impl.end_mark heap;
+  Alcotest.(check int) "live bytes published" 192 r.Region.live_bytes;
+  Alcotest.(check int) "garbage (capacity-based)" (r.Region.size - 192)
+    (Region.garbage_bytes r);
+  Alcotest.(check bool) "livemap set" true (Region.livemap_is_marked r a)
+
+let test_mark_scope () =
+  let heap = mk_heap () in
+  let ry = claim_exn heap Region.Young in
+  let ro = claim_exn heap Region.Old in
+  let y = alloc heap ry ~size:64 ~nrefs:0 in
+  ignore (alloc heap ro ~size:64 ~nrefs:0);
+  ro.Region.live_bytes <- 999;
+  ignore
+    (Heap_impl.begin_mark ~scope:(fun r -> r.Region.kind = Region.Young) heap);
+  ry.Region.alloc_epoch <- heap.Heap_impl.mark_epoch - 1;
+  ignore (Heap_impl.mark_object heap y);
+  Heap_impl.end_mark ~scope:(fun r -> r.Region.kind = Region.Young) heap;
+  Alcotest.(check int) "young published" 64 ry.Region.live_bytes;
+  Alcotest.(check int) "old untouched" 999 ro.Region.live_bytes
+
+let test_born_after_snapshot_fully_live () =
+  let heap = mk_heap () in
+  ignore (Heap_impl.begin_mark heap);
+  let r = claim_exn heap Region.Old in
+  ignore (alloc heap r ~size:100 ~nrefs:0);
+  Heap_impl.end_mark heap;
+  Alcotest.(check int) "born-after region fully live" r.Region.top
+    r.Region.live_bytes
+
+let test_allocate_live_during_mark () =
+  let heap = mk_heap () in
+  ignore (Heap_impl.begin_mark heap);
+  let r = claim_exn heap Region.Old in
+  let o = alloc heap r ~size:64 ~nrefs:0 in
+  Alcotest.(check bool) "born marked" true (Heap_impl.is_marked heap o);
+  Heap_impl.end_mark heap;
+  let o2 = alloc heap r ~size:64 ~nrefs:0 in
+  Alcotest.(check bool) "born unmarked after mark" false
+    (Heap_impl.is_marked heap o2)
+
+(* ------------------------------------------------------------------ *)
+(* Weak references *)
+
+let test_weak_refs_marked_judge () =
+  let heap = mk_heap () in
+  let r = claim_exn heap Region.Old in
+  let live = alloc heap r ~size:64 ~nrefs:0 in
+  let dead = alloc heap r ~size:64 ~nrefs:0 in
+  let fired = ref 0 in
+  Heap_impl.register_weak heap live ~callback:(Some (fun () -> incr fired));
+  Heap_impl.register_weak heap dead ~callback:(Some (fun () -> incr fired));
+  ignore (Heap_impl.begin_mark heap);
+  r.Region.alloc_epoch <- heap.Heap_impl.mark_epoch - 1;
+  ignore (Heap_impl.mark_object heap live);
+  Heap_impl.end_mark heap;
+  let survivors, cleared = Heap_impl.process_weak_refs_marked heap in
+  Alcotest.(check int) "one survivor" 1 survivors;
+  Alcotest.(check int) "one cleared" 1 cleared;
+  Alcotest.(check int) "callback fired once" 1 !fired
+
+let test_weak_refs_freed_judge () =
+  let heap = mk_heap () in
+  let r1 = claim_exn heap Region.Young in
+  let r2 = claim_exn heap Region.Young in
+  let kept = alloc heap r1 ~size:64 ~nrefs:0 in
+  let freed = alloc heap r2 ~size:64 ~nrefs:0 in
+  ignore freed;
+  Heap_impl.register_weak heap kept ~callback:None;
+  Heap_impl.register_weak heap freed ~callback:None;
+  Heap_impl.release_region heap r2;
+  let survivors, cleared = Heap_impl.process_weak_refs_freed_only heap in
+  Alcotest.(check int) "survivor" 1 survivors;
+  Alcotest.(check int) "cleared" 1 cleared
+
+let test_weak_follows_forwarding () =
+  let heap = mk_heap () in
+  let r1 = claim_exn heap Region.Young in
+  let r2 = claim_exn heap Region.Old in
+  let old_copy = alloc heap r1 ~size:64 ~nrefs:0 in
+  let new_copy = alloc heap r2 ~size:64 ~nrefs:0 in
+  old_copy.Gobj.forward <- Some new_copy;
+  Heap_impl.register_weak heap old_copy ~callback:None;
+  Heap_impl.release_region heap r1;
+  (* The referent moved before its region was freed: it survives. *)
+  let survivors, cleared = Heap_impl.process_weak_refs_freed_only heap in
+  Alcotest.(check int) "survivor via forwarding" 1 survivors;
+  Alcotest.(check int) "none cleared" 0 cleared
+
+(* ------------------------------------------------------------------ *)
+(* CRDT *)
+
+let test_crdt_basic () =
+  let c = Crdt.create ~total_cards:64 in
+  Alcotest.(check bool) "empty" true (Crdt.get c 5 = Crdt.Empty);
+  Crdt.record c ~card:5 ~rid:10;
+  Alcotest.(check bool) "one" true (Crdt.get c 5 = Crdt.One 10);
+  Crdt.record c ~card:5 ~rid:10;
+  Alcotest.(check bool) "dedup" true (Crdt.get c 5 = Crdt.One 10);
+  Crdt.record c ~card:5 ~rid:20;
+  Alcotest.(check bool) "two" true (Crdt.get c 5 = Crdt.Two (10, 20));
+  Crdt.record c ~card:5 ~rid:20;
+  Alcotest.(check bool) "dedup second" true (Crdt.get c 5 = Crdt.Two (10, 20));
+  Crdt.record c ~card:5 ~rid:30;
+  Alcotest.(check bool) "overflow on third" true (Crdt.get c 5 = Crdt.Overflow);
+  Crdt.record c ~card:5 ~rid:40;
+  Alcotest.(check bool) "overflow sticky" true (Crdt.get c 5 = Crdt.Overflow);
+  Crdt.reset c;
+  Alcotest.(check bool) "reset" true (Crdt.get c 5 = Crdt.Empty)
+
+let test_crdt_rid_zero_and_max () =
+  let c = Crdt.create ~total_cards:4 in
+  Crdt.record c ~card:0 ~rid:0;
+  Alcotest.(check bool) "rid 0 encodes" true (Crdt.get c 0 = Crdt.One 0);
+  Crdt.record c ~card:0 ~rid:Crdt.max_region_id;
+  Alcotest.(check bool) "max rid encodes" true
+    (Crdt.get c 0 = Crdt.Two (0, Crdt.max_region_id));
+  Alcotest.check_raises "rid out of range" (Invalid_argument "Crdt.record: rid")
+    (fun () -> Crdt.record c ~card:1 ~rid:(Crdt.max_region_id + 1))
+
+let crdt_model =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:300 ~name:"crdt matches a set model"
+       QCheck2.Gen.(list (int_range 0 5))
+       (fun rids ->
+         let c = Crdt.create ~total_cards:1 in
+         List.iter (fun rid -> Crdt.record c ~card:0 ~rid) rids;
+         let distinct = List.sort_uniq compare rids in
+         match Crdt.get c 0 with
+         | Crdt.Empty -> distinct = []
+         | Crdt.One r -> distinct = [ r ]
+         | Crdt.Two (a, b) ->
+             List.length distinct = 2
+             && List.mem a distinct && List.mem b distinct && a <> b
+         | Crdt.Overflow -> List.length distinct >= 3))
+
+let test_crdt_memory_size () =
+  let c = Crdt.create ~total_cards:1000 in
+  Alcotest.(check int) "4 bytes per card" 4000 (Crdt.byte_size c)
+
+(* ------------------------------------------------------------------ *)
+(* Remsets and forwarding tables *)
+
+let test_remset () =
+  let rs = Remset.create ~name:"t" ~total_cards:128 in
+  Alcotest.(check bool) "new add" true (Remset.add rs 10);
+  Alcotest.(check bool) "dup add" false (Remset.add rs 10);
+  Alcotest.(check bool) "mem" true (Remset.mem rs 10);
+  Alcotest.(check int) "cardinal" 1 (Remset.cardinal rs);
+  Remset.remove rs 10;
+  Alcotest.(check int) "removed" 0 (Remset.cardinal rs);
+  ignore (Remset.add rs 5);
+  Remset.clear rs;
+  Alcotest.(check int) "cleared" 0 (Remset.cardinal rs);
+  (* 1 bit per card -> heap/4096 bytes, the paper's arithmetic. *)
+  Alcotest.(check int) "memory" 16 (Remset.byte_size rs)
+
+let test_forwarding_table () =
+  let heap = mk_heap () in
+  let r = claim_exn heap Region.Old in
+  let o = alloc heap r ~size:64 ~nrefs:0 in
+  let fwd = Forwarding.create ~rid:r.Region.rid ~expected:4 in
+  Forwarding.add fwd ~old_offset:0 o;
+  Alcotest.(check bool) "lookup hit" true (Forwarding.find fwd ~old_offset:0 = Some o);
+  Alcotest.(check bool) "lookup miss" true (Forwarding.find fwd ~old_offset:64 = None);
+  Alcotest.(check int) "entries" 1 (Forwarding.entries fwd)
+
+let () =
+  Alcotest.run "heap"
+    [
+      ( "regions",
+        [
+          Alcotest.test_case "config validation" `Quick test_config_validation;
+          Alcotest.test_case "claim/release" `Quick test_claim_release;
+          Alcotest.test_case "exhaustion" `Quick test_exhaustion;
+          Alcotest.test_case "object size" `Quick test_object_size;
+          Alcotest.test_case "offsets sorted" `Quick test_object_offsets_sorted;
+          Alcotest.test_case "forwarding resolve" `Quick test_forwarding_resolve;
+        ] );
+      ( "cards",
+        [
+          Alcotest.test_case "card math" `Quick test_card_math;
+          Alcotest.test_case "card of field" `Quick test_card_of_field;
+          Alcotest.test_case "scan card" `Quick test_scan_card_finds_slots;
+          Alcotest.test_case "dirty cards" `Quick test_dirty_cards;
+          Alcotest.test_case "release clears cards" `Quick
+            test_release_clears_own_cards;
+        ] );
+      ( "marking",
+        [
+          Alcotest.test_case "accounting" `Quick test_mark_accounting;
+          Alcotest.test_case "scoped mark" `Quick test_mark_scope;
+          Alcotest.test_case "born after snapshot" `Quick
+            test_born_after_snapshot_fully_live;
+          Alcotest.test_case "allocate live during mark" `Quick
+            test_allocate_live_during_mark;
+        ] );
+      ( "weak refs",
+        [
+          Alcotest.test_case "marked judge" `Quick test_weak_refs_marked_judge;
+          Alcotest.test_case "freed judge" `Quick test_weak_refs_freed_judge;
+          Alcotest.test_case "follows forwarding" `Quick test_weak_follows_forwarding;
+        ] );
+      ( "crdt",
+        [
+          Alcotest.test_case "basic" `Quick test_crdt_basic;
+          Alcotest.test_case "rid bounds" `Quick test_crdt_rid_zero_and_max;
+          crdt_model;
+          Alcotest.test_case "memory size" `Quick test_crdt_memory_size;
+        ] );
+      ( "remset+forwarding",
+        [
+          Alcotest.test_case "remset" `Quick test_remset;
+          Alcotest.test_case "forwarding table" `Quick test_forwarding_table;
+        ] );
+    ]

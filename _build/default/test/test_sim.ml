@@ -1,0 +1,222 @@
+(* Tests for the discrete-event engine: timing, scheduling fairness,
+   conditions, determinism, CPU accounting, deadlock detection. *)
+
+open Sim
+
+let us = Util.Units.us
+let ms = Util.Units.ms
+
+let test_single_thread_timing () =
+  let e = Engine.create ~cores:1 ~quantum:(10 * us) () in
+  let finished_at = ref 0 in
+  ignore
+    (Engine.spawn e ~name:"t" ~kind:Engine.Mutator (fun () ->
+         Engine.tick (500 * us);
+         finished_at := Engine.now e));
+  Engine.run e;
+  Alcotest.(check int) "500us of work takes 500us" (500 * us) !finished_at
+
+let test_core_contention () =
+  (* 4 threads x 1ms of work on 2 cores -> 2ms wall time. *)
+  let e = Engine.create ~cores:2 ~quantum:(10 * us) () in
+  for i = 1 to 4 do
+    ignore
+      (Engine.spawn e
+         ~name:(Printf.sprintf "w%d" i)
+         ~kind:Engine.Mutator
+         (fun () -> Engine.tick ms))
+  done;
+  Engine.run e;
+  Alcotest.(check int) "wall time is work/cores" (2 * ms) (Engine.now e)
+
+let test_parallel_speedup () =
+  (* 4 threads x 1ms on 4 cores -> 1ms wall time. *)
+  let e = Engine.create ~cores:4 ~quantum:(10 * us) () in
+  for i = 1 to 4 do
+    ignore
+      (Engine.spawn e
+         ~name:(Printf.sprintf "w%d" i)
+         ~kind:Engine.Gc
+         (fun () -> Engine.tick ms))
+  done;
+  Engine.run e;
+  Alcotest.(check int) "perfect parallelism" ms (Engine.now e);
+  Alcotest.(check int) "gc busy = 4ms" (4 * ms) (Engine.busy_ns e Engine.Gc)
+
+let test_sleep_accuracy () =
+  let e = Engine.create ~cores:1 () in
+  let woke = ref 0 in
+  ignore
+    (Engine.spawn e ~name:"sleeper" ~kind:Engine.Aux (fun () ->
+         Engine.sleep e (3 * ms);
+         woke := Engine.now e));
+  Engine.run e;
+  Alcotest.(check int) "sleep wakes on time" (3 * ms) !woke
+
+let test_cond_signal_broadcast () =
+  let e = Engine.create ~cores:2 () in
+  let c = Engine.cond "c" in
+  let woken = ref 0 in
+  for i = 1 to 3 do
+    ignore
+      (Engine.spawn e
+         ~name:(Printf.sprintf "waiter%d" i)
+         ~kind:Engine.Mutator
+         (fun () ->
+           Engine.wait c;
+           incr woken))
+  done;
+  ignore
+    (Engine.spawn e ~name:"signaller" ~kind:Engine.Aux (fun () ->
+         Engine.tick (100 * us);
+         Engine.signal e c;
+         Engine.tick (100 * us);
+         Engine.broadcast e c));
+  Engine.run e;
+  Alcotest.(check int) "all three woken" 3 !woken
+
+let test_join () =
+  let e = Engine.create ~cores:2 () in
+  let order = ref [] in
+  let worker =
+    Engine.spawn e ~name:"worker" ~kind:Engine.Gc (fun () ->
+        Engine.tick ms;
+        order := "worker" :: !order)
+  in
+  ignore
+    (Engine.spawn e ~name:"joiner" ~kind:Engine.Mutator (fun () ->
+         Engine.join e worker;
+         order := "joiner" :: !order));
+  Engine.run e;
+  Alcotest.(check (list string)) "join ordering" [ "joiner"; "worker" ] !order
+
+let test_daemon_does_not_block_exit () =
+  let e = Engine.create ~cores:1 () in
+  ignore
+    (Engine.spawn e ~daemon:true ~name:"daemon" ~kind:Engine.Gc (fun () ->
+         while true do
+           Engine.sleep e ms
+         done));
+  ignore
+    (Engine.spawn e ~name:"main" ~kind:Engine.Mutator (fun () ->
+         Engine.tick (5 * ms)));
+  Engine.run e;
+  Alcotest.(check bool) "exits with daemon alive" true (Engine.now e >= 5 * ms)
+
+let test_deadlock_detection () =
+  let e = Engine.create ~cores:1 () in
+  let c = Engine.cond "never" in
+  ignore
+    (Engine.spawn e ~name:"stuck" ~kind:Engine.Mutator (fun () ->
+         Engine.wait c));
+  Alcotest.(check bool) "raises Deadlock" true
+    (match Engine.run e with
+    | () -> false
+    | exception Engine.Deadlock _ -> true)
+
+let test_exception_propagates () =
+  let e = Engine.create ~cores:1 () in
+  ignore
+    (Engine.spawn e ~name:"boom" ~kind:Engine.Mutator (fun () ->
+         Engine.tick us;
+         failwith "boom"));
+  Alcotest.(check bool) "failure re-raised" true
+    (match Engine.run e with
+    | () -> false
+    | exception Failure m -> m = "boom")
+
+let test_until_limit () =
+  let e = Engine.create ~cores:1 () in
+  ignore
+    (Engine.spawn e ~name:"long" ~kind:Engine.Mutator (fun () ->
+         Engine.tick (100 * ms)));
+  Engine.run ~until:(10 * ms) e;
+  Alcotest.(check bool) "stopped at limit" true (Engine.now e <= 11 * ms)
+
+let run_trace () =
+  let e = Engine.create ~cores:2 ~quantum:(20 * us) () in
+  let log = Buffer.create 64 in
+  let c = Engine.cond "c" in
+  for i = 1 to 3 do
+    ignore
+      (Engine.spawn e
+         ~name:(Printf.sprintf "t%d" i)
+         ~kind:Engine.Mutator
+         (fun () ->
+           Engine.tick (i * 37 * us);
+           Buffer.add_string log (Printf.sprintf "%d@%d;" i (Engine.now e));
+           if i = 2 then Engine.broadcast e c
+           else if i = 1 then Engine.wait c))
+  done;
+  Engine.run e;
+  Buffer.contents log
+
+let test_determinism () =
+  Alcotest.(check string) "identical traces" (run_trace ()) (run_trace ())
+
+let test_quantum_fairness () =
+  (* Two CPU-bound threads on one core must interleave via the quantum. *)
+  let e = Engine.create ~cores:1 ~quantum:(10 * us) () in
+  let last = ref "" and switches = ref 0 in
+  for i = 1 to 2 do
+    let name = Printf.sprintf "s%d" i in
+    ignore
+      (Engine.spawn e ~name ~kind:Engine.Mutator (fun () ->
+           for _ = 1 to 10 do
+             Engine.tick (25 * us);
+             if !last <> name then incr switches;
+             last := name
+           done))
+  done;
+  Engine.run e;
+  Alcotest.(check bool)
+    (Printf.sprintf "threads interleaved (%d switches)" !switches)
+    true (!switches > 5)
+
+(* Property: CPU time is conserved and wall time is bounded by the
+   theoretical parallel schedule, for arbitrary thread mixes. *)
+let cpu_conservation =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:100 ~name:"cpu conservation and wall bounds"
+       QCheck2.Gen.(
+         pair (int_range 1 4)
+           (list_size (int_range 1 12) (int_range 1 (500 * us))))
+       (fun (cores, works) ->
+         let e = Engine.create ~cores ~quantum:(10 * us) () in
+         List.iteri
+           (fun i w ->
+             ignore
+               (Engine.spawn e
+                  ~name:(Printf.sprintf "w%d" i)
+                  ~kind:Engine.Mutator
+                  (fun () -> Engine.tick w)))
+           works;
+         Engine.run e;
+         let total = List.fold_left ( + ) 0 works in
+         let lower = total / cores in
+         let upper = total + (10 * us * List.length works) in
+         Engine.busy_ns e Engine.Mutator = total
+         && Engine.now e >= lower
+         && Engine.now e <= upper))
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "single-thread timing" `Quick test_single_thread_timing;
+          Alcotest.test_case "core contention" `Quick test_core_contention;
+          Alcotest.test_case "parallel speedup" `Quick test_parallel_speedup;
+          Alcotest.test_case "sleep accuracy" `Quick test_sleep_accuracy;
+          Alcotest.test_case "cond signal/broadcast" `Quick test_cond_signal_broadcast;
+          Alcotest.test_case "join" `Quick test_join;
+          Alcotest.test_case "daemons don't block exit" `Quick
+            test_daemon_does_not_block_exit;
+          Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+          Alcotest.test_case "exception propagation" `Quick test_exception_propagates;
+          Alcotest.test_case "run ~until" `Quick test_until_limit;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "quantum fairness" `Quick test_quantum_fairness;
+          cpu_conservation;
+        ] );
+    ]

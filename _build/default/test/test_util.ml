@@ -1,0 +1,270 @@
+(* Unit and property tests for the util library. *)
+
+open Util
+
+let check = Alcotest.check
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Prng *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  for _ = 1 to 100 do
+    check Alcotest.int "same stream" (Prng.bits a) (Prng.bits b)
+  done
+
+let test_prng_split_independent () =
+  let a = Prng.create 7 in
+  let b = Prng.split a in
+  let xs = List.init 50 (fun _ -> Prng.bits a) in
+  let ys = List.init 50 (fun _ -> Prng.bits b) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_prng_int_bounds () =
+  let p = Prng.create 11 in
+  for _ = 1 to 1000 do
+    let v = Prng.int p 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done;
+  for _ = 1 to 1000 do
+    let v = Prng.int_in p 5 9 in
+    Alcotest.(check bool) "in closed range" true (v >= 5 && v <= 9)
+  done
+
+let test_prng_exponential_mean () =
+  let p = Prng.create 3 in
+  let n = 20_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Prng.exponential p ~mean:100.
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.2f close to 100" mean)
+    true
+    (mean > 95. && mean < 105.)
+
+let test_prng_float_range () =
+  let p = Prng.create 5 in
+  for _ = 1 to 1000 do
+    let f = Prng.float p in
+    Alcotest.(check bool) "in [0,1)" true (f >= 0. && f < 1.)
+  done
+
+let test_prng_shuffle_permutation () =
+  let p = Prng.create 9 in
+  let arr = Array.init 20 Fun.id in
+  Prng.shuffle p arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 20 Fun.id) sorted
+
+(* ------------------------------------------------------------------ *)
+(* Vec *)
+
+let test_vec_push_pop () =
+  let v = Vec.create 0 in
+  for i = 1 to 100 do
+    Vec.push v i
+  done;
+  check Alcotest.int "length" 100 (Vec.length v);
+  for i = 100 downto 1 do
+    check Alcotest.int "pop order" i (Vec.pop_exn v)
+  done;
+  Alcotest.(check bool) "empty" true (Vec.is_empty v);
+  Alcotest.(check (option int)) "pop empty" None (Vec.pop v)
+
+let test_vec_get_set () =
+  let v = Vec.of_list 0 [ 1; 2; 3 ] in
+  Vec.set v 1 42;
+  check Alcotest.int "set/get" 42 (Vec.get v 1);
+  Alcotest.check_raises "oob get" (Invalid_argument "Vec.get: index out of bounds")
+    (fun () -> ignore (Vec.get v 3))
+
+let test_vec_swap_remove () =
+  let v = Vec.of_list 0 [ 10; 20; 30; 40 ] in
+  let x = Vec.swap_remove v 1 in
+  check Alcotest.int "removed" 20 x;
+  check Alcotest.int "length" 3 (Vec.length v);
+  check Alcotest.int "last swapped in" 40 (Vec.get v 1)
+
+let test_vec_sort_and_search () =
+  let v = Vec.of_list 0 [ 5; 1; 9; 3; 7 ] in
+  Vec.sort compare v;
+  Alcotest.(check (list int)) "sorted" [ 1; 3; 5; 7; 9 ] (Vec.to_list v);
+  check Alcotest.int "geq 4 -> index of 5" 2
+    (Vec.find_first_geq v ~key:4 ~of_elt:Fun.id);
+  check Alcotest.int "geq 10 -> length" 5
+    (Vec.find_first_geq v ~key:10 ~of_elt:Fun.id);
+  check Alcotest.int "geq 0 -> 0" 0 (Vec.find_first_geq v ~key:0 ~of_elt:Fun.id)
+
+let vec_model =
+  qtest "vec behaves like a list stack"
+    QCheck2.Gen.(list (int_range 0 2))
+    (fun ops ->
+      let v = Vec.create (-1) in
+      let model = ref [] in
+      List.iteri
+        (fun i op ->
+          match op with
+          | 0 | 1 ->
+              Vec.push v i;
+              model := i :: !model
+          | _ -> (
+              match (Vec.pop v, !model) with
+              | Some x, m :: rest ->
+                  model := rest;
+                  if x <> m then failwith "pop mismatch"
+              | None, [] -> ()
+              | _ -> failwith "emptiness mismatch"))
+        ops;
+      List.length !model = Vec.length v
+      && List.rev !model = Vec.to_list v)
+
+(* ------------------------------------------------------------------ *)
+(* Bitset *)
+
+let test_bitset_basic () =
+  let b = Bitset.create 100 in
+  Alcotest.(check bool) "newly set" true (Bitset.set b 13);
+  Alcotest.(check bool) "already set" false (Bitset.set b 13);
+  Alcotest.(check bool) "get" true (Bitset.get b 13);
+  check Alcotest.int "cardinal" 1 (Bitset.cardinal b);
+  Bitset.clear b 13;
+  Alcotest.(check bool) "cleared" false (Bitset.get b 13);
+  check Alcotest.int "cardinal 0" 0 (Bitset.cardinal b)
+
+let test_bitset_iter_range () =
+  let b = Bitset.create 64 in
+  List.iter (fun i -> ignore (Bitset.set b i)) [ 3; 17; 18; 40; 63 ];
+  Alcotest.(check (list int)) "iter_set" [ 3; 17; 18; 40; 63 ] (Bitset.to_list b);
+  let acc = ref [] in
+  Bitset.iter_set_range (fun i -> acc := i :: !acc) b ~lo:17 ~hi:41;
+  Alcotest.(check (list int)) "range" [ 17; 18; 40 ] (List.rev !acc)
+
+let bitset_model =
+  qtest "bitset matches an int-set model"
+    QCheck2.Gen.(list (pair bool (int_range 0 255)))
+    (fun ops ->
+      let b = Bitset.create 256 in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (set, i) ->
+          if set then begin
+            ignore (Bitset.set b i);
+            Hashtbl.replace model i ()
+          end
+          else begin
+            Bitset.clear b i;
+            Hashtbl.remove model i
+          end)
+        ops;
+      Bitset.cardinal b = Hashtbl.length model
+      && List.for_all (fun i -> Hashtbl.mem model i) (Bitset.to_list b))
+
+(* ------------------------------------------------------------------ *)
+(* Histogram *)
+
+let test_histogram_small_exact () =
+  let h = Histogram.create () in
+  List.iter (fun v -> Histogram.record h v) [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ];
+  check Alcotest.int "p50" 5 (Histogram.percentile h 50.);
+  check Alcotest.int "p100" 10 (Histogram.percentile h 100.);
+  check Alcotest.int "max" 10 (Histogram.max_value h);
+  check Alcotest.int "min" 1 (Histogram.min_value h);
+  Alcotest.(check (float 0.01)) "mean" 5.5 (Histogram.mean h)
+
+let test_histogram_relative_error () =
+  let h = Histogram.create () in
+  let values = List.init 1000 (fun i -> (i + 1) * 7919) in
+  List.iter (Histogram.record h) values;
+  (* p99 of 1000 ascending values is the 990th: 990*7919. *)
+  let expected = 990 * 7919 in
+  let got = Histogram.percentile h 99. in
+  let err = abs_float (float_of_int (got - expected) /. float_of_int expected) in
+  Alcotest.(check bool)
+    (Printf.sprintf "p99 rel err %.4f < 1%%" err)
+    true (err < 0.01)
+
+let test_histogram_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  Histogram.record a 100;
+  Histogram.record b 200;
+  Histogram.merge ~into:a b;
+  check Alcotest.int "total" 2 (Histogram.total a);
+  check Alcotest.int "max" 200 (Histogram.max_value a)
+
+let histogram_quantization =
+  qtest "bucket midpoint within 1% of any value"
+    QCheck2.Gen.(int_range 1 1_000_000_000)
+    (fun v ->
+      let h = Histogram.create () in
+      Histogram.record h v;
+      let p = Histogram.percentile h 100. in
+      abs_float (float_of_int (p - v)) <= 0.01 *. float_of_int v +. 1.)
+
+(* ------------------------------------------------------------------ *)
+(* Units and Table *)
+
+let test_units_format () =
+  check Alcotest.string "ns" "500ns" (Units.pp_time_ns 500);
+  check Alcotest.string "us" "1.50us" (Units.pp_time_ns 1500);
+  check Alcotest.string "ms" "2.50ms" (Units.pp_time_ns 2_500_000);
+  check Alcotest.string "s" "1.25s" (Units.pp_time_ns 1_250_000_000);
+  check Alcotest.string "bytes" "512B" (Units.pp_bytes 512);
+  check Alcotest.string "kib" "2.0KiB" (Units.pp_bytes 2048)
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_table_render () =
+  let t = Table.create ~title:"demo" ~headers:[ "a"; "bb" ] in
+  let t = Table.add_row t [ "x"; "1" ] in
+  let s = Table.render t in
+  Alcotest.(check bool) "has title" true (contains ~needle:"demo" s);
+  Alcotest.(check bool) "has header" true (contains ~needle:"bb" s);
+  Alcotest.(check bool) "has cell" true (contains ~needle:"x" s)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "split independent" `Quick test_prng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+          Alcotest.test_case "exponential mean" `Quick test_prng_exponential_mean;
+          Alcotest.test_case "float range" `Quick test_prng_float_range;
+          Alcotest.test_case "shuffle permutation" `Quick test_prng_shuffle_permutation;
+        ] );
+      ( "vec",
+        [
+          Alcotest.test_case "push/pop" `Quick test_vec_push_pop;
+          Alcotest.test_case "get/set" `Quick test_vec_get_set;
+          Alcotest.test_case "swap_remove" `Quick test_vec_swap_remove;
+          Alcotest.test_case "sort/search" `Quick test_vec_sort_and_search;
+          vec_model;
+        ] );
+      ( "bitset",
+        [
+          Alcotest.test_case "basic" `Quick test_bitset_basic;
+          Alcotest.test_case "iter/range" `Quick test_bitset_iter_range;
+          bitset_model;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "small exact" `Quick test_histogram_small_exact;
+          Alcotest.test_case "relative error" `Quick test_histogram_relative_error;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+          histogram_quantization;
+        ] );
+      ( "units+table",
+        [
+          Alcotest.test_case "units format" `Quick test_units_format;
+          Alcotest.test_case "table render" `Quick test_table_render;
+        ] );
+    ]
