@@ -6,6 +6,12 @@
 open Bechamel
 open Toolkit
 
+(* --quick was silently ignored here: every test always ran its full
+   0.5 s sampling quota.  Quick mode now trims the quota/sample budget —
+   estimates get noisier, but a smoke run finishes in a fraction of the
+   time, which is what scripts/ci.sh wants. *)
+let quick = ref false
+
 let kib = Util.Units.kib
 
 (* Synthetic old regions with a pseudo-random liveness profile. *)
@@ -83,7 +89,10 @@ let benchmark () =
     ]
   in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let limit = if !quick then 300 else 2000 in
+  let quota = Time.second (if !quick then 0.1 else 0.5) in
+  let kde = if !quick then None else Some 1000 in
+  let cfg = Benchmark.cfg ~limit ~quota ~kde () in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in

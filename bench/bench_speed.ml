@@ -1,0 +1,168 @@
+(* Host-time benchmark of the simulator engine itself: how many virtual
+   nanoseconds the simulation advances per host second, across the
+   scenarios the event-driven scheduler core optimizes.  Results are
+   printed and recorded in BENCH_speed.json so every perf PR leaves a
+   measured trajectory behind (scripts/ci.sh runs the quick variant).
+
+   The scenarios isolate the scheduler hot paths:
+   - tick-storm      raw [tick] throughput (local in-budget payment)
+   - sleeper-wheel   thousands of periodic sleepers (Pqueue wake/peek)
+   - idle-jump       an almost-idle machine (next-event clock jumps)
+   - card-sweep      dirty-card bitmap scans (word-level iteration)
+   - closed-loop     an end-to-end harness run (jade on h2-tpcc) *)
+
+let quick = ref false
+
+let ms = Util.Units.ms
+
+module Engine = Sim.Engine
+
+(* --- scenario bodies: each returns the virtual ns it simulated. ----- *)
+
+(* 2x cores CPU-bound threads ticking sub-quantum costs: the mutator
+   fast path.  Dominated by [tick] cost. *)
+let tick_storm ~virtual_ns () =
+  let e = Engine.create ~cores:8 () in
+  for i = 1 to 16 do
+    ignore
+      (Engine.spawn e
+         ~name:(Printf.sprintf "storm-%d" i)
+         ~kind:Engine.Mutator
+         (fun () ->
+           while Engine.now e < virtual_ns do
+             Engine.tick 120
+           done))
+  done;
+  Engine.run e;
+  Engine.now e
+
+(* Many periodic sleepers around one worker: wake/next-event cost.
+   Before the Pqueue this paid O(sleepers) list scans every round. *)
+let sleeper_wheel ~sleepers ~virtual_ns () =
+  let e = Engine.create ~cores:8 () in
+  for i = 0 to sleepers - 1 do
+    ignore
+      (Engine.spawn e ~daemon:true
+         ~name:(Printf.sprintf "sleeper-%d" i)
+         ~kind:Engine.Aux
+         (fun () ->
+           let period = 100_000 + (137 * i mod 900_000) in
+           while true do
+             Engine.sleep e period
+           done))
+  done;
+  ignore
+    (Engine.spawn e ~name:"worker" ~kind:Engine.Mutator (fun () ->
+         while Engine.now e < virtual_ns do
+           Engine.tick 5_000
+         done));
+  Engine.run e;
+  Engine.now e
+
+(* An almost-idle machine: one thread sleeping in long strides.  The
+   event-driven core jumps the clock between events instead of stepping
+   quantum by quantum. *)
+let idle_jump ~virtual_ns () =
+  let e = Engine.create ~cores:8 () in
+  ignore
+    (Engine.spawn e ~name:"heartbeat" ~kind:Engine.Aux (fun () ->
+         while Engine.now e < virtual_ns do
+           Engine.sleep e (10 * ms);
+           Engine.tick 200
+         done));
+  Engine.run e;
+  Engine.now e
+
+(* Dirty-card table sweeps at production sparsity (~1% dirty), the
+   pattern behind every remembered-set and card scan. *)
+let card_sweep ~sweeps () =
+  let nbits = 512 * 1024 in
+  let b = Util.Bitset.create nbits in
+  let prng = Util.Prng.create 41 in
+  for _ = 1 to nbits / 100 do
+    ignore (Util.Bitset.set b (Util.Prng.int prng nbits))
+  done;
+  let hits = ref 0 in
+  for _ = 1 to sweeps do
+    Util.Bitset.iter_set (fun _ -> incr hits) b
+  done;
+  (* Report virtual ns as cards visited x the model's card-scan cost so
+     the sweep has a sim-time interpretation. *)
+  !hits * Heap.Costs.default.Heap.Costs.card_scan
+
+(* End-to-end: a closed-loop harness run of jade on h2-tpcc. *)
+let closed_loop ~duration () =
+  let entry = Experiments.Registry.jade in
+  let app = Workload.Apps.h2_tpcc in
+  let s =
+    Experiments.Harness.run_closed
+      ~machine:(Experiments.Exp.machine_for app ~mult:4.0)
+      ~warmup:(50 * ms) ~duration
+      ~install:entry.Experiments.Registry.install
+      ~collector:entry.Experiments.Registry.name app
+  in
+  (match s.Experiments.Harness.oom with
+  | Some why -> Printf.printf "  (closed-loop hit OOM: %s)\n%!" why
+  | None -> ());
+  s.Experiments.Harness.elapsed
+
+(* Wall-clock of the --quick micro suite (no sim time; host_s is the
+   datum).  This is the smoke-path gauge scripts/ci.sh cares about. *)
+let quick_micro () =
+  let saved = !Bench_micro.quick in
+  Bench_micro.quick := true;
+  Bench_micro.all ();
+  Bench_micro.quick := saved;
+  0
+
+(* --- driver. -------------------------------------------------------- *)
+
+let json_escape s =
+  String.concat ""
+    (List.map
+       (function '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let write_json ~path ~quick (speeds : Experiments.Harness.speed list) =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"experiment\": \"speed\",\n";
+  Printf.fprintf oc "  \"quick\": %b,\n" quick;
+  Printf.fprintf oc "  \"unix_time\": %.0f,\n" (Unix.time ());
+  Printf.fprintf oc "  \"runs\": [\n";
+  List.iteri
+    (fun i (s : Experiments.Harness.speed) ->
+      Printf.fprintf oc
+        "    {\"name\": \"%s\", \"host_s\": %.6f, \"sim_ns\": %d, \
+         \"sim_ns_per_host_s\": %.1f}%s\n"
+        (json_escape s.Experiments.Harness.label)
+        s.Experiments.Harness.host_s s.Experiments.Harness.sim_ns
+        s.Experiments.Harness.sim_ns_per_host_s
+        (if i = List.length speeds - 1 then "" else ","))
+    speeds;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
+let all () =
+  print_endline "== Engine speed (simulated ns per host second) ==";
+  let q = !quick in
+  let scale n = if q then n / 4 else n in
+  let measure = Experiments.Harness.measure_speed in
+  let speeds =
+    [
+      measure ~label:"tick-storm"
+        (tick_storm ~virtual_ns:(scale (400 * ms)));
+      measure ~label:"sleeper-wheel-4k"
+        (sleeper_wheel ~sleepers:4_000 ~virtual_ns:(scale (200 * ms)));
+      measure ~label:"idle-jump"
+        (idle_jump ~virtual_ns:(scale (40_000 * ms)));
+      measure ~label:"card-sweep" (card_sweep ~sweeps:(scale 2_000));
+      measure ~label:"closed-loop-jade-h2"
+        (closed_loop ~duration:(scale (400 * ms)));
+      measure ~label:"quick-micro-suite" quick_micro;
+    ]
+  in
+  List.iter
+    (fun s -> print_endline ("  " ^ Experiments.Harness.pp_speed s))
+    speeds;
+  write_json ~path:"BENCH_speed.json" ~quick:q speeds;
+  print_endline "  -> BENCH_speed.json"

@@ -23,6 +23,7 @@ let experiments : (string * (unit -> unit)) list =
     ("fig8", Bench_figures.fig8);
     ("ablations", Bench_ablations.all);
     ("micro", Bench_micro.all);
+    ("speed", Bench_speed.all);
   ]
 
 let () =
@@ -31,6 +32,8 @@ let () =
   Bench_tables.quick := quick;
   Bench_figures.quick := quick;
   Bench_ablations.quick := quick;
+  Bench_micro.quick := quick;
+  Bench_speed.quick := quick;
   let selected =
     List.filter (fun a -> a <> "--quick" && a <> "all") args
   in

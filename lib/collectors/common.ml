@@ -264,7 +264,7 @@ module Evac = struct
             flags = o.Gobj.flags;
           }
         in
-        Region.push_obj r copy;
+        Heap_impl.push_relocated d.rt.RtM.heap r copy;
         o.Gobj.forward <- Some copy;
         Ticker.tick tk (Costs.copy_cost costs o.Gobj.size);
         d.rt.RtM.heap.Heap_impl.bytes_allocated <-
@@ -484,7 +484,7 @@ let stw_full_compact ?(on_live_ref = fun _ _ _ -> ()) rt =
                 flags = o.Gobj.flags;
               }
             in
-            Region.push_obj d copy;
+            Heap_impl.push_relocated heap d copy;
             o.Gobj.forward <- Some copy;
             Ticker.tick tk (Costs.copy_cost costs o.Gobj.size);
             true
@@ -511,6 +511,7 @@ let stw_full_compact ?(on_live_ref = fun _ _ _ -> ()) rt =
           else begin
             (* In-place slide: rebuild the region with only its live
                objects; it then joins the destination pool. *)
+            Heap_impl.begin_region_rebuild heap r;
             Util.Vec.clear r.Region.objects;
             r.Region.top <- 0;
             List.iter
@@ -529,7 +530,7 @@ let stw_full_compact ?(on_live_ref = fun _ _ _ -> ()) rt =
                     flags = o.Gobj.flags;
                   }
                 in
-                Region.push_obj r copy;
+                Heap_impl.push_relocated heap r copy;
                 o.Gobj.forward <- Some copy;
                 Ticker.tick tk (Costs.copy_cost costs o.Gobj.size))
               stay;

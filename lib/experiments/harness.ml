@@ -179,6 +179,40 @@ let run_fixed ?machine ?requests ~install ~collector app =
 
 
 (* ------------------------------------------------------------------ *)
+(* Host-time speedometer.                                               *)
+
+(** How fast the simulator itself runs on the host: virtual ns advanced
+    per host second.  This is the engine-throughput figure every perf PR
+    tracks (recorded in BENCH_speed.json by [bench speed]); it has no
+    bearing on simulated metrics, only on how long experiments take. *)
+type speed = {
+  label : string;
+  host_s : float;  (** host wall-clock spent *)
+  sim_ns : int;  (** virtual ns the run advanced *)
+  sim_ns_per_host_s : float;
+}
+
+(** [measure_speed ~label f] times [f] on the host clock; [f] returns
+    the virtual ns its simulation advanced. *)
+let measure_speed ~label f =
+  let t0 = Unix.gettimeofday () in
+  let sim_ns = f () in
+  let host_s = Unix.gettimeofday () -. t0 in
+  {
+    label;
+    host_s;
+    sim_ns;
+    sim_ns_per_host_s =
+      (if host_s > 0. then float_of_int sim_ns /. host_s else 0.);
+  }
+
+let pp_speed (s : speed) =
+  Printf.sprintf "%-28s %8.3fs host  %12s sim  %10.1f sim-us/host-ms" s.label
+    s.host_s
+    (Util.Units.pp_time_ns s.sim_ns)
+    (s.sim_ns_per_host_s /. 1e6)
+
+(* ------------------------------------------------------------------ *)
 (* Reporting.                                                           *)
 
 (** Print a per-phase / per-counter GC report for a finished run (the

@@ -48,6 +48,9 @@ type t = {
   mutable allocate_live_young : bool;
       (** same for a co-running young marking cycle *)
   mutable bytes_allocated : int;  (** cumulative, for rate estimation *)
+  mutable used : int;
+      (** sum of non-free regions' bump pointers, maintained incrementally
+          so {!used_bytes} is O(1) instead of a region-array fold *)
   mutable weak_refs : (Gobj.t * (unit -> unit) option) Util.Vec.t;
       (** registered weak references: referent + optional callback *)
 }
@@ -99,6 +102,7 @@ let create ?(costs = Costs.default) cfg =
     allocate_live = false;
     allocate_live_young = false;
     bytes_allocated = 0;
+    used = 0;
     weak_refs = Util.Vec.create (Region.dummy_obj, None);
   }
 
@@ -114,10 +118,19 @@ let cards_per_region t = t.cfg.region_bytes / t.cfg.card_bytes
 let occupancy t =
   float_of_int (used_regions t) /. float_of_int (num_regions t)
 
-let used_bytes t =
-  Array.fold_left
-    (fun acc (r : Region.t) -> if Region.is_free r then acc else acc + r.top)
-    0 t.regions
+let used_bytes t = t.used
+
+(** Append an already-constructed (relocated) object at [r]'s bump
+    pointer.  GC evacuation and compaction paths must use this instead of
+    raw [Region.push_obj] so heap-level accounting stays exact. *)
+let push_relocated t (r : Region.t) (o : Gobj.t) =
+  Region.push_obj r o;
+  t.used <- t.used + o.size
+
+(** A collector about to rebuild [r] in place (full-GC slide) retires the
+    region's current contents from the incremental {!used_bytes};
+    survivors re-enter through {!push_relocated}. *)
+let begin_region_rebuild t (r : Region.t) = t.used <- t.used - r.top
 
 (* ------------------------------------------------------------------ *)
 (* Cards.                                                               *)
@@ -175,6 +188,7 @@ let release_region t (r : Region.t) =
   for c = c0 to c0 + cards_per_region t - 1 do
     clean_card t c
   done;
+  t.used <- t.used - r.top;
   Region.reset r;
   record_region_event r.rid "release";
   Queue.push r.rid t.free_q;
@@ -200,6 +214,7 @@ let alloc_in t (r : Region.t) ?id ~size ~nrefs () =
   if t.allocate_live_young then o.ymark <- t.young_epoch;
   Region.push_obj r o;
   t.bytes_allocated <- t.bytes_allocated + size;
+  t.used <- t.used + size;
   o
 
 (** Round a requested payload size up to the slot grid, header included. *)

@@ -7,11 +7,20 @@
     each scheduling round advances the virtual clock by one quantum and
     gives at most [cores] threads a quantum of CPU each.
 
+    The scheduler core is event-driven: sleepers live in a binary
+    min-heap keyed on [(wake time, tid)] ({!Util.Pqueue}), so waking is
+    O(log sleepers) and "when is the next event?" is O(1); when nothing
+    is runnable the clock jumps straight to the next wake, and when every
+    runnable thread holds a core and is mid-[tick], whole runs of
+    no-decision rounds are collapsed into a single multi-quantum step
+    (floored to the quantum grid, so resumptions and wakeups land on
+    exactly the boundaries quantum-by-quantum stepping would produce).
+
     With the default 20 µs quantum the timing error of any measured
     interval is below one quantum, an order of magnitude finer than the
     sub-millisecond pauses under study.  Runs are fully deterministic:
     scheduling order is a pure function of the configuration and the
-    workload's PRNG seed. *)
+    workload's PRNG seed; simultaneous wakeups order by thread id. *)
 
 type kind = Mutator | Gc | Aux
 
@@ -41,6 +50,24 @@ type thread = {
   mutable blocked_on : string; (* cond name, for diagnostics *)
 }
 
+(* Fills core slots and heap slots so they never retain a real thread. *)
+let dummy_thread =
+  {
+    tid = -1;
+    name = "<none>";
+    kind = Aux;
+    daemon = true;
+    state = Finished;
+    debt = 0;
+    cont = None;
+    yielded = false;
+    enqueued = false;
+    body = None;
+    on_finish = [];
+    cpu_ns = 0;
+    blocked_on = "";
+  }
+
 type cond = { cname : string; waiters : thread Queue.t }
 
 type t = {
@@ -48,8 +75,9 @@ type t = {
   quantum : int;
   mutable clock : int;
   mutable run_offset : int; (* progress of the thread being driven now *)
+  mutable local_budget : int; (* cap on self-paid ticks this round *)
   runq : thread Queue.t;
-  mutable sleepers : thread list;
+  sleepers : thread Util.Pqueue.t; (* keyed (wake time, tid) *)
   mutable all_threads : thread list;
   mutable next_tid : int;
   mutable live_nondaemon : int;
@@ -74,8 +102,9 @@ let create ?(cores = 8) ?(quantum = 20_000) () =
     quantum;
     clock = 0;
     run_offset = 0;
+    local_budget = 0;
     runq = Queue.create ();
-    sleepers = [];
+    sleepers = Util.Pqueue.create dummy_thread;
     all_threads = [];
     next_tid = 0;
     live_nondaemon = 0;
@@ -126,8 +155,23 @@ let spawn t ?(daemon = false) ~name ~kind body =
 (* ------------------------------------------------------------------ *)
 (* Operations performed from inside a thread.                          *)
 
+(* The engine whose thread is currently being driven (simulation is
+   single-domain, so at most one resume is live; nested engines
+   save/restore around [run_thread]).  Lets {!tick} pay charges that fit
+   in the thread's remaining round budget by bumping [run_offset]
+   directly — no effect perform, no continuation switch.  The outcome is
+   bit-identical to suspending: the old scheduler paid a fitting tick in
+   full and immediately resumed the thread within the same round slot at
+   the same virtual time; only the coroutine round-trip disappears. *)
+let running : t option ref = ref None
+
 (** Charge [n] ns of virtual CPU time to the calling thread. *)
-let tick n = if n > 0 then Effect.perform (Tick n)
+let tick n =
+  if n > 0 then
+    match !running with
+    | Some t when t.run_offset + n <= t.local_budget ->
+        t.run_offset <- t.run_offset + n
+    | _ -> Effect.perform (Tick n)
 
 (** Give up the rest of the current quantum, staying runnable. *)
 let yield () = Effect.perform Yield
@@ -204,7 +248,7 @@ let handler t th : (unit, unit) Effect.Deep.handler =
                 if wake <= now t then () (* zero-length sleep: stay runnable *)
                 else begin
                   th.state <- Sleeping wake;
-                  t.sleepers <- th :: t.sleepers
+                  Util.Pqueue.push t.sleepers ~key:wake ~tie:th.tid th
                 end)
         | _ -> None);
   }
@@ -221,57 +265,76 @@ let resume t th =
       (* A finished thread should never be driven. *)
       assert false
 
-(* Drive [th] for at most [budget] ns; returns consumed CPU. *)
+(* Drive [th] for at most [budget] ns; returns consumed CPU.
+   [t.run_offset] doubles as the consumed-so-far counter: it advances
+   here when debt is paid and inside {!tick} when the running thread
+   pays a fitting charge itself. *)
 let run_thread t th budget =
-  let consumed = ref 0 in
   th.yielded <- false;
+  let saved_running = !running in
+  running := Some t;
+  t.local_budget <- budget;
   let continue_loop = ref true in
   while !continue_loop do
     if th.state <> Runnable then continue_loop := false
     else if th.debt > 0 then
-      if !consumed >= budget then continue_loop := false (* budget spent *)
+      if t.run_offset >= budget then continue_loop := false (* budget spent *)
       else begin
-        let d = min th.debt (budget - !consumed) in
+        let d = min th.debt (budget - t.run_offset) in
         th.debt <- th.debt - d;
-        consumed := !consumed + d
+        t.run_offset <- t.run_offset + d
       end
     else begin
       (* Zero debt: resuming costs no virtual time, so do it even at the
          end of the quantum — otherwise completion is discovered a whole
          quantum late. *)
-      t.run_offset <- !consumed;
       resume t th;
       if th.yielded then continue_loop := false
     end
   done;
+  running := saved_running;
+  let consumed = t.run_offset in
   t.run_offset <- 0;
-  th.cpu_ns <- th.cpu_ns + !consumed;
-  t.busy_ns.(kind_index th.kind) <- t.busy_ns.(kind_index th.kind) + !consumed;
-  !consumed
+  th.cpu_ns <- th.cpu_ns + consumed;
+  t.busy_ns.(kind_index th.kind) <- t.busy_ns.(kind_index th.kind) + consumed;
+  consumed
+
+(* The sleeper heap uses lazy deletion: an entry is live only while its
+   thread is still [Sleeping] with exactly the pushed wake time (a thread
+   woken through another path and re-slept has a newer entry of its own).
+   Stale entries are discarded whenever they surface at the top. *)
+
+let sleeper_entry_live (th : thread) key =
+  match th.state with Sleeping w -> w = key | _ -> false
 
 let wake_due_sleepers t =
-  let due, rest =
-    List.partition
-      (fun th -> match th.state with Sleeping w -> w <= t.clock | _ -> true)
-      t.sleepers
-  in
-  t.sleepers <- rest;
-  List.iter
-    (fun th ->
-      match th.state with
-      | Sleeping _ ->
-          th.state <- Runnable;
-          enqueue t th
-      | _ -> () (* already woken through another path *))
-    due
+  let continue_ = ref true in
+  while !continue_ && not (Util.Pqueue.is_empty t.sleepers) do
+    let key = Util.Pqueue.min_key_exn t.sleepers in
+    if key <= t.clock then begin
+      let th = Util.Pqueue.pop_exn t.sleepers in
+      if sleeper_entry_live th key then begin
+        th.state <- Runnable;
+        enqueue t th
+      end
+    end
+    else continue_ := false
+  done
 
-let next_wake t =
-  List.fold_left
-    (fun acc th ->
-      match th.state with
-      | Sleeping w -> ( match acc with None -> Some w | Some a -> Some (min a w))
-      | _ -> acc)
-    None t.sleepers
+(* Virtual time of the next sleeper wake; [max_int] when none.  O(1)
+   beyond discarding stale heap tops. *)
+let next_wake_ns t =
+  let result = ref max_int in
+  let continue_ = ref true in
+  while !continue_ && not (Util.Pqueue.is_empty t.sleepers) do
+    let key = Util.Pqueue.min_key_exn t.sleepers in
+    if sleeper_entry_live (Util.Pqueue.min_elt_exn t.sleepers) key then begin
+      result := key;
+      continue_ := false
+    end
+    else ignore (Util.Pqueue.pop t.sleepers)
+  done;
+  !result
 
 (** Run the simulation until all non-daemon threads finish, [until] virtual
     ns elapse, or {!request_stop} is called.  Re-raises the first exception
@@ -281,7 +344,7 @@ let debug_heartbeat =
 
 let run ?until t =
   let limit = match until with Some u -> u | None -> max_int in
-  let scratch = Array.make t.cores None in
+  let scratch = Array.make t.cores dummy_thread in
   let rounds = ref 0 in
   (try
      while
@@ -295,7 +358,8 @@ let run ?until t =
           if !rounds land 0x3FFF = 0 then begin
             Printf.eprintf "[sim] clock=%.3fs runnable=%d sleepers=%d\n%!"
               (float_of_int t.clock /. 1e9)
-              (Queue.length t.runq) (List.length t.sleepers);
+              (Queue.length t.runq)
+              (Util.Pqueue.length t.sleepers);
             List.iter
               (fun th ->
                 if th.state <> Finished then
@@ -310,44 +374,68 @@ let run ?until t =
         end);
        wake_due_sleepers t;
        if Queue.is_empty t.runq then begin
-         match next_wake t with
-         | Some w -> t.clock <- max t.clock (min w limit)
-         | None ->
-             if t.live_nondaemon > 0 then begin
-               let blocked =
-                 List.filter_map
-                   (fun th ->
-                     if th.state = Blocked && not th.daemon then Some th.name
-                     else None)
-                   t.all_threads
-               in
-               raise
-                 (Deadlock
-                    (Printf.sprintf "no runnable threads; blocked: [%s]"
-                       (String.concat "; " blocked)))
-             end
+         let w = next_wake_ns t in
+         if w < max_int then
+           (* Idle: jump the clock straight to the next event. *)
+           t.clock <- max t.clock (min w limit)
+         else begin
+           let blocked =
+             List.filter_map
+               (fun th ->
+                 if th.state = Blocked && not th.daemon then Some th.name
+                 else None)
+               t.all_threads
+           in
+           raise
+             (Deadlock
+                (Printf.sprintf "no runnable threads; blocked: [%s]"
+                   (String.concat "; " blocked)))
+         end
        end
        else begin
-         (* Clamp the step so sleepers wake on time. *)
-         let step =
-           match next_wake t with
-           | Some w when w > t.clock -> min t.quantum (w - t.clock)
-           | _ -> t.quantum
-         in
+         let wake = next_wake_ns t in
          let n = ref 0 in
          while !n < t.cores && not (Queue.is_empty t.runq) do
            let th = Queue.pop t.runq in
            th.enqueued <- false;
-           scratch.(!n) <- Some th;
+           scratch.(!n) <- th;
            incr n
          done;
+         (* Baseline step: one quantum, clamped so sleepers wake on time. *)
+         let step =
+           if wake > t.clock then min t.quantum (wake - t.clock) else t.quantum
+         in
+         (* Event-driven fast path.  When every runnable thread holds a
+            core and all are mid-[tick] with more than a quantum of debt,
+            no scheduling decision can occur before the earliest of
+            (smallest debt, next wake, [limit]): the intervening rounds
+            differ only in debt bookkeeping, so they collapse into one
+            multi-quantum step.  The jump is floored to the quantum grid
+            so every resumption and wakeup lands on exactly the round
+            boundary that quantum-by-quantum stepping would produce. *)
+         let step =
+           if step = t.quantum && Queue.is_empty t.runq then begin
+             let min_debt = ref max_int in
+             for i = 0 to !n - 1 do
+               let th = scratch.(i) in
+               if th.debt < !min_debt then min_debt := th.debt
+             done;
+             if !min_debt > t.quantum then begin
+               let horizon =
+                 min !min_debt (min (wake - t.clock) (limit - t.clock))
+               in
+               let jump = horizon / t.quantum * t.quantum in
+               if jump > t.quantum then jump else step
+             end
+             else step
+           end
+           else step
+         in
          for i = 0 to !n - 1 do
-           match scratch.(i) with
-           | Some th ->
-               scratch.(i) <- None;
-               ignore (run_thread t th step);
-               if th.state = Runnable then enqueue t th
-           | None -> ()
+           let th = scratch.(i) in
+           scratch.(i) <- dummy_thread;
+           ignore (run_thread t th step);
+           if th.state = Runnable then enqueue t th
          done;
          t.clock <- t.clock + step
        end

@@ -8,9 +8,18 @@
     speed — the machine model every collector and mutator in this
     repository runs on.
 
+    The scheduler core is event-driven: sleepers live in a binary
+    min-heap keyed on [(wake time, tid)], idle periods jump the clock
+    straight to the next event, and runs of rounds in which no
+    scheduling decision can occur (every runnable thread holds a core
+    and is mid-{!tick}) are collapsed into one multi-quantum step
+    aligned to the quantum grid — an optimization of the scheduler's
+    bookkeeping, not a change to the machine model.
+
     Determinism: scheduling order is a pure function of the spawn order
     and the threads' behaviour; two runs of the same configuration
-    produce identical traces. *)
+    produce identical traces.  Threads sleeping until the same instant
+    wake in thread-id order. *)
 
 (** Thread classes, for CPU accounting ({!busy_ns}). *)
 type kind = Mutator | Gc | Aux

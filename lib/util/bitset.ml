@@ -1,36 +1,58 @@
-(** Dense bitset backed by [Bytes].
+(** Dense bitset backed by an [int array] of 63-bit words.
 
     Backs the live bitmaps (one bit per 8 heap bytes, §3.1 of the paper),
     remembered sets and the old-to-young remembered set (one bit per 512-byte
     card), mirroring the memory-overhead arithmetic the paper reports
-    (1.56 % for live bitmaps, 1/4096 of heap per group remembered set). *)
+    (1.56 % for live bitmaps, 1/4096 of heap per group remembered set) —
+    {!byte_size} stays defined as [ceil(nbits/8)] regardless of the
+    backing representation so the accounting is unchanged.
 
-type t = { bits : Bytes.t; nbits : int; mutable cardinal : int }
+    Scans dominate the simulator's dirty-card walks, remembered-set scans
+    and livemap traversals, so iteration works a word at a time: zero
+    words cost one load, and set bits are extracted with lowest-set-bit
+    arithmetic ([v land (-v)]) instead of testing all 63 positions.
+
+    Invariant: bits at positions [>= nbits] in the trailing word are
+    never set — [create] zeroes the array and {!set} is bounds-checked —
+    so iteration needs no per-bit bounds test. *)
+
+type t = { words : int array; nbits : int; mutable cardinal : int }
+
+(* OCaml ints hold 63 usable bits on 64-bit platforms; bit 62 is the
+   sign bit, which the bitwise operators below treat uniformly. *)
+let bits_per_word = 63
 
 let create nbits =
   if nbits < 0 then invalid_arg "Bitset.create";
-  { bits = Bytes.make ((nbits + 7) / 8) '\000'; nbits; cardinal = 0 }
+  {
+    words = Array.make ((nbits + bits_per_word - 1) / bits_per_word) 0;
+    nbits;
+    cardinal = 0;
+  }
 
 let length t = t.nbits
 let cardinal t = t.cardinal
 
-(** Memory footprint in bytes, for overhead accounting. *)
-let byte_size t = Bytes.length t.bits
+(** Memory footprint in bytes, for overhead accounting (the logical
+    bit-per-byte arithmetic of the paper, not the physical word array). *)
+let byte_size t = (t.nbits + 7) / 8
 
 let check t i =
   if i < 0 || i >= t.nbits then invalid_arg "Bitset: index out of bounds"
 
 let get t i =
   check t i;
-  Char.code (Bytes.unsafe_get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+  Array.unsafe_get t.words (i / bits_per_word)
+  land (1 lsl (i mod bits_per_word))
+  <> 0
 
 (** [set t i] returns [true] when the bit was newly set (was clear). *)
 let set t i =
   check t i;
-  let byte = i lsr 3 and mask = 1 lsl (i land 7) in
-  let old = Char.code (Bytes.unsafe_get t.bits byte) in
+  let w = i / bits_per_word and mask = 1 lsl (i mod bits_per_word) in
+  let old = Array.unsafe_get t.words w in
   if old land mask = 0 then begin
-    Bytes.unsafe_set t.bits byte (Char.chr (old lor mask));
+    Array.unsafe_set t.words w (old lor mask);
     t.cardinal <- t.cardinal + 1;
     true
   end
@@ -38,45 +60,81 @@ let set t i =
 
 let clear t i =
   check t i;
-  let byte = i lsr 3 and mask = 1 lsl (i land 7) in
-  let old = Char.code (Bytes.unsafe_get t.bits byte) in
+  let w = i / bits_per_word and mask = 1 lsl (i mod bits_per_word) in
+  let old = Array.unsafe_get t.words w in
   if old land mask <> 0 then begin
-    Bytes.unsafe_set t.bits byte (Char.chr (old land lnot mask));
+    Array.unsafe_set t.words w (old land lnot mask);
     t.cardinal <- t.cardinal - 1
   end
 
 let clear_all t =
-  Bytes.fill t.bits 0 (Bytes.length t.bits) '\000';
+  Array.fill t.words 0 (Array.length t.words) 0;
   t.cardinal <- 0
 
-(** Iterate set bits in increasing order, skipping zero bytes cheaply. *)
-let iter_set f t =
-  let nbytes = Bytes.length t.bits in
-  for byte = 0 to nbytes - 1 do
-    let v = Char.code (Bytes.unsafe_get t.bits byte) in
-    if v <> 0 then
-      for bit = 0 to 7 do
-        if v land (1 lsl bit) <> 0 then begin
-          let i = (byte lsl 3) lor bit in
-          if i < t.nbits then f i
-        end
-      done
+(* Number of trailing zeros of [b], a value with exactly one bit set
+   (possibly the sign bit).  Branchy binary search — six tests. *)
+let ntz b =
+  let n = ref 0 and b = ref b in
+  if !b land 0xFFFFFFFF = 0 then begin
+    n := 32;
+    b := !b lsr 32
+  end;
+  if !b land 0xFFFF = 0 then begin
+    n := !n + 16;
+    b := !b lsr 16
+  end;
+  if !b land 0xFF = 0 then begin
+    n := !n + 8;
+    b := !b lsr 8
+  end;
+  if !b land 0xF = 0 then begin
+    n := !n + 4;
+    b := !b lsr 4
+  end;
+  if !b land 0x3 = 0 then begin
+    n := !n + 2;
+    b := !b lsr 2
+  end;
+  if !b land 0x1 = 0 then incr n;
+  !n
+
+(* Apply [f] to the index of every set bit of word value [v] at word
+   base index [base], lowest first. *)
+let iter_word f base v =
+  let v = ref v in
+  while !v <> 0 do
+    let b = !v land (- !v) in
+    f (base + ntz b);
+    v := !v land (!v - 1)
   done
 
-(** Iterate set bits within [lo, hi) only. *)
+(** Iterate set bits in increasing order; zero words cost one load. *)
+let iter_set f t =
+  let words = t.words in
+  for w = 0 to Array.length words - 1 do
+    let v = Array.unsafe_get words w in
+    if v <> 0 then iter_word f (w * bits_per_word) v
+  done
+
+(** Iterate set bits within [lo, hi) only: whole words in the interior,
+    masked head and tail words at the boundaries. *)
 let iter_set_range f t ~lo ~hi =
   let lo = max 0 lo and hi = min t.nbits hi in
-  let b0 = lo lsr 3 and b1 = (hi + 7) lsr 3 in
-  for byte = b0 to b1 - 1 do
-    let v = Char.code (Bytes.unsafe_get t.bits byte) in
-    if v <> 0 then
-      for bit = 0 to 7 do
-        if v land (1 lsl bit) <> 0 then begin
-          let i = (byte lsl 3) lor bit in
-          if i >= lo && i < hi then f i
+  if lo < hi then begin
+    let w0 = lo / bits_per_word and w1 = (hi - 1) / bits_per_word in
+    for w = w0 to w1 do
+      let v = Array.unsafe_get t.words w in
+      let v = if w = w0 then v land ((-1) lsl (lo mod bits_per_word)) else v in
+      let v =
+        if w = w1 then begin
+          let top = hi - (w * bits_per_word) in
+          if top >= bits_per_word then v else v land ((1 lsl top) - 1)
         end
-      done
-  done
+        else v
+      in
+      if v <> 0 then iter_word f (w * bits_per_word) v
+    done
+  end
 
 let to_list t =
   let acc = ref [] in

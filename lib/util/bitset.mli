@@ -1,9 +1,15 @@
-(** Dense bitset backed by [Bytes].
+(** Dense bitset backed by an [int array] of 63-bit words.
 
     Backs the live bitmaps (one bit per 8 heap bytes, §3.1), the card
     table, remembered sets and the old-to-young remembered set (one bit
     per 512-byte card), mirroring the paper's memory-overhead arithmetic
-    (1.56 % of the heap for live bitmaps, 1/4096 per remembered set). *)
+    (1.56 % of the heap for live bitmaps, 1/4096 per remembered set);
+    {!byte_size} reports the logical [ceil(nbits/8)] so the accounting
+    is representation-independent.
+
+    Iteration is word-at-a-time with lowest-set-bit extraction: sparse
+    sets (dirty-card tables, remembered sets) scan at one load per 63
+    clear bits instead of one test per bit. *)
 
 type t
 
@@ -25,7 +31,7 @@ val clear : t -> int -> unit
 val clear_all : t -> unit
 
 val iter_set : (int -> unit) -> t -> unit
-(** Visit set bits in increasing order (zero bytes are skipped). *)
+(** Visit set bits in increasing order (zero words are skipped). *)
 
 val iter_set_range : (int -> unit) -> t -> lo:int -> hi:int -> unit
 (** Visit set bits within [lo, hi). *)

@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Continuous-integration entry point: build, run the full test suite,
+# then smoke the benchmark driver in quick mode (micro + engine speed).
+# Run from the repository root:  ./scripts/ci.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== bench smoke (quick micro + speed) =="
+dune exec bench/main.exe -- --quick micro speed

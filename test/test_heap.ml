@@ -44,6 +44,40 @@ let test_claim_release () =
   Alcotest.(check bool) "object freed flag" true (Gobj.is_freed o);
   Alcotest.(check bool) "region reset" true (Region.is_free r && r.Region.top = 0)
 
+(* The incremental used-bytes counter must track the region fold it
+   replaced through every path that moves bytes: fresh allocation,
+   evacuation-style relocation, in-place rebuild, and release. *)
+let test_used_bytes_incremental () =
+  let heap = mk_heap () in
+  let folded () =
+    Array.fold_left
+      (fun acc (r : Region.t) -> acc + r.Region.top)
+      0 heap.Heap_impl.regions
+  in
+  let check_consistent label =
+    Alcotest.(check int) (label ^ ": counter matches fold") (folded ())
+      (Heap_impl.used_bytes heap)
+  in
+  Alcotest.(check int) "fresh heap unused" 0 (Heap_impl.used_bytes heap);
+  let r1 = claim_exn heap Region.Young in
+  let o1 = alloc heap r1 ~size:64 ~nrefs:1 in
+  let _o2 = alloc heap r1 ~size:128 ~nrefs:0 in
+  check_consistent "after allocs";
+  (* Relocate o1 into another region, as evacuation does. *)
+  let r2 = claim_exn heap Region.Old in
+  Heap_impl.push_relocated heap r2 o1;
+  check_consistent "after relocation";
+  (* In-place rebuild: empty r1 and re-push one survivor. *)
+  Heap_impl.begin_region_rebuild heap r1;
+  Util.Vec.clear r1.Region.objects;
+  r1.Region.top <- 0;
+  Heap_impl.push_relocated heap r1 _o2;
+  check_consistent "after rebuild";
+  Heap_impl.release_region heap r1;
+  check_consistent "after release";
+  Heap_impl.release_region heap r2;
+  Alcotest.(check int) "all released" 0 (Heap_impl.used_bytes heap)
+
 let test_exhaustion () =
   let heap = mk_heap () in
   let n = Heap_impl.num_regions heap in
@@ -324,6 +358,8 @@ let () =
         [
           Alcotest.test_case "config validation" `Quick test_config_validation;
           Alcotest.test_case "claim/release" `Quick test_claim_release;
+          Alcotest.test_case "used bytes incremental" `Quick
+            test_used_bytes_incremental;
           Alcotest.test_case "exhaustion" `Quick test_exhaustion;
           Alcotest.test_case "object size" `Quick test_object_size;
           Alcotest.test_case "offsets sorted" `Quick test_object_offsets_sorted;

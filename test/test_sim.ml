@@ -114,6 +114,36 @@ let test_deadlock_detection () =
     | () -> false
     | exception Engine.Deadlock _ -> true)
 
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_daemon_sleepers_then_deadlock () =
+  (* A daemon that sleeps a few periods and then finishes: while it is
+     alive the engine jumps through its wakeups, and once the sleeper
+     heap drains the blocked non-daemon must be reported as a deadlock
+     rather than spinning or exiting. *)
+  let e = Engine.create ~cores:2 () in
+  let c = Engine.cond "never-signalled" in
+  ignore
+    (Engine.spawn e ~daemon:true ~name:"pulse" ~kind:Engine.Aux (fun () ->
+         for _ = 1 to 5 do
+           Engine.sleep e ms
+         done));
+  ignore
+    (Engine.spawn e ~name:"stuck" ~kind:Engine.Mutator (fun () ->
+         Engine.wait c));
+  (match Engine.run e with
+  | () -> Alcotest.fail "expected Deadlock"
+  | exception Engine.Deadlock msg ->
+      Alcotest.(check bool) "names the blocked thread" true
+        (contains ~needle:"stuck" msg));
+  (* The final wake at 5 ms runs inside a round that still advances the
+     clock by one quantum before the deadlock is detected. *)
+  Alcotest.(check bool) "clock advanced through the daemon's wakes" true
+    (Engine.now e >= 5 * ms && Engine.now e <= (5 * ms) + (100 * us))
+
 let test_exception_propagates () =
   let e = Engine.create ~cores:1 () in
   ignore
@@ -173,6 +203,40 @@ let test_quantum_fairness () =
     (Printf.sprintf "threads interleaved (%d switches)" !switches)
     true (!switches > 5)
 
+(* Same-seed determinism across a full mixed mutator/GC workload: two
+   closed-loop harness runs of the jade collector must produce
+   byte-identical summaries.  This is the regression fence for the
+   event-driven scheduler core (sleeper heap ordering, idle jumps,
+   multi-quantum collapse, local tick payment): any divergence in wake
+   order or quantum accounting shows up as a changed metric. *)
+let render_summary (s : Experiments.Harness.summary) =
+  Printf.sprintf
+    "%s/%s heap=%d tput=%h done=%d lat=%d/%d/%d/%d pause=%d/%d/%d/%d \
+     n=%d stall=%d cpu=%d/%d util=%h elapsed=%d oom=%s"
+    s.Experiments.Harness.collector s.Experiments.Harness.workload
+    s.Experiments.Harness.heap_bytes s.Experiments.Harness.throughput
+    s.Experiments.Harness.completed s.Experiments.Harness.p50_latency
+    s.Experiments.Harness.p99_latency s.Experiments.Harness.p999_latency
+    s.Experiments.Harness.max_latency s.Experiments.Harness.cumulative_pause
+    s.Experiments.Harness.avg_pause s.Experiments.Harness.p99_pause
+    s.Experiments.Harness.max_pause s.Experiments.Harness.pause_count
+    s.Experiments.Harness.cumulative_stall s.Experiments.Harness.cpu_mutator
+    s.Experiments.Harness.cpu_gc s.Experiments.Harness.cpu_utilization
+    s.Experiments.Harness.elapsed
+    (Option.value ~default:"-" s.Experiments.Harness.oom)
+
+let test_same_seed_workload_determinism () =
+  let app = Workload.Apps.find "avrora" in
+  let machine = Experiments.Exp.machine_for app ~mult:3.0 in
+  let entry = Experiments.Registry.jade in
+  let run () =
+    render_summary
+      (Experiments.Harness.run_closed ~machine ~warmup:(20 * ms)
+         ~duration:(80 * ms) ~install:entry.Experiments.Registry.install
+         ~collector:entry.Experiments.Registry.name app)
+  in
+  Alcotest.(check string) "byte-identical summaries" (run ()) (run ())
+
 (* Property: CPU time is conserved and wall time is bounded by the
    theoretical parallel schedule, for arbitrary thread mixes. *)
 let cpu_conservation =
@@ -213,9 +277,13 @@ let () =
           Alcotest.test_case "daemons don't block exit" `Quick
             test_daemon_does_not_block_exit;
           Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+          Alcotest.test_case "deadlock after daemon sleepers drain" `Quick
+            test_daemon_sleepers_then_deadlock;
           Alcotest.test_case "exception propagation" `Quick test_exception_propagates;
           Alcotest.test_case "run ~until" `Quick test_until_limit;
           Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "same-seed workload determinism" `Slow
+            test_same_seed_workload_determinism;
           Alcotest.test_case "quantum fairness" `Quick test_quantum_fairness;
           cpu_conservation;
         ] );

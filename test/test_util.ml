@@ -164,6 +164,83 @@ let bitset_model =
       Bitset.cardinal b = Hashtbl.length model
       && List.for_all (fun i -> Hashtbl.mem model i) (Bitset.to_list b))
 
+(* A naive reference bitset: a bool array plus recount-from-scratch
+   cardinal.  Exercises the trailing partial word by drawing sizes that
+   are not multiples of the 63-bit word width. *)
+let bitset_reference_model =
+  qtest ~count:300 "bitset matches naive reference (mixed ops, odd sizes)"
+    QCheck2.Gen.(
+      let size = oneofl [ 1; 7; 62; 63; 64; 125; 126; 200; 255 ] in
+      pair size (list (pair (int_range 0 2) (int_range 0 10_000))))
+    (fun (nbits, ops) ->
+      let b = Bitset.create nbits in
+      let ref_bits = Array.make nbits false in
+      List.iter
+        (fun (op, r) ->
+          let i = r mod nbits in
+          match op with
+          | 0 ->
+              let newly = Bitset.set b i in
+              if newly = ref_bits.(i) then failwith "set return mismatch";
+              ref_bits.(i) <- true
+          | 1 ->
+              Bitset.clear b i;
+              ref_bits.(i) <- false
+          | _ ->
+              Bitset.clear_all b;
+              Array.fill ref_bits 0 nbits false)
+        ops;
+      let ref_card = Array.fold_left (fun n v -> if v then n + 1 else n) 0 ref_bits in
+      let ref_list =
+        List.filter (fun i -> ref_bits.(i)) (List.init nbits Fun.id)
+      in
+      (* get / cardinal / iter_set must all agree with the reference. *)
+      Bitset.cardinal b = ref_card
+      && Bitset.to_list b = ref_list
+      && List.for_all (fun i -> Bitset.get b i = ref_bits.(i))
+           (List.init nbits Fun.id)
+      (* iter_set_range over a sub-window also agrees. *)
+      &&
+      let lo = nbits / 3 and hi = 2 * nbits / 3 in
+      let acc = ref [] in
+      Bitset.iter_set_range (fun i -> acc := i :: !acc) b ~lo ~hi;
+      List.rev !acc = List.filter (fun i -> i >= lo && i < hi) ref_list)
+
+(* ------------------------------------------------------------------ *)
+(* Pqueue *)
+
+let test_pqueue_basic () =
+  let q = Pqueue.create 0 in
+  Alcotest.(check bool) "empty" true (Pqueue.is_empty q);
+  Alcotest.(check (option int)) "min_key empty" None (Pqueue.min_key q);
+  Pqueue.push q ~key:5 ~tie:0 50;
+  Pqueue.push q ~key:1 ~tie:0 10;
+  Pqueue.push q ~key:3 ~tie:0 30;
+  check Alcotest.int "length" 3 (Pqueue.length q);
+  check Alcotest.int "min_key" 1 (Pqueue.min_key_exn q);
+  check Alcotest.int "min_elt" 10 (Pqueue.min_elt_exn q);
+  Alcotest.(check (list int)) "sorted pops" [ 10; 30; 50 ]
+    (List.init 3 (fun _ -> Pqueue.pop_exn q));
+  Alcotest.(check (option int)) "pop empty" None (Pqueue.pop q)
+
+let test_pqueue_tie_break () =
+  (* Equal keys pop in tie order regardless of insertion order. *)
+  let q = Pqueue.create (-1) in
+  List.iter
+    (fun tie -> Pqueue.push q ~key:7 ~tie tie)
+    [ 3; 1; 4; 0; 2 ];
+  Alcotest.(check (list int)) "tie order" [ 0; 1; 2; 3; 4 ]
+    (List.init 5 (fun _ -> Pqueue.pop_exn q))
+
+let pqueue_model =
+  qtest ~count:300 "pqueue drains in (key, tie) order"
+    QCheck2.Gen.(list (pair (int_range 0 50) (int_range 0 10)))
+    (fun pairs ->
+      let q = Pqueue.create (0, 0) in
+      List.iter (fun (k, t) -> Pqueue.push q ~key:k ~tie:t (k, t)) pairs;
+      let drained = List.init (List.length pairs) (fun _ -> Pqueue.pop_exn q) in
+      drained = List.stable_sort compare pairs && Pqueue.is_empty q)
+
 (* ------------------------------------------------------------------ *)
 (* Histogram *)
 
@@ -254,6 +331,13 @@ let () =
           Alcotest.test_case "basic" `Quick test_bitset_basic;
           Alcotest.test_case "iter/range" `Quick test_bitset_iter_range;
           bitset_model;
+          bitset_reference_model;
+        ] );
+      ( "pqueue",
+        [
+          Alcotest.test_case "basic" `Quick test_pqueue_basic;
+          Alcotest.test_case "tie-break" `Quick test_pqueue_tie_break;
+          pqueue_model;
         ] );
       ( "histogram",
         [
