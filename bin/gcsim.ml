@@ -11,8 +11,15 @@ open Cmdliner
 open Experiments
 
 let run_cmd collector workload heap_mult qps duration_s warmup_s cores seed
-    region_kib gc_report =
+    region_kib gc_report verify =
   let e = Registry.find collector in
+  let verify =
+    match Analysis.Sanitizer.level_of_string verify with
+    | Some level -> level
+    | None ->
+        Printf.eprintf "gcsim: --verify=%s (want off, fast or full)\n" verify;
+        exit 2
+  in
   let app = Workload.Apps.find workload in
   let machine =
     {
@@ -31,13 +38,17 @@ let run_cmd collector workload heap_mult qps duration_s warmup_s cores seed
     (match qps with
     | Some q -> Printf.sprintf "open loop @ %.0f qps" q
     | None -> "closed loop");
+  (if verify <> Analysis.Sanitizer.Off then
+     Printf.printf "sanitizer       : %s (invariant verifier%s)\n%!"
+       (Analysis.Sanitizer.level_to_string verify)
+       (if verify = Analysis.Sanitizer.Full then " + race detector" else ""));
   let s =
     match qps with
     | Some qps ->
-        Harness.run_open ~machine ~warmup ~duration
+        Harness.run_open ~machine ~verify ~warmup ~duration
           ~install:e.Registry.install ~collector ~qps app
     | None ->
-        Harness.run_closed ~machine ~warmup ~duration
+        Harness.run_closed ~machine ~verify ~warmup ~duration
           ~install:e.Registry.install ~collector app
   in
   let pt = Util.Units.pp_time_ns in
@@ -130,11 +141,23 @@ let gc_report_arg =
     value & flag
     & info [ "gc-report" ] ~doc:"Print per-phase GC timings and counters.")
 
+let verify_arg =
+  Arg.(
+    value
+    & opt ~vopt:"full" string "off"
+    & info [ "verify" ] ~docv:"LEVEL"
+        ~doc:
+          "Run the GC invariant sanitizer: $(b,off) (default), $(b,fast) \
+           (accounting checks at phase boundaries) or $(b,full) (heap \
+           verifier + happens-before race detector).  $(b,--verify) alone \
+           means $(b,full).  A violation aborts the run with a structured \
+           report; simulated metrics are unaffected at any level.")
+
 let run_term =
   Term.(
     const run_cmd $ collector_arg $ workload_arg $ heap_mult_arg $ qps_arg
     $ duration_arg $ warmup_arg $ cores_arg $ seed_arg $ region_arg
-    $ gc_report_arg)
+    $ gc_report_arg $ verify_arg)
 
 let run_info =
   Cmd.info "run" ~doc:"Run one collector on one workload and print a summary."

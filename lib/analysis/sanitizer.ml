@@ -1,0 +1,60 @@
+(** Wiring layer: installs the verifier and race detector onto a runtime.
+
+    [Off] is free (no hooks installed anywhere).  [Fast] runs the O(#
+    regions) accounting checks at every phase boundary.  [Full] adds the
+    object-graph passes (reachability, SATB, remset coverage, CRDT,
+    forwarding tables) and turns on the happens-before race detector —
+    engine scheduling trace plus heap metadata access logging.
+
+    All hooks are host-side and never tick simulated time, so simulated
+    traces and metrics are bit-identical at every level. *)
+
+module RtM = Runtime.Rt
+module Vhook = Runtime.Vhook
+
+type level = Off | Fast | Full
+
+let level_to_string = function Off -> "off" | Fast -> "fast" | Full -> "full"
+
+let level_of_string = function
+  | "off" | "0" | "none" -> Some Off
+  | "fast" | "1" -> Some Fast
+  | "full" | "2" | "" -> Some Full
+  | _ -> None
+
+type t = { verifier : Verifier.t option; race : Race.t option }
+
+let none = { verifier = None; race = None }
+
+let default_on_violation r = raise (Report.Violation r)
+
+(** Install the sanitizer at [level].  Idempotent per runtime: a second
+    install on the same [rt] is a no-op (the first one wins). *)
+let install ?(on_violation = default_on_violation) ~level rt =
+  match level with
+  | Off -> none
+  | Fast | Full when rt.RtM.verify_level > 0 -> none
+  | (Fast | Full) as level ->
+      rt.RtM.verify_level <- (match level with Full -> 2 | _ -> 1);
+      let verifier =
+        Verifier.create ~full:(level = Full) ~on_violation rt
+      in
+      rt.RtM.phase_hook <- Some (Verifier.on_phase verifier);
+      Runtime.Safepoint.set_on_release rt.RtM.safepoint (fun () ->
+          RtM.fire_phase rt Vhook.Safepoint_release);
+      let race =
+        if level = Full then begin
+          let r = Race.create ~engine:rt.RtM.engine ~on_violation () in
+          Sim.Engine.set_tracer rt.RtM.engine (Some (Race.on_trace r));
+          Heap.Access.hook := Some (Race.on_access r);
+          Some r
+        end
+        else None
+      in
+      { verifier = Some verifier; race }
+
+let checks_run t =
+  match t.verifier with Some v -> Verifier.checks_run v | None -> 0
+
+let races_reported t =
+  match t.race with Some r -> Race.races_reported r | None -> 0

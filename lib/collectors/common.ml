@@ -243,16 +243,24 @@ module Evac = struct
         | None -> raise Evacuation_failure)
 
   (** Copy [o] to [d], installing the forwarding pointer; returns the new
-      copy.  Idempotent: an already-forwarded object returns its copy. *)
-  let copy_object d (tk : Ticker.t) (o : Gobj.t) =
+      copy.  Idempotent: an already-forwarded object returns its copy.
+      [racy] plants the check-then-act bug a real CAS install closes
+      (sanitizer regression tests only): after seeing the slot empty the
+      worker suspends, so a second worker can relocate the same object. *)
+  let copy_object ?(racy = false) d (tk : Ticker.t) (o : Gobj.t) =
     match o.Gobj.forward with
     | Some o' -> Gobj.resolve o'
     | None ->
+        if racy then begin
+          Ticker.flush tk;
+          Sim.Engine.yield ()
+        end;
         let costs = d.rt.RtM.costs in
         let r = dest_region d ~size:o.Gobj.size in
         let copy : Gobj.t =
           {
             id = o.Gobj.id;
+            uid = Gobj.fresh_uid ();
             size = o.Gobj.size;
             fields = o.Gobj.fields; (* one logical set of slots *)
             region = r.Region.rid;
@@ -265,7 +273,7 @@ module Evac = struct
           }
         in
         Heap_impl.push_relocated d.rt.RtM.heap r copy;
-        o.Gobj.forward <- Some copy;
+        Gobj.set_forward ~site:"Evac.copy_object" o copy;
         Ticker.tick tk (Costs.copy_cost costs o.Gobj.size);
         d.rt.RtM.heap.Heap_impl.bytes_allocated <-
           d.rt.RtM.heap.Heap_impl.bytes_allocated + o.Gobj.size;
@@ -413,6 +421,10 @@ let debug_full =
 let stw_full_compact ?(on_live_ref = fun _ _ _ -> ()) rt =
   let heap = rt.RtM.heap in
   let metrics = rt.RtM.metrics in
+  (* Phase fires carry a suffixed collector name: collector-specific
+     verifier checks (e.g. Jade's CRDT agreement, reset before the
+     compaction) must not run against this embedded full-heap mark. *)
+  let vname = rt.RtM.collector.RtM.cname ^ "+full-compact" in
   Runtime.Safepoint.stw rt.RtM.safepoint Metrics.Full_gc (fun () ->
       RtM.retire_all_tlabs rt;
       (* Full GC "sufficiently utilizes all available CPU resources"
@@ -420,12 +432,14 @@ let stw_full_compact ?(on_live_ref = fun _ _ _ -> ()) rt =
       let tk = Ticker.create ~workers:(Sim.Engine.cores rt.RtM.engine) () in
       (* Mark. *)
       let _epoch = Heap_impl.begin_mark heap in
+      RtM.fire_phase ~collector:vname rt Runtime.Vhook.Mark_start;
       let marker = Marker.create rt in
       marker.Marker.active <- true;
       scan_roots rt tk (Marker.gray marker);
       Marker.final_drain marker tk;
       marker.Marker.active <- false;
       Heap_impl.end_mark heap;
+      RtM.fire_phase ~collector:vname rt Runtime.Vhook.Mark_end;
       (* True sliding compaction: needs zero headroom.  Victims are
          processed in ascending-liveness order; each live object goes to
          the tail of an earlier, already-compacted region when one has
@@ -473,6 +487,7 @@ let stw_full_compact ?(on_live_ref = fun _ _ _ -> ()) rt =
             let copy : Gobj.t =
               {
                 id = o.Gobj.id;
+                uid = Gobj.fresh_uid ();
                 size = o.Gobj.size;
                 fields = o.Gobj.fields;
                 region = d.Region.rid;
@@ -485,7 +500,7 @@ let stw_full_compact ?(on_live_ref = fun _ _ _ -> ()) rt =
               }
             in
             Heap_impl.push_relocated heap d copy;
-            o.Gobj.forward <- Some copy;
+            Gobj.set_forward ~site:"full_compact.place_elsewhere" o copy;
             Ticker.tick tk (Costs.copy_cost costs o.Gobj.size);
             true
       in
@@ -519,6 +534,7 @@ let stw_full_compact ?(on_live_ref = fun _ _ _ -> ()) rt =
                 let copy : Gobj.t =
                   {
                     id = o.Gobj.id;
+                    uid = Gobj.fresh_uid ();
                     size = o.Gobj.size;
                     fields = o.Gobj.fields;
                     region = r.Region.rid;
@@ -531,7 +547,7 @@ let stw_full_compact ?(on_live_ref = fun _ _ _ -> ()) rt =
                   }
                 in
                 Heap_impl.push_relocated heap r copy;
-                o.Gobj.forward <- Some copy;
+                Gobj.set_forward ~site:"full_compact.slide_in_place" o copy;
                 Ticker.tick tk (Costs.copy_cost costs o.Gobj.size))
               stay;
             r.Region.live_bytes <- r.Region.top;
@@ -593,4 +609,6 @@ let stw_full_compact ?(on_live_ref = fun _ _ _ -> ()) rt =
               0 heap.Heap_impl.regions)
        end);
       RtM.notify_memory_freed rt;
+      RtM.fire_phase ~collector:vname rt Runtime.Vhook.Evac_end;
+      RtM.fire_phase ~collector:vname rt Runtime.Vhook.Cycle_end;
       !reclaimed)

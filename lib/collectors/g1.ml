@@ -193,7 +193,8 @@ let run_mark_cycle t =
         Common.Ticker.create ~workers:(Sim.Engine.cores rt.RtM.engine) ()
       in
       Common.scan_roots rt tk (Common.Marker.gray marker);
-      Common.Ticker.flush tk);
+      Common.Ticker.flush tk;
+      RtM.fire_phase rt Runtime.Vhook.Mark_start);
   Common.Marker.concurrent_mark marker ~workers:t.config.gc_threads;
   Runtime.Safepoint.stw rt.RtM.safepoint Metrics.Remark (fun () ->
       let tk =
@@ -207,7 +208,8 @@ let run_mark_cycle t =
       Heap_impl.end_mark heap;
       let _, cleared = Heap_impl.process_weak_refs_marked heap in
       Common.Ticker.tick tk (cleared * rt.RtM.costs.Costs.weak_ref_process);
-      Common.Ticker.flush tk);
+      Common.Ticker.flush tk;
+      RtM.fire_phase rt Runtime.Vhook.Mark_end);
   Metrics.phase_end metrics "g1.conc_mark" ~now:(Sim.Engine.now rt.RtM.engine);
   (* Concurrent remembered-set rebuild: scan every dirty card, record
      cross-region references, clean the card (Table 7's G1 "Build"). *)
@@ -270,7 +272,8 @@ let run_mark_cycle t =
       (float_of_int (Sim.Engine.now rt.RtM.engine) /. 1e9)
       (List.length t.candidates)
       (Heap_impl.free_regions heap);
-  t.marking <- false
+  t.marking <- false;
+  RtM.fire_phase rt Runtime.Vhook.Cycle_end
 
 (* ------------------------------------------------------------------ *)
 (* Controller daemon.                                                   *)
@@ -344,6 +347,21 @@ let install ?(config = default_config) rt =
       dirty_since_rebuild = 0;
     }
   in
+  (* Verifier metadata: a per-target-region remset covers an old→young
+     edge; a still-dirty card does too — refinement inserts inline, so
+     the dirty bit is only a pre-rebuild backup. *)
+  RtM.register_remset_provider rt
+    {
+      Runtime.Vhook.rp_name = "g1.remsets";
+      rp_covers =
+        (fun () ->
+          Some
+            (fun ~card ~target_rid ->
+              (match Region_remsets.get t.remsets target_rid with
+              | Some rs -> Remset.mem rs card
+              | None -> false)
+              || Heap_impl.card_is_dirty heap card));
+    };
   let costs = rt.RtM.costs in
   let store_barrier ~src ~field ~old_v ~new_v =
     if t.marker.Common.Marker.active then begin

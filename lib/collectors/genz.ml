@@ -125,6 +125,9 @@ let install ?(config = default_config) rt =
       }
   in
   let t = { rt; config; young; zgc; urgent = false } in
+  (* Constructed without [Zgc.install], so register the verifier's
+     forwarding-table source here. *)
+  RtM.register_fwd_table_source rt (fun () -> zgc.Zgc.forwarding);
   let costs = rt.RtM.costs in
   let store_barrier ~src ~field ~old_v ~new_v =
     if

@@ -98,7 +98,8 @@ let run_trace t =
         Common.Ticker.create ~workers:(Sim.Engine.cores rt.RtM.engine) ()
       in
       Common.scan_roots rt tk (Common.Marker.gray marker);
-      Common.Ticker.flush tk);
+      Common.Ticker.flush tk;
+      RtM.fire_phase rt Runtime.Vhook.Mark_start);
   Common.Marker.concurrent_mark marker ~workers:t.config.gc_threads;
   Runtime.Safepoint.stw rt.RtM.safepoint Metrics.Remark (fun () ->
       let tk =
@@ -111,7 +112,8 @@ let run_trace t =
       let _, cleared = Heap_impl.process_weak_refs_marked heap in
       Common.Ticker.tick tk (cleared * rt.RtM.costs.Costs.weak_ref_process);
       ignore (Common.reclaim_dead_humongous rt tk);
-      Common.Ticker.flush tk);
+      Common.Ticker.flush tk;
+      RtM.fire_phase rt Runtime.Vhook.Mark_end);
   let cands = ref [] in
   Array.iter
     (fun (r : Region.t) ->
@@ -127,7 +129,8 @@ let run_trace t =
       (fun (a : Region.t) b ->
         compare (Region.garbage_bytes b) (Region.garbage_bytes a))
       !cands;
-  Metrics.add rt.RtM.metrics "lxr.traces" 1
+  Metrics.add rt.RtM.metrics "lxr.traces" 1;
+  RtM.fire_phase rt Runtime.Vhook.Cycle_end
 
 let controller t () =
   let rt = t.rt in
@@ -174,6 +177,20 @@ let install ?(config = default_config) rt =
       urgent = false;
     }
   in
+  (* Verifier metadata: field-logging barriers insert remset entries
+     inline, with no dirty-card backup — the per-target-region remsets
+     are the sole old→young coverage source. *)
+  RtM.register_remset_provider rt
+    {
+      Runtime.Vhook.rp_name = "lxr.remsets";
+      rp_covers =
+        (fun () ->
+          Some
+            (fun ~card ~target_rid ->
+              match Region_remsets.get t.remsets target_rid with
+              | Some rs -> Remset.mem rs card
+              | None -> false));
+    };
   let costs = rt.RtM.costs in
   let store_barrier ~src ~field ~old_v ~new_v =
     (* Field-logging RC barrier on every reference store. *)

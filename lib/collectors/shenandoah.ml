@@ -177,7 +177,8 @@ let run_cycle t =
       marker.Common.Marker.active <- true;
       let tk = stw_tk () in
       Common.scan_roots rt tk (Common.Marker.gray marker);
-      Common.Ticker.flush tk);
+      Common.Ticker.flush tk;
+      RtM.fire_phase rt Runtime.Vhook.Mark_start);
   (* 2. Concurrent mark. *)
   Metrics.phase_begin metrics "shen.mark" ~now:(now ());
   Common.Marker.concurrent_mark marker ~workers:t.config.gc_threads;
@@ -195,7 +196,8 @@ let run_cycle t =
       Common.Ticker.tick tk (cleared * rt.RtM.costs.Costs.weak_ref_process);
       cset := select_cset t;
       ignore (Common.reclaim_dead_humongous rt tk);
-      Common.Ticker.flush tk);
+      Common.Ticker.flush tk;
+      RtM.fire_phase rt Runtime.Vhook.Mark_end);
   (* 4. Concurrent evacuation. *)
   Metrics.phase_begin metrics "shen.evac" ~now:(now ());
   let evac_rest, evac_failed =
@@ -250,11 +252,13 @@ let run_cycle t =
         let tk = stw_tk () in
         RtM.update_roots rt;
         release_cset t tk !cset;
-        Common.Ticker.flush tk);
+        Common.Ticker.flush tk;
+        RtM.fire_phase rt Runtime.Vhook.Evac_end);
   Common.check_reachability rt ~where:"shen_cycle";
   Metrics.phase_end metrics "shen.cycle" ~now:(now ());
   Metrics.add metrics "shen.cycles" 1;
-  t.cycle_running <- false
+  t.cycle_running <- false;
+  RtM.fire_phase rt Runtime.Vhook.Cycle_end
 
 (* ------------------------------------------------------------------ *)
 (* Controller and plumbing.                                             *)

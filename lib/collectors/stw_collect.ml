@@ -68,10 +68,20 @@ let collect rt ~(remsets : Region_remsets.t) ~config ~(old_cset : Region.t list)
         heap.Heap_impl.regions;
       List.iter
         (fun (r : Region.t) ->
-          assert (r.Region.kind = Region.Old && not r.Region.humongous);
+          if r.Region.kind <> Region.Old || r.Region.humongous then
+            failwith
+              (Printf.sprintf
+                 "stw_collect: old cset region r%d is %s%s — caller policy \
+                  must pick non-humongous old regions"
+                 r.Region.rid
+                 (Region.kind_to_string r.Region.kind)
+                 (if r.Region.humongous then " (humongous)" else ""));
           r.Region.in_cset <- true;
           cset := r :: !cset)
         old_cset;
+      (* Remembered sets are about to be the only source of non-cset
+         roots into the cset: coverage must be complete right now. *)
+      RtM.fire_phase rt Runtime.Vhook.Remset_scan;
       let in_cset (o : Gobj.t) =
         (Heap_impl.region heap o.Gobj.region).Region.in_cset
       in
@@ -180,7 +190,14 @@ let collect rt ~(remsets : Region_remsets.t) ~config ~(old_cset : Region.t list)
                            match Gobj.get_field o i with
                            | Some stored ->
                                let child = Gobj.resolve stored in
-                               if in_cset child then begin
+                               (* Dead holders on this card can hold
+                                  dangling references into regions
+                                  reclaimed by earlier pauses; the target
+                                  region id may since have been recycled
+                                  into this cset, so the membership test
+                                  alone would resurrect freed garbage. *)
+                               if Gobj.is_freed child then ()
+                               else if in_cset child then begin
                                  let child' = copy_out child in
                                  Gobj.set_field o i (Some child');
                                  (* The holder stays outside the cset: its
@@ -191,8 +208,22 @@ let collect rt ~(remsets : Region_remsets.t) ~config ~(old_cset : Region.t list)
                                    ~card:
                                      (Heap_impl.card_of_field heap o i)
                                end
-                               else if child != stored then
-                                 Gobj.set_field o i (Some child)
+                               else if child != stored then begin
+                                 (* Already evacuated via another path this
+                                    pause: healing alone would lose the
+                                    edge when the cset region's remembered
+                                    set is cleared on release — the new
+                                    location needs this holder card too. *)
+                                 Gobj.set_field o i (Some child);
+                                 if child.Gobj.region <> o.Gobj.region
+                                 then begin
+                                   Common.Ticker.tick tk
+                                     costs.Costs.remset_insert;
+                                   Region_remsets.add remsets
+                                     ~target_rid:child.Gobj.region
+                                     ~card:(Heap_impl.card_of_field heap o i)
+                                 end
+                               end
                            | None -> ())
                      end)
                    rs)
@@ -294,6 +325,7 @@ let collect rt ~(remsets : Region_remsets.t) ~config ~(old_cset : Region.t list)
         (* Leave the heap consistent: forwarded copies stay, nothing is
            released; the caller must fall back to a full compaction. *)
         List.iter (fun (r : Region.t) -> r.Region.in_cset <- false) !cset;
+      if not !failed then RtM.fire_phase rt Runtime.Vhook.Evac_end;
       Common.Ticker.flush tk;
       Common.check_reachability rt ~where:"stw_collect";
       Metrics.add rt.RtM.metrics "stw_collections" 1;

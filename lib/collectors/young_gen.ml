@@ -37,21 +37,33 @@ type t = {
 
 let create ?(tenure_age = 1) ?(atomic_cost = false) ~style rt =
   let heap = rt.RtM.heap in
-  {
-    rt;
-    remset =
-      Remset.create ~name:"old2young" ~total_cards:(Heap_impl.total_cards heap);
-    tenure_age;
-    style;
-    atomic_cost;
-    marker =
-      Common.Marker.create
-        ~scope:(Common.Marker.Only (fun r -> r.Region.kind = Region.Young))
-        ~gen:Common.Marker.Young_gen ~atomic_cost rt;
-    young_cycle_active = false;
-    survivor_bytes = 0;
-    survivor_cap = heap.Heap_impl.cfg.heap_bytes / 16;
-  }
+  let t =
+    {
+      rt;
+      remset =
+        Remset.create ~name:"old2young"
+          ~total_cards:(Heap_impl.total_cards heap);
+      tenure_age;
+      style;
+      atomic_cost;
+      marker =
+        Common.Marker.create
+          ~scope:(Common.Marker.Only (fun r -> r.Region.kind = Region.Young))
+          ~gen:Common.Marker.Young_gen ~atomic_cost rt;
+      young_cycle_active = false;
+      survivor_bytes = 0;
+      survivor_cap = heap.Heap_impl.cfg.heap_bytes / 16;
+    }
+  in
+  (* Verifier metadata: the card remset is the sole old→young coverage
+     source for the generational baselines (no dirty-card backup). *)
+  RtM.register_remset_provider rt
+    {
+      Runtime.Vhook.rp_name = "young_gen.old2young";
+      rp_covers =
+        (fun () -> Some (fun ~card ~target_rid:_ -> Remset.mem t.remset card));
+    };
+  t
 
 let is_young heap (o : Gobj.t) =
   (Heap_impl.region heap o.Gobj.region).Region.kind = Region.Young
@@ -171,6 +183,7 @@ let collect t ~gc_threads =
       snapshot := young_regions t;
       List.iter (fun (r : Region.t) -> r.Region.in_cset <- true) !snapshot;
       marker.Common.Marker.active <- true;
+      RtM.fire_phase rt Runtime.Vhook.Remset_scan;
       let tk = stw_tk () in
       Common.scan_roots rt tk (Common.Marker.gray marker);
       scan_remset_roots t tk;
@@ -185,7 +198,8 @@ let collect t ~gc_threads =
       Common.Marker.final_drain marker tk;
       marker.Common.Marker.active <- false;
       Heap_impl.end_young_mark heap;
-      Common.Ticker.flush tk);
+      Common.Ticker.flush tk;
+      RtM.fire_phase rt Runtime.Vhook.Young_mark_end);
   (* Concurrent evacuation over the snapshot. *)
   Metrics.phase_begin metrics "young.evac" ~now:(now ());
   let arr = Array.of_list !snapshot in
@@ -251,12 +265,14 @@ let collect t ~gc_threads =
     let _, cleared = Heap_impl.process_weak_refs_freed_only heap in
     Metrics.add metrics "young.weak_cleared" cleared;
     Metrics.add metrics "young.collections" 1;
-    RtM.notify_memory_freed rt
+    RtM.notify_memory_freed rt;
+    RtM.fire_phase rt Runtime.Vhook.Evac_end
   end
   else List.iter (fun (r : Region.t) -> r.Region.in_cset <- false) !snapshot;
   Common.check_reachability rt ~where:"young_gen";
   Metrics.phase_end metrics "young.cycle" ~now:(now ());
   t.young_cycle_active <- false;
+  RtM.fire_phase rt Runtime.Vhook.Cycle_end;
   if debug then
     Printf.eprintf "[young] %.3fs end ok=%b free=%d remset=%d\n%!"
       (float_of_int (Sim.Engine.now rt.RtM.engine) /. 1e9)

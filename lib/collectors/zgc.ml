@@ -76,7 +76,8 @@ let run_cycle t =
       marker.Common.Marker.active <- true;
       let tk = stw_tk () in
       Common.scan_roots rt tk (Common.Marker.gray marker);
-      Common.Ticker.flush tk);
+      Common.Ticker.flush tk;
+      RtM.fire_phase rt Runtime.Vhook.Mark_start);
   (* Concurrent mark: remaps every stale reference it encounters — the
      previous cycle's forwarding tables can be dropped afterwards. *)
   Metrics.phase_begin metrics "zgc.mark" ~now:(now ());
@@ -93,7 +94,8 @@ let run_cycle t =
       let _, cleared = Heap_impl.process_weak_refs_marked heap in
       Common.Ticker.tick tk (cleared * rt.RtM.costs.Costs.weak_ref_process);
       ignore (Common.reclaim_dead_humongous rt tk);
-      Common.Ticker.flush tk);
+      Common.Ticker.flush tk;
+      RtM.fire_phase rt Runtime.Vhook.Mark_end);
   t.forwarding <- [];
   (* Concurrent relocation: each region is freed the moment its live
      objects are out — this is the incremental reclamation G1/Shenandoah
@@ -137,6 +139,7 @@ let run_cycle t =
         end
       done);
   Common.check_reachability rt ~where:"zgc_relocate";
+  if not !out_of_space then RtM.fire_phase rt Runtime.Vhook.Evac_end;
   Metrics.phase_end metrics "zgc.relocate" ~now:(now ());
   Metrics.phase_end metrics "zgc.cycle" ~now:(now ());
   Metrics.add metrics "zgc.cycles" 1;
@@ -153,7 +156,8 @@ let run_cycle t =
       RtM.notify_memory_freed rt
     end
   end;
-  t.cycle_running <- false
+  t.cycle_running <- false;
+  RtM.fire_phase rt Runtime.Vhook.Cycle_end
 
 let controller t () =
   let rt = t.rt in
@@ -179,6 +183,9 @@ let install ?(config = default_config) rt =
       urgent = false;
     }
   in
+  (* Verifier metadata: the off-heap forwarding tables alive right now
+     (checked against live copies at [Evac_end]). *)
+  RtM.register_fwd_table_source rt (fun () -> t.forwarding);
   let costs = rt.RtM.costs in
   let store_barrier ~src ~field ~old_v ~new_v =
     ignore src;

@@ -141,6 +141,25 @@ let old_controller t () =
 let install ?(config = Jade_config.default) rt =
   let young = Young.create ~config rt in
   let old_gc = Old.create ~config ~young rt in
+  young.Young.old_cycle_running <- (fun () -> old_gc.Old.cycle_running);
+  (* Correctness-tooling metadata: how the verifier judges old→young
+     coverage and mark/CRDT agreement for this collector.  Coverage is
+     remset ∪ dirty card (the dirty bit is the barrier's backup until the
+     next build cleans it); it cannot be judged mid-old-cycle, where
+     remset maintenance has in-flight windows. *)
+  RtM.register_remset_provider rt
+    {
+      Runtime.Vhook.rp_name = "jade.old2young";
+      rp_covers =
+        (fun () ->
+          if old_gc.Old.cycle_running then None
+          else
+            Some
+              (fun ~card ~target_rid:_ ->
+                Remset.mem young.Young.remset card
+                || Heap_impl.card_is_dirty rt.RtM.heap card));
+    };
+  RtM.register_crdt_source rt ~collector:"jade" old_gc.Old.crdt;
   young.Young.promoted_old_ref <-
     Some
       (fun o' i child ->

@@ -6,6 +6,23 @@
     generation, and the chasing mode raises the number of concurrent GC
     threads to the core count while mutators are stalled. *)
 
+(** Deliberately planted protocol bugs, for sanitizer regression tests
+    ([lib/analysis]).  A planted variant must never ship in an
+    experiment config; it exists so CI can prove the correctness
+    tooling catches real failures rather than merely staying silent. *)
+type planted_bug =
+  | No_bug
+  | Skip_remset_insert
+      (** the young write barrier "forgets" the old→young remembered-set
+          insert (and the matching card dirtying), so a young collection
+          can miss an old-to-young edge — caught by the verifier's
+          independent remset recomputation *)
+  | Racy_forwarding
+      (** evacuation re-checks the forwarding slot, then yields before
+          installing — the classic check-then-act window a real CAS
+          closes — so two workers can both relocate one object; caught
+          by the race detector as unordered forwarding installs *)
+
 type t = {
   young_workers : int;  (** concurrent young GC threads *)
   old_workers : int;  (** concurrent old GC threads *)
@@ -26,6 +43,7 @@ type t = {
       (** §4.4 future work: process the weak discover list concurrently
           instead of inside the final-mark pause *)
   poll_interval : int;
+  planted_bug : planted_bug;  (** sanitizer regression tests only *)
 }
 
 let default =
@@ -43,4 +61,5 @@ let default =
     use_crdt = true;
     concurrent_weak_refs = false;
     poll_interval = 100 * Util.Units.us;
+    planted_bug = No_bug;
   }

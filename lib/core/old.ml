@@ -70,7 +70,17 @@ let barrier t ~(src : Gobj.t) ~field ~(new_v : Gobj.t option) =
   | Some child when child.Gobj.region <> src.Gobj.region ->
       Sim.Engine.tick t.rt.RtM.costs.Costs.card_barrier;
       let card = Heap_impl.card_of_field heap src field in
-      Heap_impl.dirty_card heap card;
+      let child_is_young =
+        (Heap_impl.region heap child.Gobj.region).Region.kind = Region.Young
+      in
+      (* The planted bug must also drop the card dirtying for old→young
+         stores — otherwise the dirty bit masks the missing remset insert
+         and the sanitizer regression test proves nothing. *)
+      if
+        not
+          (child_is_young
+          && t.config.Jade_config.planted_bug = Jade_config.Skip_remset_insert)
+      then Heap_impl.dirty_card heap card;
       if t.current_group >= 0 then begin
         let g = (Heap_impl.region heap child.Gobj.region).Region.group in
         if g >= t.current_group then begin
@@ -99,7 +109,8 @@ let mark_phase t =
       t.young.Young.old_marker <- Some marker;
       let tk = stw_tk () in
       Common.scan_roots rt tk (Common.Marker.gray marker);
-      Common.Ticker.flush tk);
+      Common.Ticker.flush tk;
+      RtM.fire_phase rt Runtime.Vhook.Mark_start);
   Metrics.phase_begin metrics "jade.mark" ~now:(now ());
   Common.Marker.concurrent_mark marker ~workers:t.config.old_workers;
   Metrics.phase_end metrics "jade.mark" ~now:(now ());
@@ -119,7 +130,8 @@ let mark_phase t =
         Metrics.add metrics "jade.weak_stw_cleared" cleared
       end;
       ignore (Common.reclaim_dead_humongous rt tk);
-      Common.Ticker.flush tk);
+      Common.Ticker.flush tk;
+      RtM.fire_phase rt Runtime.Vhook.Mark_end);
   if t.config.Jade_config.concurrent_weak_refs then begin
     (* Concurrent weak processing: safe because the mark results are
        stable after final mark, referents are judged through resolve, and
@@ -210,8 +222,26 @@ let build_remsets t (plan : Grouping.plan) =
         match Gobj.get_field o i with
         | Some child ->
             let child = Gobj.resolve child in
-            if child.Gobj.region <> o.Gobj.region then
+            (* A dead holder's dangling reference into a reclaimed region
+               must not mint remset entries for whatever region id now
+               occupies that slot. *)
+            if
+              (not (Gobj.is_freed child))
+              && child.Gobj.region <> o.Gobj.region
+            then begin
+              (* This scan is followed by [clean_card]; if the card still
+                 covers an old→young edge whose remset insert the young
+                 collector pruned against a half-completed store, the
+                 dirty bit is the last record of that edge — re-publish
+                 it before erasing the backup.  Unbilled: an idempotent
+                 bitset insert the mutator already paid for once. *)
+              (let cr = Heap_impl.region heap child.Gobj.region in
+               let hr = Heap_impl.region heap o.Gobj.region in
+               if
+                 cr.Region.kind = Region.Young && hr.Region.kind = Region.Old
+               then ignore (Remset.add t.young.Young.remset card));
               insert_for_target tk ~card ~target_rid:child.Gobj.region
+            end
         | None -> ())
   in
   (* Work list: cards known to the CRDT (live cross-region refs found by
@@ -386,11 +416,13 @@ let run_cycle t =
   t.plan <- Some plan;
   build_remsets t plan;
   Metrics.phase_begin metrics "jade.old_evac" ~now:(now ());
+  RtM.fire_phase rt Runtime.Vhook.Evac_start;
   let ok = ref true in
   Array.iteri
     (fun gi regions ->
       if !ok && regions <> [] then ok := evacuate_group t ~group:gi regions)
     plan.Grouping.groups;
+  RtM.fire_phase rt Runtime.Vhook.Evac_end;
   Metrics.phase_end metrics "jade.old_evac" ~now:(now ());
   (* Cycle epilogue: fix roots in a tiny pause. *)
   Runtime.Safepoint.stw rt.RtM.safepoint Metrics.Remark (fun () ->
@@ -405,4 +437,5 @@ let run_cycle t =
   Metrics.phase_end metrics "jade.old_cycle" ~now:(now ());
   Metrics.add metrics "jade.old_cycles" 1;
   t.cycle_running <- false;
+  RtM.fire_phase rt Runtime.Vhook.Cycle_end;
   !ok

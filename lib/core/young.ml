@@ -25,6 +25,12 @@ type t = {
   scan_stack : Gobj.t Util.Vec.t;  (** copies whose fields need scanning *)
   mutable active : bool;
   mutable old_marker : Common.Marker.t option;  (** gray old targets here *)
+  mutable old_cycle_running : unit -> bool;
+      (** installed by the old collector.  Remembered-set pruning is
+          deferred while an old cycle runs: the old remset build cleans
+          dirty cards concurrently, and a prune decided against a
+          half-completed store (insert published, field not yet written)
+          must keep the dirty bit as its safety net until then *)
   mutable promoted_old_ref : (Gobj.t -> int -> Gobj.t -> unit) option;
       (** installed by the old collector: cross-region old references of
           freshly promoted copies must reach pending group remsets *)
@@ -51,6 +57,7 @@ let create ~config rt =
     scan_stack = Util.Vec.create Region.dummy_obj;
     active = false;
     old_marker = None;
+    old_cycle_running = (fun () -> false);
     promoted_old_ref = None;
     promotion_rate = 0.;
     last_gc_end = 0;
@@ -77,7 +84,8 @@ let barrier t ~(src : Gobj.t) ~field ~(new_v : Gobj.t option) =
   | Some child when is_young heap child ->
       if is_old heap src then begin
         Sim.Engine.tick t.rt.RtM.costs.Costs.card_barrier;
-        ignore (Remset.add t.remset (Heap_impl.card_of_field heap src field))
+        if t.config.planted_bug <> Jade_config.Skip_remset_insert then
+          ignore (Remset.add t.remset (Heap_impl.card_of_field heap src field))
       end;
       if t.active && in_snapshot heap child then Util.Vec.push t.pending child
   | _ -> ()
@@ -95,7 +103,8 @@ let copy_out t (dests : Common.Evac.dest * Common.Evac.dest) tk (o : Gobj.t) =
         || t.survivor_bytes > t.survivor_cap
       in
       let dest = if promote then dest_old else dest_young in
-      let o' = Common.Evac.copy_object dest tk o in
+      let racy = t.config.planted_bug = Jade_config.Racy_forwarding in
+      let o' = Common.Evac.copy_object ~racy dest tk o in
       if promote then
         Metrics.add t.rt.RtM.metrics "jade.promoted_bytes" o.Gobj.size
       else t.survivor_bytes <- t.survivor_bytes + o.Gobj.size;
@@ -163,12 +172,19 @@ let scan_remset_card t dests tk card =
         | None -> ()
         | Some child ->
             let child = Gobj.resolve child in
-            let child =
-              if in_snapshot heap child then copy_out t dests tk child
-              else child
-            in
-            Gobj.set_field o i (Some child);
-            if is_young heap child then keep := true);
+            (* A dead holder on this card can carry a dangling reference
+               to an object reclaimed cycles ago.  Its region id may have
+               been recycled into the current snapshot, so the membership
+               test alone would resurrect freed garbage — a dangling edge
+               is never copied or healed. *)
+            if not (Gobj.is_freed child) then begin
+              let child =
+                if in_snapshot heap child then copy_out t dests tk child
+                else child
+              in
+              Gobj.set_field o i (Some child);
+              if is_young heap child then keep := true
+            end);
     !keep
   end
 
@@ -200,6 +216,10 @@ let collect t ~workers =
           end)
         heap.Heap_impl.regions;
       t.active <- true;
+      (* Old→young coverage must be complete at this point: the snapshot
+         is taken and the remembered set is about to become the only
+         source of old-held young roots. *)
+      RtM.fire_phase rt Runtime.Vhook.Remset_scan;
       let tk = stw_tk () in
       let dests =
         (Common.Evac.make_dest rt Region.Young, Common.Evac.make_dest rt Region.Old)
@@ -230,7 +250,14 @@ let collect t ~workers =
               let c = !next_card in
               incr next_card;
               let keep = scan_remset_card t dests tk card_arr.(c) in
-              if not keep then Remset.remove t.remset card_arr.(c)
+              (* Prune only while no old cycle runs: the scan may have
+                 raced a mutator's half-completed store (remset insert
+                 published, field write pending), which leaves the card
+                 dirty — and only the old cycle's remset build cleans
+                 dirty cards, so outside an old cycle the dirty bit
+                 safely covers the edge until the next scan. *)
+              if not keep && not (t.old_cycle_running ()) then
+                Remset.remove t.remset card_arr.(c)
             end
             else begin
               drain t dests tk;
@@ -271,7 +298,8 @@ let collect t ~workers =
         Common.Ticker.tick tk (cleared * costs.Costs.weak_ref_process);
         Metrics.add metrics "jade.young_collections" 1;
         Metrics.add metrics "jade.young_regions_reclaimed"
-          (List.length !snapshot)
+          (List.length !snapshot);
+        RtM.fire_phase rt Runtime.Vhook.Evac_end
       end
       else begin
         List.iter (fun (r : Region.t) -> r.Region.in_cset <- false) !snapshot;
@@ -291,4 +319,5 @@ let collect t ~workers =
   t.promoted_prev <- promoted;
   t.promotion_rate <- (0.7 *. t.promotion_rate) +. (0.3 *. inst);
   Metrics.phase_end metrics "jade.young" ~now:(now ());
+  RtM.fire_phase rt Runtime.Vhook.Cycle_end;
   not !failed

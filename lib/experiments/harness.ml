@@ -48,10 +48,26 @@ type summary = {
 exception Setup_oom of string
 (** The workload's live set does not fit the configured heap. *)
 
+(** Sanitizer level for a run: the [?verify] argument wins, then the
+    [GCSIM_VERIFY] environment variable ("fast" / "full"), else off. *)
+let verify_level ?verify () =
+  match verify with
+  | Some level -> level
+  | None -> (
+      match Sys.getenv_opt "GCSIM_VERIFY" with
+      | None -> Analysis.Sanitizer.Off
+      | Some s -> (
+          match Analysis.Sanitizer.level_of_string s with
+          | Some level -> level
+          | None ->
+              invalid_arg
+                (Printf.sprintf "GCSIM_VERIFY=%s (want off, fast or full)" s)))
+
 (** Build engine+heap+runtime, install the collector, construct the
     workload's live set, and return the runtime plus a request closure.
     Raises {!Setup_oom} when the heap cannot even hold the live set. *)
-let prepare ?(machine = default_machine) ~install (app : Workload.Apps.t) =
+let prepare ?(machine = default_machine) ?verify ~install
+    (app : Workload.Apps.t) =
   (* Round the heap down to a whole number of regions (at least 4). *)
   let heap_bytes =
     max (4 * machine.region_bytes)
@@ -63,7 +79,11 @@ let prepare ?(machine = default_machine) ~install (app : Workload.Apps.t) =
   in
   let heap = Heap.Heap_impl.create cfg in
   let rt = RtM.create ~seed:machine.seed ~engine ~heap () in
+  (* A detector left over from a previous in-process run must not observe
+     this unrelated heap. *)
+  Heap.Access.reset ();
   install rt;
+  ignore (Analysis.Sanitizer.install ~level:(verify_level ?verify ()) rt);
   let state = ref None in
   ignore
     (Sim.Engine.spawn engine ~name:"setup" ~kind:Sim.Engine.Mutator (fun () ->
@@ -135,9 +155,9 @@ let summarize rt (app : Workload.Apps.t) ~collector
   }
 
 (** One closed-loop run: peak throughput. *)
-let run_closed ?machine ?(warmup = 300 * Util.Units.ms)
+let run_closed ?machine ?verify ?(warmup = 300 * Util.Units.ms)
     ?(duration = 1_500 * Util.Units.ms) ~install ~collector app =
-  match prepare ?machine ~install app with
+  match prepare ?machine ?verify ~install app with
   | exception Setup_oom why -> oom_summary ~machine ~collector app why
   | rt, request ->
       let r =
@@ -148,9 +168,9 @@ let run_closed ?machine ?(warmup = 300 * Util.Units.ms)
       summarize rt app ~collector r
 
 (** One open-loop (throttled) run at a fixed QPS. *)
-let run_open ?machine ?(warmup = 300 * Util.Units.ms)
+let run_open ?machine ?verify ?(warmup = 300 * Util.Units.ms)
     ?(duration = 1_500 * Util.Units.ms) ~install ~collector ~qps app =
-  match prepare ?machine ~install app with
+  match prepare ?machine ?verify ~install app with
   | exception Setup_oom why -> oom_summary ~machine ~collector app why
   | rt, request ->
       let r =
@@ -161,8 +181,8 @@ let run_open ?machine ?(warmup = 300 * Util.Units.ms)
       summarize rt app ~collector r
 
 (** Fixed-work run (DaCapo): the metric is execution time. *)
-let run_fixed ?machine ?requests ~install ~collector app =
-  match prepare ?machine ~install app with
+let run_fixed ?machine ?verify ?requests ~install ~collector app =
+  match prepare ?machine ?verify ~install app with
   | exception Setup_oom why -> oom_summary ~machine ~collector app why
   | rt, request ->
       let n =

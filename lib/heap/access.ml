@@ -1,0 +1,62 @@
+(** Metadata access logging for the happens-before race detector
+    ([lib/analysis/race.ml]).
+
+    Heap code reports reads/writes of the metadata classes a concurrent
+    collector actually races on — forwarding installs, card-table bits,
+    mark words, remembered-set bits, off-heap forwarding tables and the
+    region free list — through a single global hook.  The hook is [None]
+    by default and every call site passes only immediates (constant
+    constructors, ints, literal strings), so a disabled logger costs one
+    branch and zero allocation on the hot paths.
+
+    The op taxonomy mirrors the detector's checking policy:
+    - [Write] accesses are conflict-checked (two unordered writes to the
+      same resource are a race).  Only forwarding-pointer installs use
+      it: the simulator is single-domain, so the bugs worth catching are
+      protocol races — double relocation of one object — not memory
+      tearing.
+    - [Atomic] accesses model CAS/atomic-store metadata updates (cards,
+      mark bits, remset bits).  They are recorded for interleaving
+      traces but never conflict-checked: benign concurrent updates are
+      part of the design (e.g. co-running cycles touching the same card).
+    - [Acquire]/[Release] are synchronization edges on a resource (region
+      claim/release through the free list): the releasing thread's clock
+      is published to the resource and joined by the next claimer. *)
+
+type op = Read | Write | Atomic | Acquire | Release
+
+(** What kind of metadata the key identifies. *)
+type res =
+  | Forward  (** in-header forwarding slot; key = object uid *)
+  | Fwd_table  (** off-heap forwarding table; key = region id *)
+  | Card  (** global card table; key = global card index *)
+  | Mark_bit  (** mark/ymark epoch word; key = object uid *)
+  | Region_ctl  (** free-list claim/release; key = region id *)
+  | Remset  (** remembered-set bit; key = global card index *)
+
+type logger = op -> res -> key:int -> site:string -> unit
+
+let hook : logger option ref = ref None
+
+let log op res ~key ~site =
+  match !hook with None -> () | Some f -> f op res ~key ~site
+
+(** Remove any installed logger (every harness run starts from here so a
+    detector left over from a previous in-process run cannot observe an
+    unrelated heap). *)
+let reset () = hook := None
+
+let res_to_string = function
+  | Forward -> "forward"
+  | Fwd_table -> "fwd-table"
+  | Card -> "card"
+  | Mark_bit -> "mark-bit"
+  | Region_ctl -> "region-ctl"
+  | Remset -> "remset"
+
+let op_to_string = function
+  | Read -> "read"
+  | Write -> "write"
+  | Atomic -> "atomic"
+  | Acquire -> "acquire"
+  | Release -> "release"

@@ -15,11 +15,18 @@ type t = {
 
 let create ~rid ~expected = { rid; table = Hashtbl.create (max expected 16) }
 
-let add t ~old_offset obj = Hashtbl.replace t.table old_offset obj
+let add t ~old_offset obj =
+  Access.log Access.Atomic Access.Fwd_table ~key:t.rid ~site:"Forwarding.add";
+  Hashtbl.replace t.table old_offset obj
 
-let find t ~old_offset = Hashtbl.find_opt t.table old_offset
+let find t ~old_offset =
+  Access.log Access.Read Access.Fwd_table ~key:t.rid ~site:"Forwarding.find";
+  Hashtbl.find_opt t.table old_offset
 
 let entries t = Hashtbl.length t.table
+
+(** Iterate every mapping (verifier use; no cost accounting). *)
+let iter f t = Hashtbl.iter (fun old_offset o -> f ~old_offset o) t.table
 
 (** Approximate footprint: 16 bytes per entry plus table overhead, matching
     ZGC's reported forwarding-table cost. *)

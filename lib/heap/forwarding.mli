@@ -13,5 +13,8 @@ val add : t -> old_offset:int -> Gobj.t -> unit
 val find : t -> old_offset:int -> Gobj.t option
 val entries : t -> int
 
+val iter : (old_offset:int -> Gobj.t -> unit) -> t -> unit
+(** Iterate every mapping (verifier use; no cost accounting). *)
+
 val byte_size : t -> int
 (** Approximate footprint (per-entry cost), for overhead reporting. *)

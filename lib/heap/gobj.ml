@@ -11,6 +11,8 @@
 
 type t = {
   id : int;  (** logical identity, preserved across copies *)
+  uid : int;  (** physical identity of this record — unique per copy,
+                  never reused; keys forwarding-install race checks *)
   size : int;  (** bytes, header included *)
   fields : t option array;
   mutable region : int;
@@ -34,9 +36,26 @@ let flag_freed = 4
 
 let no_fields : t option array = [||]
 
+(* Physical identities are minted from one global counter: region ids and
+   offsets are both recycled, so only the record itself names "this copy
+   of this object" unambiguously across a whole run. *)
+let uid_counter = ref 0
+
+let fresh_uid () =
+  let u = !uid_counter in
+  incr uid_counter;
+  u
+
+(** Current value of the uid counter.  The verifier records it when a
+    marking snapshot is taken: any record with a uid at or above the
+    watermark was created (allocated or copied) after the snapshot, and
+    tri-color discipline does not constrain it. *)
+let uid_watermark () = !uid_counter
+
 let make ~id ~size ~nrefs ~region ~offset =
   {
     id;
+    uid = fresh_uid ();
     size;
     fields = (if nrefs = 0 then no_fields else Array.make nrefs None);
     region;
@@ -57,6 +76,14 @@ let is_humongous t = has_flag t flag_humongous
 let is_freed t = has_flag t flag_freed
 
 let is_forwarded t = t.forward <> None
+
+(** Install the forwarding pointer of [t].  All relocation paths go
+    through here so the race detector sees every install as a [Write] on
+    the old copy's physical identity — two unordered installs on one
+    record are a double relocation. *)
+let set_forward ?(site = "Gobj.set_forward") t copy =
+  Access.log Access.Write Access.Forward ~key:t.uid ~site;
+  t.forward <- Some copy
 
 (** Newest copy of an object (identity: follows the forwarding chain). *)
 let rec resolve t = match t.forward with None -> t | Some t' -> resolve t'

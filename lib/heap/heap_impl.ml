@@ -145,9 +145,15 @@ let card_to_region t card = card / cards_per_region t
 (** First byte offset covered by [card] inside its region. *)
 let card_to_offset t card = card mod cards_per_region t * t.cfg.card_bytes
 
-let dirty_card t card = ignore (Util.Bitset.set t.card_dirty card)
+let dirty_card t card =
+  Access.log Access.Atomic Access.Card ~key:card ~site:"Heap_impl.dirty_card";
+  ignore (Util.Bitset.set t.card_dirty card)
+
 let card_is_dirty t card = Util.Bitset.get t.card_dirty card
-let clean_card t card = Util.Bitset.clear t.card_dirty card
+
+let clean_card t card =
+  Access.log Access.Atomic Access.Card ~key:card ~site:"Heap_impl.clean_card";
+  Util.Bitset.clear t.card_dirty card
 
 let iter_dirty_cards f t = Util.Bitset.iter_set f t.card_dirty
 
@@ -174,7 +180,16 @@ let claim_region t kind =
   | Some rid ->
       t.free_count <- t.free_count - 1;
       let r = t.regions.(rid) in
-      assert (Region.is_free r);
+      if not (Region.is_free r) then
+        failwith
+          (Printf.sprintf
+             "Heap_impl.claim_region: region %d is on the free list but in \
+              state %s (top=%d) — double claim or missed release; history: %s"
+             rid
+             (Region.kind_to_string r.Region.kind)
+             r.Region.top (dump_region_history rid));
+      Access.log Access.Acquire Access.Region_ctl ~key:rid
+        ~site:"Heap_impl.claim_region";
       r.kind <- kind;
       r.alloc_epoch <- t.mark_epoch;
       record_region_event rid ("claim:" ^ Region.kind_to_string kind);
@@ -183,7 +198,14 @@ let claim_region t kind =
 (** Release a region back to the free list; resident (non-evacuated)
     objects become garbage, the region's own cards are cleaned. *)
 let release_region t (r : Region.t) =
-  assert (not (Region.is_free r));
+  if Region.is_free r then
+    failwith
+      (Printf.sprintf
+         "Heap_impl.release_region: region %d is already free — double \
+          release; history: %s"
+         r.rid (dump_region_history r.rid));
+  Access.log Access.Release Access.Region_ctl ~key:r.rid
+    ~site:"Heap_impl.release_region";
   let c0 = r.rid * cards_per_region t in
   for c = c0 to c0 + cards_per_region t - 1 do
     clean_card t c
@@ -207,7 +229,14 @@ let fresh_obj_id t =
     When [id] is given the object is a relocated copy keeping its logical
     identity; otherwise a fresh id is minted. *)
 let alloc_in t (r : Region.t) ?id ~size ~nrefs () =
-  assert (Region.fits r size);
+  if not (Region.fits r size) then
+    failwith
+      (Printf.sprintf
+         "Heap_impl.alloc_in: %d bytes do not fit region %d (%s, top=%d of \
+          %d) — caller must check Region.fits first"
+         size r.rid
+         (Region.kind_to_string r.kind)
+         r.top r.size);
   let id = match id with Some id -> id | None -> fresh_obj_id t in
   let o = Gobj.make ~id ~size ~nrefs ~region:r.rid ~offset:r.top in
   if t.allocate_live then o.mark <- t.mark_epoch;
@@ -258,6 +287,8 @@ let is_marked t (o : Gobj.t) = o.mark >= t.mark_epoch
 let mark_object t (o : Gobj.t) =
   if o.mark >= t.mark_epoch then false
   else begin
+    Access.log Access.Atomic Access.Mark_bit ~key:o.uid
+      ~site:"Heap_impl.mark_object";
     o.mark <- t.mark_epoch;
     let r = t.regions.(o.region) in
     r.marking_live <- r.marking_live + o.size;
@@ -284,6 +315,8 @@ let is_marked_young t (o : Gobj.t) = o.ymark >= t.young_epoch
 let mark_object_young t (o : Gobj.t) =
   if o.ymark >= t.young_epoch then false
   else begin
+    Access.log Access.Atomic Access.Mark_bit ~key:o.uid
+      ~site:"Heap_impl.mark_object_young";
     o.ymark <- t.young_epoch;
     let r = t.regions.(o.region) in
     r.marking_live <- r.marking_live + o.size;

@@ -12,10 +12,15 @@ type t = { name : string; cards : Util.Bitset.t }
 let create ~name ~total_cards = { name; cards = Util.Bitset.create total_cards }
 
 (** [add t card] returns true when the card was newly inserted. *)
-let add t card = Util.Bitset.set t.cards card
+let add t card =
+  Access.log Access.Atomic Access.Remset ~key:card ~site:t.name;
+  Util.Bitset.set t.cards card
 
 let mem t card = Util.Bitset.get t.cards card
-let remove t card = Util.Bitset.clear t.cards card
+
+let remove t card =
+  Access.log Access.Atomic Access.Remset ~key:card ~site:t.name;
+  Util.Bitset.clear t.cards card
 let cardinal t = Util.Bitset.cardinal t.cards
 let clear t = Util.Bitset.clear_all t.cards
 let iter f t = Util.Bitset.iter_set f t.cards

@@ -113,7 +113,14 @@ let phase t name =
 
 let phase_begin t name ~now =
   let p = phase t name in
-  assert (p.started_at = None);
+  (match p.started_at with
+  | Some t0 ->
+      invalid_arg
+        (Printf.sprintf
+           "Metrics.phase_begin: phase %S already open (begun at %dns, \
+            re-begun at %dns without phase_end)"
+           name t0 now)
+  | None -> ());
   p.started_at <- Some now
 
 let phase_end t name ~now =

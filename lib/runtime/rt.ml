@@ -44,6 +44,21 @@ type t = {
   mutable oom : bool;
   mutable stop_flag : bool;  (** harness tells mutator loops to wind down *)
   prng : Util.Prng.t;
+  (* -- correctness-tooling registry (lib/analysis); all empty/off by
+     default and populated only when a sanitizer is installed or a
+     collector registers its metadata sources. ----------------------- *)
+  mutable phase_hook : (collector:string -> Vhook.phase -> unit) option;
+      (** fired by collectors at phase boundaries via {!fire_phase} *)
+  mutable remset_providers : Vhook.remset_provider list;
+      (** collector-registered old→young coverage sources *)
+  mutable fwd_table_sources : (unit -> Heap.Forwarding.t list) list;
+      (** off-heap forwarding tables currently alive (ZGC-style) *)
+  mutable crdt_source : (string * Heap.Crdt.t) option;
+      (** (owning collector, table) — checked at that collector's
+          [Mark_end] against the region live bitmaps *)
+  mutable verify_level : int;
+      (** 0 = off, 1 = fast, 2 = full; written by the sanitizer so a
+          second install request can be deduplicated *)
 }
 
 (* A collector that cannot reclaim anything: allocation failure is OOM.
@@ -76,9 +91,35 @@ let create ?(seed = 42) ~engine ~heap () =
     oom = false;
     stop_flag = false;
     prng = Util.Prng.create seed;
+    phase_hook = None;
+    remset_providers = [];
+    fwd_table_sources = [];
+    crdt_source = None;
+    verify_level = 0;
   }
 
 let install_collector t c = t.collector <- c
+
+(** Announce a collector phase boundary to an installed sanitizer.  The
+    hook runs synchronously in the calling fiber and must not tick, so a
+    disabled sanitizer leaves simulated traces bit-identical. *)
+let fire_phase ?collector t phase =
+  match t.phase_hook with
+  | None -> ()
+  | Some f ->
+      let collector =
+        match collector with Some c -> c | None -> t.collector.cname
+      in
+      f ~collector phase
+
+let register_remset_provider t p =
+  t.remset_providers <- p :: t.remset_providers
+
+let register_fwd_table_source t f =
+  t.fwd_table_sources <- f :: t.fwd_table_sources
+
+let register_crdt_source t ~collector crdt =
+  t.crdt_source <- Some (collector, crdt)
 
 let register_root_set t v = t.root_sets <- v :: t.root_sets
 

@@ -18,6 +18,10 @@ type t = {
   all_stopped : Sim.Engine.cond;
   release : Sim.Engine.cond;
   stw_free : Sim.Engine.cond;  (** serializes concurrent STW requesters *)
+  mutable on_release : unit -> unit;
+      (** sanitizer hook, fired in the GC fiber right after the release
+          broadcast — the world is still quiesced (no intervening
+          suspension point), mutators resume only at the next round *)
 }
 
 let create engine metrics costs =
@@ -32,7 +36,10 @@ let create engine metrics costs =
     all_stopped = Sim.Engine.cond "sp.all_stopped";
     release = Sim.Engine.cond "sp.release";
     stw_free = Sim.Engine.cond "sp.stw_free";
+    on_release = ignore;
   }
+
+let set_on_release t f = t.on_release <- f
 
 let register t = t.registered <- t.registered + 1
 
@@ -87,6 +94,7 @@ let stw t kind f =
     t.in_stw <- false;
     Sim.Engine.broadcast t.engine t.release;
     Sim.Engine.broadcast t.engine t.stw_free;
+    t.on_release ();
     let now = Sim.Engine.now t.engine in
     Metrics.record_pause t.metrics ~at:t0 ~dur:(now - t0) kind;
     result

@@ -28,6 +28,11 @@ val park : t -> unit
 val unpark : t -> unit
 (** Leave the parked state, first waiting out any STW in progress. *)
 
+val set_on_release : t -> (unit -> unit) -> unit
+(** Install a sanitizer hook fired in the GC fiber right after every
+    STW release broadcast, while the world is still quiesced.  The hook
+    must not tick simulated time. *)
+
 val stw : t -> Metrics.pause_kind -> (unit -> 'a) -> 'a
 (** Run a function with every registered mutator stopped; the pause is
     recorded in the metrics under the given kind.  Must be called from a

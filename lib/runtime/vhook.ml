@@ -1,0 +1,48 @@
+(** Phase-boundary hook vocabulary for the correctness tooling
+    ([lib/analysis]).
+
+    Collectors announce their cycle structure through {!Rt.fire_phase};
+    with no hook installed (the default) a fire is a single branch.  The
+    verifier decides which invariants are meaningful at each boundary —
+    e.g. remembered-set completeness only holds inside a stop-the-world
+    pause, and SATB blackness only at the end of a final-mark drain. *)
+
+type phase =
+  | Mark_start  (** old/full marking snapshot taken (inside init-mark STW) *)
+  | Mark_end
+      (** old/full marking finished: fired inside the final-mark STW,
+          after the terminal SATB drain and [Heap_impl.end_mark] *)
+  | Young_mark_end
+      (** young-generation analog of [Mark_end] (separate mark word) *)
+  | Evac_start  (** an evacuation/relocation phase is about to begin *)
+  | Evac_end  (** evacuation finished and its regions were released *)
+  | Remset_scan
+      (** remembered sets are about to be consumed as roots; fired
+          inside a pause, while coverage must be complete *)
+  | Safepoint_release
+      (** a stop-the-world section just ended; fired in the GC fiber
+          before any mutator resumes *)
+  | Cycle_end  (** a full collector cycle completed *)
+
+let phase_to_string = function
+  | Mark_start -> "mark-start"
+  | Mark_end -> "mark-end"
+  | Young_mark_end -> "young-mark-end"
+  | Evac_start -> "evac-start"
+  | Evac_end -> "evac-end"
+  | Remset_scan -> "remset-scan"
+  | Safepoint_release -> "safepoint-release"
+  | Cycle_end -> "cycle-end"
+
+(** Old-to-young coverage source for the verifier's independent
+    remembered-set recomputation.  [rp_covers ()] returns [None] when the
+    set cannot be judged right now (e.g. Jade mid-old-cycle, where
+    remembered-set maintenance has in-flight windows), otherwise a
+    predicate telling whether an old→young reference stored at global
+    card [card] and pointing into region [target_rid] is covered.
+    Collectors with a single old→young set (Jade, generational ZGC)
+    ignore [target_rid]; per-region remset collectors (G1, LXR) use it. *)
+type remset_provider = {
+  rp_name : string;
+  rp_covers : unit -> (card:int -> target_rid:int -> bool) option;
+}

@@ -70,6 +70,15 @@ let dummy_thread =
 
 type cond = { cname : string; waiters : thread Queue.t }
 
+(** Scheduling events observable by analysis tooling (the happens-before
+    race detector derives its vector-clock edges from these).  [Spawned]
+    orders the spawner before the child's first step; [Woken] orders a
+    {!signal}/{!broadcast} caller before each thread it wakes.  Sleeper
+    expiry is time-driven and carries no ordering edge on purpose. *)
+type trace_event =
+  | Spawned of { parent : int; child : int; name : string }
+  | Woken of { waker : int; woken : int; cond : string }
+
 type t = {
   cores : int;
   quantum : int;
@@ -84,6 +93,8 @@ type t = {
   mutable stop_requested : bool;
   busy_ns : int array; (* per {!kind} CPU accounting *)
   mutable failure : exn option;
+  mutable current : thread; (* thread being driven; [dummy_thread] outside *)
+  mutable tracer : (trace_event -> unit) option;
 }
 
 exception Deadlock of string
@@ -111,6 +122,8 @@ let create ?(cores = 8) ?(quantum = 20_000) () =
     stop_requested = false;
     busy_ns = Array.make 3 0;
     failure = None;
+    current = dummy_thread;
+    tracer = None;
   }
 
 (** Virtual time as seen by the currently running thread. *)
@@ -121,6 +134,14 @@ let busy_ns t kind = t.busy_ns.(kind_index kind)
 let total_busy_ns t = Array.fold_left ( + ) 0 t.busy_ns
 
 let cond name = { cname = name; waiters = Queue.create () }
+
+(** Tid of the thread being driven right now; [-1] when the scheduler (or
+    host code outside {!run}) is executing. *)
+let current_tid t = t.current.tid
+
+(** Install (or remove) the scheduling-event tracer.  [None] — the
+    default — keeps every event site down to one branch. *)
+let set_tracer t f = t.tracer <- f
 
 let enqueue t th =
   if not th.enqueued && th.state = Runnable then begin
@@ -150,6 +171,9 @@ let spawn t ?(daemon = false) ~name ~kind body =
   t.all_threads <- th :: t.all_threads;
   if not daemon then t.live_nondaemon <- t.live_nondaemon + 1;
   enqueue t th;
+  (match t.tracer with
+  | Some f -> f (Spawned { parent = t.current.tid; child = th.tid; name })
+  | None -> ());
   th
 
 (* ------------------------------------------------------------------ *)
@@ -186,18 +210,25 @@ let sleep_until _t wake = Effect.perform (Sleep_until wake)
 
 (* Signalling does not suspend the caller, so these are plain functions. *)
 
+let trace_wake t c (th : thread) =
+  match t.tracer with
+  | Some f -> f (Woken { waker = t.current.tid; woken = th.tid; cond = c.cname })
+  | None -> ()
+
 let signal t c =
   match Queue.take_opt c.waiters with
   | None -> ()
   | Some th ->
       th.state <- Runnable;
-      enqueue t th
+      enqueue t th;
+      trace_wake t c th
 
 let broadcast t c =
   while not (Queue.is_empty c.waiters) do
     let th = Queue.pop c.waiters in
     th.state <- Runnable;
-    enqueue t th
+    enqueue t th;
+    trace_wake t c th
   done
 
 let request_stop t = t.stop_requested <- true
@@ -262,8 +293,17 @@ let resume t th =
       th.body <- None;
       Effect.Deep.match_with body () (handler t th)
   | None, None ->
-      (* A finished thread should never be driven. *)
-      assert false
+      failwith
+        (Printf.sprintf
+           "Sim.Engine.resume: thread %S (tid %d, state %s) has neither a \
+            continuation nor a body — a finished thread was driven by the \
+            scheduler"
+           th.name th.tid
+           (match th.state with
+           | Runnable -> "runnable"
+           | Blocked -> "blocked on " ^ th.blocked_on
+           | Sleeping w -> Printf.sprintf "sleeping until %dns" w
+           | Finished -> "finished"))
 
 (* Drive [th] for at most [budget] ns; returns consumed CPU.
    [t.run_offset] doubles as the consumed-so-far counter: it advances
@@ -272,7 +312,9 @@ let resume t th =
 let run_thread t th budget =
   th.yielded <- false;
   let saved_running = !running in
+  let saved_current = t.current in
   running := Some t;
+  t.current <- th;
   t.local_budget <- budget;
   let continue_loop = ref true in
   while !continue_loop do
@@ -293,6 +335,7 @@ let run_thread t th budget =
     end
   done;
   running := saved_running;
+  t.current <- saved_current;
   let consumed = t.run_offset in
   t.run_offset <- 0;
   th.cpu_ns <- th.cpu_ns + consumed;

@@ -107,3 +107,24 @@ val run : ?until:int -> t -> unit
     first exception escaping any thread; raises {!Deadlock} when no
     progress is possible.  May be called again to continue (e.g. after a
     setup phase). *)
+
+(** {2 Analysis hooks}
+
+    Scheduling-event tracing for the happens-before race detector
+    ([lib/analysis]).  Off by default; with no tracer installed each
+    event site costs a single branch. *)
+
+(** [Spawned] orders the spawning thread before the child's first step;
+    [Woken] orders a {!signal}/{!broadcast} caller before each woken
+    waiter.  Sleeper expiry is time-driven and deliberately carries no
+    ordering edge. *)
+type trace_event =
+  | Spawned of { parent : int; child : int; name : string }
+  | Woken of { waker : int; woken : int; cond : string }
+
+val set_tracer : t -> (trace_event -> unit) option -> unit
+(** Install or remove the scheduling-event tracer. *)
+
+val current_tid : t -> int
+(** Tid of the thread the engine is driving right now; [-1] when called
+    from outside {!run} (setup code, the scheduler itself). *)

@@ -12,5 +12,14 @@ dune build
 echo "== dune runtest =="
 dune runtest
 
+echo "== sanitizer (invariant verifier + race detector, all collectors) =="
+for c in jade g1 g1-10ms lxr zgc shenandoah genz genshen; do
+  for w in h2-tpcc xalan; do
+    echo "-- $c / $w --verify=full"
+    dune exec bin/gcsim.exe -- run -c "$c" -w "$w" \
+      -d 0.25 --warmup 0.1 --verify=full > /dev/null
+  done
+done
+
 echo "== bench smoke (quick micro + speed) =="
 dune exec bench/main.exe -- --quick micro speed

@@ -1,0 +1,341 @@
+(* Correctness-tooling tests: the invariant verifier and the
+   happens-before race detector of [lib/analysis].
+
+   Three layers:
+   - unit tests for the vector-clock lattice and level parsing;
+   - tier-1 integration scenarios re-run under [--verify=full] — every
+     collector must finish its fixed work with the full sanitizer
+     attached and zero violations;
+   - planted-bug regressions: deliberately broken jade variants
+     ([Jade_config.planted_bug]) must be CAUGHT, each by the engine
+     designed for its failure class.  A sanitizer that never fires is
+     indistinguishable from one that checks nothing. *)
+
+let ms = Util.Units.ms
+let mib = Util.Units.mib
+
+(* ------------------------------------------------------------------ *)
+(* Vector clocks.                                                       *)
+
+let test_vclock_lattice () =
+  let a = Analysis.Vclock.create () in
+  let b = Analysis.Vclock.create () in
+  Alcotest.(check bool) "empty <= empty" true (Analysis.Vclock.leq a b);
+  ignore (Analysis.Vclock.tick a ~tid:0);
+  ignore (Analysis.Vclock.tick a ~tid:0);
+  ignore (Analysis.Vclock.tick b ~tid:3);
+  Alcotest.(check int) "tick advances" 2 (Analysis.Vclock.get a ~tid:0);
+  Alcotest.(check bool) "a not <= b" false (Analysis.Vclock.leq a b);
+  Alcotest.(check bool) "b not <= a" false (Analysis.Vclock.leq b a);
+  Analysis.Vclock.merge a b;
+  Alcotest.(check bool) "b <= merged" true (Analysis.Vclock.leq b a);
+  Alcotest.(check int) "merge keeps own" 2 (Analysis.Vclock.get a ~tid:0);
+  Alcotest.(check int) "merge joins other" 1 (Analysis.Vclock.get a ~tid:3);
+  (* The host/scheduler context lives at tid -1. *)
+  ignore (Analysis.Vclock.tick a ~tid:(-1));
+  Alcotest.(check int) "host slot" 1 (Analysis.Vclock.get a ~tid:(-1));
+  let c = Analysis.Vclock.copy a in
+  ignore (Analysis.Vclock.tick a ~tid:0);
+  Alcotest.(check int) "copy is a snapshot" 2 (Analysis.Vclock.get c ~tid:0)
+
+let test_level_parsing () =
+  let p s = Analysis.Sanitizer.level_of_string s in
+  Alcotest.(check bool) "off" true (p "off" = Some Analysis.Sanitizer.Off);
+  Alcotest.(check bool) "fast" true (p "fast" = Some Analysis.Sanitizer.Fast);
+  Alcotest.(check bool) "full" true (p "full" = Some Analysis.Sanitizer.Full);
+  Alcotest.(check bool) "bare flag means full" true
+    (p "" = Some Analysis.Sanitizer.Full);
+  Alcotest.(check bool) "garbage rejected" true (p "paranoid" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Shared workload plumbing (mirrors test_integration.ml).              *)
+
+let machine ?(cores = 4) heap_mib =
+  {
+    Experiments.Harness.default_machine with
+    Experiments.Harness.heap_bytes = heap_mib * mib;
+    cores;
+  }
+
+let small_app ?(update_pct = 0.4) live_mib : Workload.Apps.t =
+  {
+    Workload.Apps.name = "atest";
+    fixed_requests = 800;
+    spec =
+      {
+        Workload.Spec.name = "atest";
+        mutators = 4;
+        live_bytes = live_mib * mib;
+        node_data = 128;
+        chain_len = 4;
+        temp_objs = 30;
+        temp_data_min = 32;
+        temp_data_max = 192;
+        survivors = 3;
+        pool_slots = 64;
+        store_reads = 6;
+        update_pct;
+        cpu_ns = 30_000;
+        weak_pct = 0.1;
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Tier-1 integration scenarios under --verify=full.                    *)
+
+let test_verified_fixed_work_all_collectors () =
+  (* The default sanitizer policy raises [Report.Violation], so merely
+     finishing is the assertion: full verification at every phase
+     boundary of every collector, zero violations. *)
+  let app = small_app 6 in
+  List.iter
+    (fun (name, install) ->
+      let s =
+        Experiments.Harness.run_fixed ~machine:(machine 24)
+          ~verify:Analysis.Sanitizer.Full ~install ~collector:name app
+      in
+      Alcotest.(check bool)
+        (name ^ " completed fixed work under full verification")
+        true
+        (s.Experiments.Harness.completed = app.Workload.Apps.fixed_requests);
+      Alcotest.(check bool) (name ^ " no oom") true
+        (s.Experiments.Harness.oom = None))
+    [
+      ("g1", fun rt -> ignore (Collectors.G1.install rt));
+      ("shenandoah", fun rt -> ignore (Collectors.Shenandoah.install rt));
+      ("zgc", fun rt -> ignore (Collectors.Zgc.install rt));
+      ("genshen", fun rt -> ignore (Collectors.Genshen.install rt));
+      ("genz", fun rt -> ignore (Collectors.Genz.install rt));
+      ("lxr", fun rt -> ignore (Collectors.Lxr.install rt));
+      ("jade", fun rt -> ignore (Jade.Collector.install rt));
+    ]
+
+let test_verified_open_loop () =
+  let app = small_app 6 in
+  let s =
+    Experiments.Harness.run_open ~machine:(machine 24)
+      ~verify:Analysis.Sanitizer.Full
+      ~install:(fun rt -> ignore (Collectors.G1.install rt))
+      ~collector:"g1" ~qps:5000. ~warmup:(100 * ms) ~duration:(400 * ms) app
+  in
+  Alcotest.(check bool) "p99 >= p50" true
+    (s.Experiments.Harness.p99_latency >= s.Experiments.Harness.p50_latency);
+  Alcotest.(check bool) "completed requests" true
+    (s.Experiments.Harness.completed > 400)
+
+let test_sanitizer_does_not_perturb_metrics () =
+  (* The verifier and race detector are host-side observers: a run with
+     the full sanitizer must produce the exact same simulated metrics as
+     a run without it. *)
+  let app = small_app 6 in
+  let run verify =
+    Experiments.Harness.run_closed ~machine:(machine 20) ~verify
+      ~install:(fun rt -> ignore (Jade.Collector.install rt))
+      ~collector:"jade" ~warmup:(100 * ms) ~duration:(400 * ms) app
+  in
+  let off = run Analysis.Sanitizer.Off in
+  let full = run Analysis.Sanitizer.Full in
+  let open Experiments.Harness in
+  Alcotest.(check int) "completed" off.completed full.completed;
+  Alcotest.(check (float 0.)) "throughput" off.throughput full.throughput;
+  Alcotest.(check int) "p99 latency" off.p99_latency full.p99_latency;
+  Alcotest.(check int) "pause count" off.pause_count full.pause_count;
+  Alcotest.(check int) "cumulative pause" off.cumulative_pause
+    full.cumulative_pause;
+  Alcotest.(check int) "gc cpu" off.cpu_gc full.cpu_gc;
+  Alcotest.(check int) "elapsed" off.elapsed full.elapsed
+
+(* ------------------------------------------------------------------ *)
+(* Planted bugs: each engine must catch its failure class.
+
+   The unit tests build the minimal heap state by hand — one young
+   object referenced from directly-constructed old holders — and drive
+   [Jade.Young.collect] themselves, so the catch is deterministic
+   rather than hostage to workload timing. *)
+
+(* A runtime with jade's young collector and write barrier but no
+   controller daemons: the test decides when collection runs. *)
+let young_only_rt ~config ~on_violation () =
+  let engine = Sim.Engine.create ~cores:4 ~quantum:(20 * Util.Units.us) () in
+  let cfg =
+    Heap.Heap_impl.config ~heap_bytes:(16 * mib)
+      ~region_bytes:(256 * Util.Units.kib) ()
+  in
+  let heap = Heap.Heap_impl.create cfg in
+  let rt = Runtime.Rt.create ~seed:7 ~engine ~heap () in
+  Heap.Access.reset ();
+  let young = Jade.Young.create ~config rt in
+  Runtime.Rt.register_remset_provider rt
+    {
+      Runtime.Vhook.rp_name = "test.jade.old2young";
+      rp_covers =
+        (fun () ->
+          Some
+            (fun ~card ~target_rid:_ ->
+              Heap.Remset.mem young.Jade.Young.remset card
+              || Heap.Heap_impl.card_is_dirty heap card));
+    };
+  Runtime.Rt.install_collector rt
+    {
+      Runtime.Rt.cname = "jade";
+      store_barrier =
+        (fun ~src ~field ~old_v:_ ~new_v ->
+          Jade.Young.barrier young ~src ~field ~new_v);
+      load_extra_cost = 1;
+      mutator_tax_pct = 0;
+      alloc_failure = (fun () -> failwith "test heap exhausted");
+    };
+  ignore (Analysis.Sanitizer.install ~on_violation ~level:Full rt);
+  (rt, young)
+
+(* An old-generation holder with one reference slot, in its own region
+   (distinct regions keep the holders on distinct cards). *)
+let fresh_old_holder rt =
+  let heap = rt.Runtime.Rt.heap in
+  match Heap.Heap_impl.claim_region heap Heap.Region.Old with
+  | None -> Alcotest.fail "test heap has no free region"
+  | Some r ->
+      Heap.Heap_impl.alloc_in heap r
+        ~size:(Heap.Heap_impl.object_size ~nrefs:1 ~data_bytes:0)
+        ~nrefs:1 ()
+
+let test_planted_remset_bug_caught_by_verifier () =
+  let reports = ref [] in
+  let config =
+    { Jade.Jade_config.default with planted_bug = Jade.Jade_config.Skip_remset_insert }
+  in
+  let rt, young = young_only_rt ~config ~on_violation:(fun r -> reports := r :: !reports) () in
+  ignore
+    (Sim.Engine.spawn rt.Runtime.Rt.engine ~name:"planter"
+       ~kind:Sim.Engine.Mutator (fun () ->
+         let m = Runtime.Mutator.create rt in
+         let x = Runtime.Mutator.alloc m ~data_bytes:32 ~nrefs:0 in
+         let h = fresh_old_holder rt in
+         (* The planted bug makes this store skip its remembered-set
+            insert: an old→young edge the next collection cannot see. *)
+         Runtime.Mutator.write m h 0 (Some x);
+         Runtime.Mutator.finish m;
+         ignore (Jade.Young.collect young ~workers:1)));
+  Sim.Engine.run rt.Runtime.Rt.engine;
+  Heap.Access.reset ();
+  let coverage =
+    List.filter
+      (fun (r : Analysis.Report.t) ->
+        r.engine = "verifier" && r.invariant = "remset-coverage")
+      !reports
+  in
+  Alcotest.(check bool)
+    "verifier reported the uncovered old→young edge" true (coverage <> [])
+
+let test_planted_remset_bug_absent_means_silent () =
+  (* Control: the identical scenario without the plant must be clean —
+     a sanitizer that cries wolf is as useless as a silent one. *)
+  let reports = ref [] in
+  let rt, young =
+    young_only_rt ~config:Jade.Jade_config.default
+      ~on_violation:(fun r -> reports := r :: !reports)
+      ()
+  in
+  ignore
+    (Sim.Engine.spawn rt.Runtime.Rt.engine ~name:"planter"
+       ~kind:Sim.Engine.Mutator (fun () ->
+         let m = Runtime.Mutator.create rt in
+         let x = Runtime.Mutator.alloc m ~data_bytes:32 ~nrefs:0 in
+         let h = fresh_old_holder rt in
+         Runtime.Mutator.write m h 0 (Some x);
+         Runtime.Mutator.finish m;
+         ignore (Jade.Young.collect young ~workers:1)));
+  Sim.Engine.run rt.Runtime.Rt.engine;
+  Heap.Access.reset ();
+  Alcotest.(check int) "no violations without the plant" 0
+    (List.length !reports)
+
+let test_planted_race_caught_by_detector () =
+  (* Two holders on different cards reference the same young object; two
+     evacuation workers scan one card each.  The planted check-then-act
+     window (check forward slot, yield, install) lets both copy it. *)
+  let reports = ref [] in
+  let config =
+    { Jade.Jade_config.default with planted_bug = Jade.Jade_config.Racy_forwarding }
+  in
+  let rt, young = young_only_rt ~config ~on_violation:(fun r -> reports := r :: !reports) () in
+  ignore
+    (Sim.Engine.spawn rt.Runtime.Rt.engine ~name:"planter"
+       ~kind:Sim.Engine.Mutator (fun () ->
+         let m = Runtime.Mutator.create rt in
+         let x = Runtime.Mutator.alloc m ~data_bytes:32 ~nrefs:0 in
+         let h1 = fresh_old_holder rt in
+         let h2 = fresh_old_holder rt in
+         Runtime.Mutator.write m h1 0 (Some x);
+         Runtime.Mutator.write m h2 0 (Some x);
+         Runtime.Mutator.finish m;
+         ignore (Jade.Young.collect young ~workers:2)));
+  Sim.Engine.run rt.Runtime.Rt.engine;
+  Heap.Access.reset ();
+  let races =
+    List.filter
+      (fun (r : Analysis.Report.t) -> r.engine = "race-detector")
+      !reports
+  in
+  Alcotest.(check bool)
+    "race detector reported the double forwarding install" true (races <> [])
+
+let test_planted_remset_bug_end_to_end () =
+  (* Full workload run with the plant: the verifier must abort the run.
+     Depending on whether an old cycle is in flight when the loss
+     happens, the first broken invariant is either the remembered-set
+     coverage recomputation or the downstream dangling-reference found
+     by the reachability walk — both are the verifier catching the same
+     planted bug. *)
+  let app = small_app 6 in
+  let config =
+    { Jade.Jade_config.default with planted_bug = Jade.Jade_config.Skip_remset_insert }
+  in
+  match
+    Experiments.Harness.run_closed ~machine:(machine 20)
+      ~verify:Analysis.Sanitizer.Full
+      ~install:(fun rt -> ignore (Jade.Collector.install ~config rt))
+      ~collector:"jade" ~warmup:(100 * ms) ~duration:(600 * ms) app
+  with
+  | _ ->
+      Alcotest.fail
+        "young barrier dropped remembered-set inserts and the verifier \
+         stayed silent"
+  | exception Analysis.Report.Violation r ->
+      Alcotest.(check string) "caught by the heap verifier" "verifier"
+        r.Analysis.Report.engine;
+      Alcotest.(check bool)
+        (Printf.sprintf "expected invariant (got %s)" r.Analysis.Report.invariant)
+        true
+        (List.mem r.Analysis.Report.invariant
+           [ "remset-coverage"; "no-dangling-reference" ])
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "units",
+        [
+          Alcotest.test_case "vector-clock lattice" `Quick test_vclock_lattice;
+          Alcotest.test_case "level parsing" `Quick test_level_parsing;
+        ] );
+      ( "verified-integration",
+        [
+          Alcotest.test_case "fixed work, all collectors, verify=full" `Slow
+            test_verified_fixed_work_all_collectors;
+          Alcotest.test_case "open loop, verify=full" `Slow
+            test_verified_open_loop;
+          Alcotest.test_case "sanitizer is metrics-neutral" `Slow
+            test_sanitizer_does_not_perturb_metrics;
+        ] );
+      ( "planted-bugs",
+        [
+          Alcotest.test_case "skipped remset insert -> verifier" `Quick
+            test_planted_remset_bug_caught_by_verifier;
+          Alcotest.test_case "no plant -> no report" `Quick
+            test_planted_remset_bug_absent_means_silent;
+          Alcotest.test_case "racy forwarding -> race detector" `Quick
+            test_planted_race_caught_by_detector;
+          Alcotest.test_case "skipped remset insert, end to end" `Slow
+            test_planted_remset_bug_end_to_end;
+        ] );
+    ]

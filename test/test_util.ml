@@ -123,6 +123,53 @@ let vec_model =
       List.length !model = Vec.length v
       && List.rev !model = Vec.to_list v)
 
+let vec_reference_model =
+  (* Full op-set model: every mutation mirrored on a naive list, full
+     contents compared after every step (not just at the end). *)
+  qtest ~count:300 "vec matches a naive list under all ops"
+    QCheck2.Gen.(list (pair (int_range 0 5) (int_range 0 99)))
+    (fun ops ->
+      let v = Vec.create (-1) in
+      let model = ref [] in
+      let nth_opt l i = List.nth_opt l i in
+      List.for_all
+        (fun (op, x) ->
+          (match op with
+          | 0 | 1 ->
+              Vec.push v x;
+              model := !model @ [ x ]
+          | 2 -> (
+              match (Vec.pop v, List.rev !model) with
+              | Some a, b :: rest ->
+                  if a <> b then failwith "pop mismatch";
+                  model := List.rev rest
+              | None, [] -> ()
+              | _ -> failwith "emptiness mismatch")
+          | 3 ->
+              if !model <> [] then begin
+                let i = x mod List.length !model in
+                Vec.set v i x;
+                model := List.mapi (fun j y -> if j = i then x else y) !model
+              end
+          | 4 ->
+              if !model <> [] then begin
+                let i = x mod List.length !model in
+                let removed = Vec.swap_remove v i in
+                (match nth_opt !model i with
+                | Some y when y = removed -> ()
+                | _ -> failwith "swap_remove returned wrong element");
+                let last = List.length !model - 1 in
+                let moved = List.nth !model last in
+                model :=
+                  List.filteri (fun j _ -> j <> last) !model
+                  |> List.mapi (fun j y -> if j = i then moved else y)
+              end
+          | _ ->
+              Vec.sort compare v;
+              model := List.sort compare !model);
+          Vec.length v = List.length !model && Vec.to_list v = !model)
+        ops)
+
 (* ------------------------------------------------------------------ *)
 (* Bitset *)
 
@@ -282,6 +329,57 @@ let histogram_quantization =
       let p = Histogram.percentile h 100. in
       abs_float (float_of_int (p - v)) <= 0.01 *. float_of_int v +. 1.)
 
+let histogram_reference_model =
+  (* Compare against a naive sorted-list implementation: counts and sum
+     are exact, percentiles within the documented quantization bound
+     (exact below 2^sub_bits, else <= 2^-sub_bits relative). *)
+  qtest ~count:300 "histogram matches a naive reference"
+    QCheck2.Gen.(list_size (int_range 1 200) (int_range 0 5_000_000))
+    (fun values ->
+      let h = Histogram.create () in
+      List.iter (Histogram.record h) values;
+      let sorted = List.sort compare values in
+      let n = List.length sorted in
+      let naive_pct p =
+        (* nearest-rank percentile on the raw values *)
+        let rank =
+          max 0 (min (n - 1) (int_of_float (ceil (p /. 100. *. float_of_int n)) - 1))
+        in
+        List.nth sorted rank
+      in
+      let close a b =
+        let a = float_of_int a and b = float_of_int b in
+        abs_float (a -. b) <= (2. ** -7.) *. Float.max a b +. 1.
+      in
+      Histogram.total h = n
+      && Histogram.max_value h = List.fold_left max 0 sorted
+      && Histogram.min_value h = List.fold_left min max_int sorted
+      && abs_float (Histogram.sum h -. float_of_int (List.fold_left ( + ) 0 sorted))
+         < 0.5
+      && List.for_all
+           (fun p -> close (Histogram.percentile h p) (naive_pct p))
+           [ 50.; 90.; 99.; 100. ])
+
+let histogram_merge_model =
+  qtest ~count:200 "merge equals recording the concatenation"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 100) (int_range 0 1_000_000))
+        (list_size (int_range 0 100) (int_range 0 1_000_000)))
+    (fun (xs, ys) ->
+      let a = Histogram.create () and b = Histogram.create () in
+      List.iter (Histogram.record a) xs;
+      List.iter (Histogram.record b) ys;
+      Histogram.merge ~into:a b;
+      let c = Histogram.create () in
+      List.iter (Histogram.record c) (xs @ ys);
+      Histogram.total a = Histogram.total c
+      && Histogram.max_value a = Histogram.max_value c
+      && Histogram.min_value a = Histogram.min_value c
+      && List.for_all
+           (fun p -> Histogram.percentile a p = Histogram.percentile c p)
+           [ 50.; 90.; 99.; 99.9; 100. ])
+
 (* ------------------------------------------------------------------ *)
 (* Units and Table *)
 
@@ -325,6 +423,7 @@ let () =
           Alcotest.test_case "swap_remove" `Quick test_vec_swap_remove;
           Alcotest.test_case "sort/search" `Quick test_vec_sort_and_search;
           vec_model;
+          vec_reference_model;
         ] );
       ( "bitset",
         [
@@ -345,6 +444,8 @@ let () =
           Alcotest.test_case "relative error" `Quick test_histogram_relative_error;
           Alcotest.test_case "merge" `Quick test_histogram_merge;
           histogram_quantization;
+          histogram_reference_model;
+          histogram_merge_model;
         ] );
       ( "units+table",
         [
