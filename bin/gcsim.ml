@@ -4,6 +4,8 @@
     {v
     gcsim run --collector jade --workload h2-tpcc --heap-mult 2.0
     gcsim run -c zgc -w specjbb2015 --qps 20000 --duration 1.5
+    gcsim check -c jade -w avrora --requests 2000 --schedules 64 --depth 8
+    gcsim check --replay failure.sched
     gcsim list
     v} *)
 
@@ -72,6 +74,167 @@ let run_cmd collector workload heap_mult qps duration_s warmup_s cores seed
       exit 3
   | None -> ());
   0
+
+(* -- gcsim check: schedule-space exploration -------------------------- *)
+
+let bug_of_string = function
+  | "none" -> Some Jade.Jade_config.No_bug
+  | "skip-remset" -> Some Jade.Jade_config.Skip_remset_insert
+  | "racy-forwarding" -> Some Jade.Jade_config.Racy_forwarding
+  | "racy-forwarding-window" -> Some Jade.Jade_config.Racy_forwarding_window
+  | _ -> None
+
+let bug_to_string = function
+  | Jade.Jade_config.No_bug -> "none"
+  | Jade.Jade_config.Skip_remset_insert -> "skip-remset"
+  | Jade.Jade_config.Racy_forwarding -> "racy-forwarding"
+  | Jade.Jade_config.Racy_forwarding_window -> "racy-forwarding-window"
+
+(** Rebuild the exact scenario a check run (or a replay file) names. *)
+let check_scenario ~collector ~workload ~heap_mult ~cores ~seed ~region_kib
+    ~requests ~bug =
+  let entry =
+    match bug with
+    | Jade.Jade_config.No_bug -> Registry.find collector
+    | b when collector = "jade" ->
+        (* Two young workers: the racy-forwarding bugs need a second
+           evacuation thread to race with (default is 1). *)
+        Registry.jade_with ~name:"jade(planted)"
+          { Jade.Jade_config.default with planted_bug = b; young_workers = 2 }
+    | _ ->
+        Printf.eprintf "gcsim check: --bug requires --collector jade\n";
+        exit 2
+  in
+  let app = Workload.Apps.find workload in
+  let machine =
+    {
+      (Exp.machine_for ~cores app ~mult:heap_mult) with
+      Harness.seed;
+      region_bytes = region_kib * Util.Units.kib;
+    }
+  in
+  ( Harness.check_scenario ~machine ?requests ~install:entry.Registry.install
+      app,
+    app )
+
+let check_meta ~collector ~workload ~heap_mult ~cores ~seed ~region_kib
+    ~requests ~bug ~strategy =
+  [
+    ("collector", collector);
+    ("workload", workload);
+    ("heap-mult", string_of_float heap_mult);
+    ("cores", string_of_int cores);
+    ("seed", string_of_int seed);
+    ("region-kib", string_of_int region_kib);
+    ("requests",
+     match requests with Some n -> string_of_int n | None -> "default");
+    ("bug", bug_to_string bug);
+    ("strategy", Analysis.Explore.strategy_to_string strategy);
+  ]
+
+let check_cmd collector workload heap_mult cores seed region_kib requests
+    schedules depth strategy_s bug_s replay_file replay_out =
+  let strategy =
+    match Analysis.Explore.strategy_of_string strategy_s with
+    | Some s -> s
+    | None ->
+        Printf.eprintf "gcsim: --strategy=%s (want rand, bounded or pruned)\n"
+          strategy_s;
+        exit 2
+  in
+  let bug =
+    match bug_of_string bug_s with
+    | Some b -> b
+    | None ->
+        Printf.eprintf
+          "gcsim: --bug=%s (want none, skip-remset, racy-forwarding or \
+           racy-forwarding-window)\n"
+          bug_s;
+        exit 2
+  in
+  match replay_file with
+  | Some path ->
+      (* Replay mode: the file's meta rebuilds the scenario; CLI flags
+         fill any keys an older file lacks. *)
+      let sched = Analysis.Schedule.load path in
+      let meta key fallback =
+        match Analysis.Schedule.find_meta sched key with
+        | Some v -> v
+        | None -> fallback
+      in
+      let collector = meta "collector" collector in
+      let workload = meta "workload" workload in
+      let heap_mult = float_of_string (meta "heap-mult" (string_of_float heap_mult)) in
+      let cores = int_of_string (meta "cores" (string_of_int cores)) in
+      let seed = int_of_string (meta "seed" (string_of_int seed)) in
+      let region_kib = int_of_string (meta "region-kib" (string_of_int region_kib)) in
+      let requests =
+        match meta "requests" "default" with
+        | "default" -> requests
+        | n -> Some (int_of_string n)
+      in
+      let bug =
+        match bug_of_string (meta "bug" (bug_to_string bug)) with
+        | Some b -> b
+        | None -> bug
+      in
+      let scenario, _ =
+        check_scenario ~collector ~workload ~heap_mult ~cores ~seed ~region_kib
+          ~requests ~bug
+      in
+      Printf.printf "replaying %s: %s on %s, %s\n%!" path collector workload
+        (Analysis.Schedule.describe sched.Analysis.Schedule.choices);
+      (match Analysis.Explore.replay scenario sched.Analysis.Schedule.choices with
+      | Some report ->
+          Printf.printf "violation reproduced:\n%s\n" (Analysis.Report.to_string report);
+          1
+      | None ->
+          Printf.printf "replay completed with no violation\n";
+          0)
+  | None ->
+      let scenario, _ =
+        check_scenario ~collector ~workload ~heap_mult ~cores ~seed ~region_kib
+          ~requests ~bug
+      in
+      let cfg =
+        { Analysis.Explore.strategy; schedules; depth; seed }
+      in
+      Printf.printf
+        "checking %s on %s: strategy=%s schedules=%d depth=%d seed=%d%s\n%!"
+        collector workload strategy_s schedules depth seed
+        (if bug = Jade.Jade_config.No_bug then ""
+         else " bug=" ^ bug_to_string bug);
+      let r = Analysis.Explore.run scenario cfg in
+      Printf.printf
+        "explored %d schedule%s (%d choice points in baseline, %d pruned as \
+         equivalent, %d shrink runs)\n"
+        r.Analysis.Explore.explored
+        (if r.Analysis.Explore.explored = 1 then "" else "s")
+        r.Analysis.Explore.baseline_choice_points r.Analysis.Explore.pruned
+        r.Analysis.Explore.shrink_runs;
+      (match r.Analysis.Explore.violation with
+      | None ->
+          Printf.printf "no violation found\n";
+          0
+      | Some v ->
+          Printf.printf "VIOLATION (as found, %s):\n%s\n"
+            (Analysis.Schedule.describe v.Analysis.Explore.first_schedule)
+            (Analysis.Report.to_string v.Analysis.Explore.first_report);
+          Printf.printf "minimized: %s\n"
+            (Analysis.Schedule.describe v.Analysis.Explore.schedule);
+          (match replay_out with
+          | Some path ->
+              Analysis.Schedule.save path
+                {
+                  Analysis.Schedule.meta =
+                    check_meta ~collector ~workload ~heap_mult ~cores ~seed
+                      ~region_kib ~requests ~bug ~strategy;
+                  choices = v.Analysis.Explore.schedule;
+                };
+              Printf.printf "replay file written: %s (gcsim check --replay %s)\n"
+                path path
+          | None -> ());
+          1)
 
 let list_cmd () =
   print_endline "collectors:";
@@ -153,6 +316,74 @@ let verify_arg =
            means $(b,full).  A violation aborts the run with a structured \
            report; simulated metrics are unaffected at any level.")
 
+let requests_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "requests" ] ~docv:"N"
+        ~doc:
+          "Fixed requests per explored schedule (default: the workload's \
+           DaCapo request count).  Keep this small: every schedule re-runs \
+           the whole simulation.")
+
+let schedules_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "schedules" ] ~docv:"N"
+        ~doc:"Exploration budget: maximum schedules to run.")
+
+let depth_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "depth" ] ~docv:"K"
+        ~doc:
+          "Search depth: choice-point horizon for $(b,bounded)/$(b,pruned), \
+           forced preemption points per schedule for $(b,rand).")
+
+let strategy_arg =
+  Arg.(
+    value & opt string "rand"
+    & info [ "strategy" ] ~docv:"S"
+        ~doc:
+          "Exploration strategy: $(b,rand) (seeded random walk), \
+           $(b,bounded) (exhaustive over the first K choice points) or \
+           $(b,pruned) (bounded + footprint-equivalence pruning).")
+
+let bug_arg =
+  Arg.(
+    value & opt string "none"
+    & info [ "bug" ] ~docv:"NAME"
+        ~doc:
+          "Plant a known protocol bug (jade only): $(b,skip-remset), \
+           $(b,racy-forwarding) or $(b,racy-forwarding-window).  \
+           Self-check that the explorer finds what it should.")
+
+let replay_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "replay" ] ~docv:"FILE"
+        ~doc:
+          "Replay a schedule file written by a previous check instead of \
+           exploring; the file's metadata rebuilds the scenario.")
+
+let replay_out_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "replay-out" ] ~docv:"FILE"
+        ~doc:"Where to write the minimized replay file on violation.")
+
+let check_term =
+  Term.(
+    const check_cmd $ collector_arg $ workload_arg $ heap_mult_arg $ cores_arg
+    $ seed_arg $ region_arg $ requests_arg $ schedules_arg $ depth_arg
+    $ strategy_arg $ bug_arg $ replay_arg $ replay_out_arg)
+
+let check_info =
+  Cmd.info "check"
+    ~doc:
+      "Model-check scheduling interleavings: re-run one configuration under \
+       many schedules with the invariant verifier and race detector \
+       attached, shrink any violating schedule, and emit a replay file."
+
 let run_term =
   Term.(
     const run_cmd $ collector_arg $ workload_arg $ heap_mult_arg $ qps_arg
@@ -172,6 +403,10 @@ let () =
          ~doc:
            "Deterministic managed-runtime simulator reproducing Jade \
             (EuroSys '24)")
-      [ Cmd.v run_info run_term; Cmd.v list_info Term.(const list_cmd $ const ()) ]
+      [
+        Cmd.v run_info run_term;
+        Cmd.v check_info check_term;
+        Cmd.v list_info Term.(const list_cmd $ const ());
+      ]
   in
   exit (Cmd.eval' cmd)

@@ -1,0 +1,460 @@
+(** Bounded concurrency model checker over the simulation engine's
+    scheduling-policy seam.
+
+    The engine's default schedule is one point in the space of legal
+    interleavings; the protocol bugs worth finding (forwarding-CAS
+    races, remembered-set publication windows, safepoint/evacuation
+    overlaps) live in the rest of it.  This module systematically
+    re-runs a {e scenario} — a closure that builds a fresh
+    engine/heap/runtime and drives a full simulation — under perturbed
+    schedules, with the accounting verifier and the happens-before race
+    detector attached as oracles ({!Sanitizer.install_check_oracles}).
+
+    A schedule is encoded as its divergence from round-robin: a sparse
+    list of [(choice point ordinal, left-rotation)] pairs fed to the
+    engine policy ({!Sim.Engine.set_policy}); the empty list is the
+    default schedule.  Three strategies explore the space:
+
+    - {!Rand}: PCT-style random walk — every schedule forces at most
+      [depth] rotations at ordinals sampled uniformly over the baseline
+      schedule's choice points, from a seeded PRNG.  Cheap, probes deep.
+    - {!Bounded}: breadth-first exhaustive search over all rotation
+      vectors for the first [depth] choice points, shallow divergences
+      first, capped by the schedule budget.
+    - {!Pruned}: {!Bounded} plus a sleep-set-style reduction — a child
+      rotation that only reorders threads whose runs touched disjoint
+      metadata (per the race detector's access footprints, including
+      condition-variable and spawn edges) is equivalent to its parent
+      and skipped.
+
+    A violating schedule is shrunk by delta debugging to a minimal set
+    of forced rotations that still reproduces the same broken invariant,
+    then reported with both the original and minimized choice sequences;
+    {!Schedule} gives them a replayable on-disk form. *)
+
+module RtM = Runtime.Rt
+
+type strategy = Rand | Bounded | Pruned
+
+let strategy_to_string = function
+  | Rand -> "rand"
+  | Bounded -> "bounded"
+  | Pruned -> "pruned"
+
+let strategy_of_string = function
+  | "rand" | "random" -> Some Rand
+  | "bounded" | "exhaustive" -> Some Bounded
+  | "pruned" | "sleep-set" -> Some Pruned
+  | _ -> None
+
+type config = {
+  strategy : strategy;
+  schedules : int;  (** exploration budget: max schedules to run *)
+  depth : int;
+      (** [Bounded]/[Pruned]: choice-point horizon K; [Rand]: max forced
+          rotations (preemption points) per schedule *)
+  seed : int;  (** PRNG seed for [Rand]; ignored by the others *)
+}
+
+let default_config =
+  { strategy = Rand; schedules = 64; depth = 8; seed = 1 }
+
+type scenario = attach:(RtM.t -> unit) -> unit
+(** One full simulation: build a fresh engine/heap/runtime, call
+    [attach rt] {e before} running (it installs the policy and oracles),
+    then drive the run to completion.  Called once per schedule. *)
+
+type violation = {
+  report : Report.t;  (** from replaying the minimized schedule *)
+  schedule : (int * int) list;  (** minimized divergence *)
+  first_schedule : (int * int) list;  (** divergence as first found *)
+  first_report : Report.t;
+}
+
+type result = {
+  explored : int;  (** schedules run while searching (incl. baseline) *)
+  shrink_runs : int;  (** extra schedules run by the minimizer *)
+  pruned : int;  (** children skipped as footprint-equivalent *)
+  baseline_choice_points : int;
+  violation : violation option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* One schedule = one instrumented run of the scenario.                 *)
+
+(* Footprint items: metadata accesses keyed (resource tag, key), plus
+   synthetic synchronization tokens so threads that interact only
+   through condition variables or spawning still intersect. *)
+let res_tag : Heap.Access.res -> int = function
+  | Heap.Access.Forward -> 0
+  | Heap.Access.Fwd_table -> 1
+  | Heap.Access.Card -> 2
+  | Heap.Access.Mark_bit -> 3
+  | Heap.Access.Region_ctl -> 4
+  | Heap.Access.Remset -> 5
+
+let cond_tag = 100
+let spawn_tag = 101
+
+type footprints = (int, (int * int, unit) Hashtbl.t) Hashtbl.t
+
+let foot_add (fp : footprints) tid item =
+  let set =
+    match Hashtbl.find_opt fp tid with
+    | Some s -> s
+    | None ->
+        let s = Hashtbl.create 64 in
+        Hashtbl.replace fp tid s;
+        s
+  in
+  Hashtbl.replace set item ()
+
+let foot_disjoint (fp : footprints) t1 t2 =
+  match (Hashtbl.find_opt fp t1, Hashtbl.find_opt fp t2) with
+  | None, _ | _, None -> true
+  | Some a, Some b ->
+      let small, big = if Hashtbl.length a <= Hashtbl.length b then (a, b) else (b, a) in
+      Hashtbl.fold (fun item () acc -> acc && not (Hashtbl.mem big item)) small
+        true
+
+type run_record = {
+  rr_report : Report.t option;
+  rr_choice_points : int;  (** choice points encountered *)
+  rr_applied : (int * int) list;  (** non-zero rotations applied, ascending *)
+  rr_arity : int array;  (** candidates per choice point, first [horizon] *)
+  rr_cands : int array array;  (** candidate tids per choice point *)
+  rr_cores : int;
+  rr_foot : footprints;
+}
+
+(** Run the scenario once.  [forced ~ordinal ~arity] names the rotation
+    to apply at each choice point (out-of-range rotations fall back to
+    0, which keeps replays of stale files well-defined); [horizon] caps
+    how many choice points record their arity/candidates for the
+    exhaustive strategies. *)
+let run_schedule (scenario : scenario) ~horizon
+    ~(forced : ordinal:int -> arity:int -> int) : run_record =
+  let ordinal = ref 0 in
+  let applied = ref [] in
+  let arity = Array.make (max horizon 1) 0 in
+  let cands = Array.make (max horizon 1) [||] in
+  let cores = ref 0 in
+  let foot : footprints = Hashtbl.create 32 in
+  let report = ref None in
+  let violation r =
+    if !report = None then report := Some r;
+    raise (Report.Violation r)
+  in
+  let attach rt =
+    let engine = rt.RtM.engine in
+    cores := Sim.Engine.cores engine;
+    Sim.Engine.set_policy engine
+      (Some
+         (fun cs ->
+           let j = !ordinal in
+           incr ordinal;
+           let n = Array.length cs in
+           if j < horizon then begin
+             arity.(j) <- n;
+             cands.(j) <- Array.map (fun c -> c.Sim.Engine.c_tid) cs
+           end;
+           let r = forced ~ordinal:j ~arity:n in
+           let r = if r >= 0 && r < n then r else 0 in
+           if r <> 0 then applied := (j, r) :: !applied;
+           r));
+    ignore
+      (Sanitizer.install_check_oracles
+         ~on_access:(fun _op res ~key ~site:_ ->
+           foot_add foot (Sim.Engine.current_tid engine) (res_tag res, key))
+         ~on_trace:(fun ev ->
+           match ev with
+           | Sim.Engine.Spawned { parent; child; _ } ->
+               let item = (spawn_tag, child) in
+               foot_add foot parent item;
+               foot_add foot child item
+           | Sim.Engine.Woken { waker; woken; cond } ->
+               let item = (cond_tag, Hashtbl.hash cond) in
+               foot_add foot waker item;
+               foot_add foot woken item)
+         ~on_violation:violation rt)
+  in
+  Fun.protect
+    ~finally:(fun () -> Heap.Access.reset ())
+    (fun () ->
+      try scenario ~attach with
+      | Report.Violation _ -> ()
+      | Sim.Engine.Deadlock msg ->
+          report :=
+            Some
+              {
+                Report.engine = "explorer";
+                invariant = "schedule-deadlock";
+                collector = "-";
+                phase = "-";
+                region = None;
+                object_id = None;
+                detail = "perturbed schedule deadlocked: " ^ msg;
+              }
+      | e ->
+          report :=
+            Some
+              {
+                Report.engine = "explorer";
+                invariant = "uncaught-exception";
+                collector = "-";
+                phase = "-";
+                region = None;
+                object_id = None;
+                detail = Printexc.to_string e;
+              });
+  {
+    rr_report = !report;
+    rr_choice_points = !ordinal;
+    rr_applied = List.rev !applied;
+    rr_arity = arity;
+    rr_cands = cands;
+    rr_cores = !cores;
+    rr_foot = foot;
+  }
+
+let forced_of_choices choices =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (o, r) -> Hashtbl.replace tbl o r) choices;
+  fun ~ordinal ~arity:_ ->
+    match Hashtbl.find_opt tbl ordinal with Some r -> r | None -> 0
+
+(** Replay a schedule once; [Some report] if it violates an oracle. *)
+let replay scenario choices =
+  (run_schedule scenario ~horizon:0 ~forced:(forced_of_choices choices))
+    .rr_report
+
+(* ------------------------------------------------------------------ *)
+(* Delta-debugging minimizer.                                           *)
+
+(* Same broken invariant, not necessarily the same object: shrinking
+   must not wander onto a different bug, but uids and timestamps may
+   legitimately differ between interleavings that trip one bug. *)
+let same_failure (a : Report.t) (b : Report.t) =
+  a.Report.engine = b.Report.engine && a.Report.invariant = b.Report.invariant
+
+(** ddmin over the forced-choice list: find a small (1-minimal under the
+    chunking actually tried) subset that still reproduces the failure.
+    Returns the subset and the number of replays spent. *)
+let minimize scenario ~(matches : Report.t -> bool) choices =
+  let runs = ref 0 in
+  let fails subset =
+    incr runs;
+    match replay scenario subset with
+    | Some r -> matches r
+    | None -> false
+  in
+  let split lst n =
+    let len = List.length lst in
+    let base = len / n and extra = len mod n in
+    let rec take k xs =
+      if k = 0 then ([], xs)
+      else
+        match xs with
+        | [] -> ([], [])
+        | x :: rest ->
+            let a, b = take (k - 1) rest in
+            (x :: a, b)
+    in
+    let rec go i xs =
+      if i >= n then []
+      else
+        let size = base + if i < extra then 1 else 0 in
+        let chunk, rest = take size xs in
+        chunk :: go (i + 1) rest
+    in
+    go 0 lst
+  in
+  let rec ddmin cs n =
+    if List.length cs <= 1 then cs
+    else begin
+      let chunks = split cs n in
+      match List.find_opt (fun c -> c <> [] && fails c) chunks with
+      | Some c -> ddmin c 2
+      | None -> (
+          let complements =
+            List.mapi
+              (fun i _ ->
+                List.concat (List.filteri (fun j _ -> j <> i) chunks))
+              chunks
+          in
+          match
+            List.find_opt
+              (fun c -> List.length c < List.length cs && fails c)
+              complements
+          with
+          | Some c -> ddmin c (max 2 (n - 1))
+          | None ->
+              if n < List.length cs then ddmin cs (min (List.length cs) (2 * n))
+              else cs)
+    end
+  in
+  let minimal = ddmin choices 2 in
+  (minimal, !runs)
+
+(* ------------------------------------------------------------------ *)
+(* Strategies.                                                          *)
+
+let found scenario first_record first_report =
+  let first_schedule = first_record.rr_applied in
+  let minimal, shrink_runs =
+    minimize scenario ~matches:(same_failure first_report) first_schedule
+  in
+  (* Replay the minimized schedule for the report actually shipped: its
+     sites/clocks must describe the schedule the file reproduces. *)
+  let report, shrink_runs =
+    match replay scenario minimal with
+    | Some r -> (r, shrink_runs + 1)
+    | None ->
+        (* Non-monotonic shrink artifact; fall back to the original. *)
+        (first_report, shrink_runs + 1)
+  in
+  ( { report; schedule = minimal; first_schedule; first_report },
+    shrink_runs )
+
+(* Seeded random walk: each schedule forces at most [depth] rotations at
+   ordinals sampled uniformly over the baseline's choice points. *)
+let explore_rand scenario cfg ~(baseline : run_record) =
+  let total = max 1 baseline.rr_choice_points in
+  let explored = ref 1 in
+  let result = ref None in
+  let i = ref 1 in
+  while !result = None && !i < cfg.schedules do
+    let prng = Util.Prng.create ((cfg.seed * 1_000_003) + !i) in
+    let budget = max 1 cfg.depth in
+    let points = Hashtbl.create 8 in
+    for _ = 1 to budget do
+      (* Sampling with replacement; duplicates collapse, so a schedule
+         carries between 1 and [depth] preemption points. *)
+      Hashtbl.replace points (Util.Prng.int prng total) (Util.Prng.bits prng)
+    done;
+    let forced ~ordinal ~arity =
+      match Hashtbl.find_opt points ordinal with
+      | Some salt when arity >= 2 -> 1 + (salt mod (arity - 1))
+      | _ -> 0
+    in
+    let rec_ = run_schedule scenario ~horizon:0 ~forced in
+    incr explored;
+    (match rec_.rr_report with
+    | Some r -> result := Some (rec_, r)
+    | None -> ());
+    incr i
+  done;
+  (!explored, !result)
+
+(* Breadth-first exhaustive search over rotation vectors for the first
+   [depth] choice points; [prune] may veto a child before it runs. *)
+let explore_bounded scenario cfg
+    ~(prune : run_record -> int -> int -> bool) ~(baseline : run_record) =
+  let explored = ref 1 in
+  let pruned = ref 0 in
+  let result = ref None in
+  let queue = Queue.create () in
+  let push_children (v : int array) (rec_ : run_record) =
+    (* Extend at every choice point at or past this vector's length:
+       the run shares its prefix with the child up to that point, so the
+       recorded arity there is the child's arity too. *)
+    for j = Array.length v to cfg.depth - 1 do
+      for r = 1 to rec_.rr_arity.(j) - 1 do
+        if prune rec_ j r then incr pruned
+        else begin
+          let child = Array.make (j + 1) 0 in
+          Array.blit v 0 child 0 (Array.length v);
+          child.(j) <- r;
+          Queue.push child queue
+        end
+      done
+    done
+  in
+  push_children [||] baseline;
+  while !result = None && not (Queue.is_empty queue) && !explored < cfg.schedules
+  do
+    let v = Queue.pop queue in
+    let forced ~ordinal ~arity:_ =
+      if ordinal < Array.length v then v.(ordinal) else 0
+    in
+    let rec_ = run_schedule scenario ~horizon:cfg.depth ~forced in
+    incr explored;
+    match rec_.rr_report with
+    | Some r -> result := Some (rec_, r)
+    | None -> push_children v rec_
+  done;
+  (!explored, !pruned, !result)
+
+(* Sleep-set-style equivalence: rotating candidates [r..] ahead of
+   [0..r-1] only permutes the round's host order when everyone is served
+   anyway (n <= cores); if additionally every reordered pair touched
+   disjoint metadata and shares no synchronization edge, the child
+   schedule is observably equal to its parent and need not run. *)
+let footprint_prune (rec_ : run_record) j r =
+  let n = rec_.rr_arity.(j) in
+  let cands = rec_.rr_cands.(j) in
+  n <= rec_.rr_cores
+  && begin
+       let disjoint = ref true in
+       for i = 0 to r - 1 do
+         for l = r to n - 1 do
+           if !disjoint && not (foot_disjoint rec_.rr_foot cands.(i) cands.(l))
+           then disjoint := false
+         done
+       done;
+       !disjoint
+     end
+
+let run scenario cfg =
+  if cfg.schedules < 1 then invalid_arg "Explore.run: schedules";
+  if cfg.depth < 1 then invalid_arg "Explore.run: depth";
+  let horizon =
+    match cfg.strategy with Rand -> 0 | Bounded | Pruned -> cfg.depth
+  in
+  let baseline =
+    run_schedule scenario ~horizon ~forced:(fun ~ordinal:_ ~arity:_ -> 0)
+  in
+  match baseline.rr_report with
+  | Some r ->
+      (* The default schedule already violates: nothing to search or
+         shrink, the empty schedule is the reproducer. *)
+      {
+        explored = 1;
+        shrink_runs = 0;
+        pruned = 0;
+        baseline_choice_points = baseline.rr_choice_points;
+        violation =
+          Some
+            {
+              report = r;
+              schedule = [];
+              first_schedule = [];
+              first_report = r;
+            };
+      }
+  | None ->
+      let explored, pruned, hit =
+        match cfg.strategy with
+        | Rand ->
+            let explored, hit = explore_rand scenario cfg ~baseline in
+            (explored, 0, hit)
+        | Bounded ->
+            explore_bounded scenario cfg
+              ~prune:(fun _ _ _ -> false)
+              ~baseline
+        | Pruned -> explore_bounded scenario cfg ~prune:footprint_prune ~baseline
+      in
+      let violation, shrink_runs =
+        match hit with
+        | None -> (None, 0)
+        | Some (rec_, r) ->
+            let v, shrink_runs = found scenario rec_ r in
+            (Some v, shrink_runs)
+      in
+      {
+        explored;
+        shrink_runs;
+        pruned;
+        baseline_choice_points = baseline.rr_choice_points;
+        violation;
+      }

@@ -53,6 +53,40 @@ let install ?(on_violation = default_on_violation) ~level rt =
       in
       { verifier = Some verifier; race }
 
+(** Oracles for the schedule-space explorer ([gcsim check]): the fast
+    (accounting) verifier at every phase boundary plus the full
+    happens-before race detector.  Every explored schedule re-runs the
+    whole simulation, so the verifier's O(heap) full passes would
+    dominate the search budget; accounting checks + race detection are
+    the cheap oracles that still catch the schedule-dependent failure
+    classes (double relocation, lost publication, broken accounting).
+
+    [on_access] and [on_trace] compose extra host-side observers onto
+    the race detector's hooks — the explorer records per-thread access
+    footprints this way for its equivalence pruning. *)
+let install_check_oracles ?(on_access = fun _ _ ~key:_ ~site:_ -> ())
+    ?(on_trace = fun (_ : Sim.Engine.trace_event) -> ()) ~on_violation rt =
+  if rt.RtM.verify_level > 0 then none
+  else begin
+    rt.RtM.verify_level <- 2;
+    let verifier = Verifier.create ~full:false ~on_violation rt in
+    rt.RtM.phase_hook <- Some (Verifier.on_phase verifier);
+    Runtime.Safepoint.set_on_release rt.RtM.safepoint (fun () ->
+        RtM.fire_phase rt Vhook.Safepoint_release);
+    let race = Race.create ~engine:rt.RtM.engine ~on_violation () in
+    Sim.Engine.set_tracer rt.RtM.engine
+      (Some
+         (fun ev ->
+           Race.on_trace race ev;
+           on_trace ev));
+    Heap.Access.hook :=
+      Some
+        (fun op res ~key ~site ->
+          Race.on_access race op res ~key ~site;
+          on_access op res ~key ~site);
+    { verifier = Some verifier; race = Some race }
+  end
+
 let checks_run t =
   match t.verifier with Some v -> Verifier.checks_run v | None -> 0
 

@@ -1,0 +1,125 @@
+(** Replay codec for explored schedules.
+
+    A schedule is the complete divergence-from-round-robin of one
+    simulation run: a sparse, ascending list of [(choice point ordinal,
+    left-rotation)] pairs.  Choice points not listed take the default
+    rotation 0, so the empty schedule {e is} the engine's deterministic
+    round-robin and replaying a file needs no knowledge of the strategy
+    that found it.
+
+    The on-disk format is line-oriented text, one [key value] pair per
+    line, so a replay file is diffable and a CI log can quote it whole:
+
+    {v
+    gcsim-schedule v1
+    collector jade
+    workload avrora
+    seed 42
+    choice 17 2
+    choice 23 1
+    v}
+
+    [meta] lines (everything except [choice]) carry whatever context the
+    producer needs to rebuild the identical scenario — collector,
+    workload, machine shape.  The codec stores them verbatim and in
+    order; interpretation belongs to the consumer ([gcsim check]). *)
+
+type t = {
+  meta : (string * string) list;  (** ordered context key/value pairs *)
+  choices : (int * int) list;  (** (ordinal, rotation), ascending *)
+}
+
+let magic = "gcsim-schedule v1"
+
+let empty = { meta = []; choices = [] }
+
+let find_meta t key =
+  List.assoc_opt key t.meta
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (k, v) ->
+      if String.contains k ' ' || String.contains k '\n'
+         || String.contains v '\n'
+      then invalid_arg "Schedule.to_string: key/value contains separator";
+      Buffer.add_string buf (Printf.sprintf "%s %s\n" k v))
+    t.meta;
+  List.iter
+    (fun (ordinal, rotation) ->
+      Buffer.add_string buf (Printf.sprintf "choice %d %d\n" ordinal rotation))
+    t.choices;
+  Buffer.contents buf
+
+exception Parse_error of string
+
+let parse_failure fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let of_string s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | [] -> parse_failure "empty schedule file"
+  | header :: rest ->
+      if String.trim header <> magic then
+        parse_failure "bad header %S (want %S)" header magic;
+      let meta = ref [] and choices = ref [] in
+      List.iter
+        (fun line ->
+          let line = String.trim line in
+          match String.index_opt line ' ' with
+          | None -> parse_failure "malformed line %S" line
+          | Some i -> (
+              let key = String.sub line 0 i in
+              let v = String.sub line (i + 1) (String.length line - i - 1) in
+              match key with
+              | "choice" -> (
+                  match String.split_on_char ' ' v with
+                  | [ o; r ] -> (
+                      match (int_of_string_opt o, int_of_string_opt r) with
+                      | Some o, Some r when o >= 0 && r >= 0 ->
+                          choices := (o, r) :: !choices
+                      | _ -> parse_failure "malformed choice %S" v)
+                  | _ -> parse_failure "malformed choice %S" v)
+              | _ -> meta := (key, v) :: !meta))
+        rest;
+      let choices =
+        List.sort (fun (a, _) (b, _) -> compare a b) (List.rev !choices)
+      in
+      (* A duplicate ordinal would make replay ambiguous. *)
+      let rec check = function
+        | (a, _) :: ((b, _) :: _ as rest) ->
+            if a = b then parse_failure "duplicate choice ordinal %d" a;
+            check rest
+        | _ -> ()
+      in
+      check choices;
+      { meta = List.rev !meta; choices }
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      of_string (really_input_string ic n))
+
+(** Human-oriented one-liner: "3 forced choices: 17->2 23->1 40->1". *)
+let describe choices =
+  match choices with
+  | [] -> "0 forced choices (default round-robin)"
+  | cs ->
+      Printf.sprintf "%d forced choice%s: %s" (List.length cs)
+        (if List.length cs = 1 then "" else "s")
+        (String.concat " "
+           (List.map (fun (o, r) -> Printf.sprintf "%d->%d" o r) cs))

@@ -247,7 +247,7 @@ module Evac = struct
       [racy] plants the check-then-act bug a real CAS install closes
       (sanitizer regression tests only): after seeing the slot empty the
       worker suspends, so a second worker can relocate the same object. *)
-  let copy_object ?(racy = false) d (tk : Ticker.t) (o : Gobj.t) =
+  let copy_object ?(racy = false) ?window d (tk : Ticker.t) (o : Gobj.t) =
     match o.Gobj.forward with
     | Some o' -> Gobj.resolve o'
     | None ->
@@ -255,6 +255,16 @@ module Evac = struct
           Ticker.flush tk;
           Sim.Engine.yield ()
         end;
+        (match window with
+        | Some w ->
+            (* Check-then-act window spanning a quantum boundary: the
+               slot was seen empty, now burn [w] ns of real work before
+               installing.  Unlike [racy]'s yield, this only loses the
+               race when the scheduler runs a competing worker inside
+               the window. *)
+            Ticker.flush tk;
+            Sim.Engine.tick w
+        | None -> ());
         let costs = d.rt.RtM.costs in
         let r = dest_region d ~size:o.Gobj.size in
         let copy : Gobj.t =

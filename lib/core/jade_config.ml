@@ -22,6 +22,13 @@ type planted_bug =
           installing — the classic check-then-act window a real CAS
           closes — so two workers can both relocate one object; caught
           by the race detector as unordered forwarding installs *)
+  | Racy_forwarding_window
+      (** like [Racy_forwarding] but the check-then-act window is one
+          engine quantum of real (ticked) work instead of a yield, so
+          the race only fires when another worker is {e scheduled into}
+          the window — round-robin never trips it; exists to prove the
+          schedule-space explorer ([gcsim check]) finds interleaving
+          bugs the default schedule hides *)
 
 type t = {
   young_workers : int;  (** concurrent young GC threads *)

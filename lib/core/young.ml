@@ -104,7 +104,13 @@ let copy_out t (dests : Common.Evac.dest * Common.Evac.dest) tk (o : Gobj.t) =
       in
       let dest = if promote then dest_old else dest_young in
       let racy = t.config.planted_bug = Jade_config.Racy_forwarding in
-      let o' = Common.Evac.copy_object ~racy dest tk o in
+      let window =
+        match t.config.planted_bug with
+        | Jade_config.Racy_forwarding_window ->
+            Some (Sim.Engine.quantum t.rt.RtM.engine)
+        | _ -> None
+      in
+      let o' = Common.Evac.copy_object ~racy ?window dest tk o in
       if promote then
         Metrics.add t.rt.RtM.metrics "jade.promoted_bytes" o.Gobj.size
       else t.survivor_bytes <- t.survivor_bytes + o.Gobj.size;

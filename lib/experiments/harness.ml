@@ -65,9 +65,14 @@ let verify_level ?verify () =
 
 (** Build engine+heap+runtime, install the collector, construct the
     workload's live set, and return the runtime plus a request closure.
-    Raises {!Setup_oom} when the heap cannot even hold the live set. *)
-let prepare ?(machine = default_machine) ?verify ~install
-    (app : Workload.Apps.t) =
+    Raises {!Setup_oom} when the heap cannot even hold the live set.
+
+    [attach] runs after the collector and sanitizer are installed but
+    before any simulation — the schedule-space explorer hooks its
+    scheduling policy and oracles here ({!check_scenario}), which must
+    be on the engine before the first {!Sim.Engine.run}. *)
+let prepare ?(machine = default_machine) ?verify
+    ?(attach = fun (_ : RtM.t) -> ()) ~install (app : Workload.Apps.t) =
   (* Round the heap down to a whole number of regions (at least 4). *)
   let heap_bytes =
     max (4 * machine.region_bytes)
@@ -84,6 +89,7 @@ let prepare ?(machine = default_machine) ?verify ~install
   Heap.Access.reset ();
   install rt;
   ignore (Analysis.Sanitizer.install ~level:(verify_level ?verify ()) rt);
+  attach rt;
   let state = ref None in
   ignore
     (Sim.Engine.spawn engine ~name:"setup" ~kind:Sim.Engine.Mutator (fun () ->
@@ -181,8 +187,8 @@ let run_open ?machine ?verify ?(warmup = 300 * Util.Units.ms)
       summarize rt app ~collector r
 
 (** Fixed-work run (DaCapo): the metric is execution time. *)
-let run_fixed ?machine ?verify ?requests ~install ~collector app =
-  match prepare ?machine ?verify ~install app with
+let run_fixed ?machine ?verify ?attach ?requests ~install ~collector app =
+  match prepare ?machine ?verify ?attach ~install app with
   | exception Setup_oom why -> oom_summary ~machine ~collector app why
   | rt, request ->
       let n =
@@ -197,6 +203,30 @@ let run_fixed ?machine ?verify ?requests ~install ~collector app =
       in
       summarize rt app ~collector r
 
+
+(** Package a fixed-work run as a schedule-explorer scenario
+    ({!Analysis.Explore.scenario}): each invocation rebuilds the whole
+    machine/heap/runtime from scratch and drives [requests] requests to
+    completion, with the explorer's policy and oracles attached via
+    [attach].  The sanitizer is forced [Off] here because the explorer
+    installs its own oracle set per run
+    ({!Analysis.Sanitizer.install_check_oracles}). *)
+let check_scenario ?machine ?requests ~install (app : Workload.Apps.t) :
+    Analysis.Explore.scenario =
+ fun ~attach ->
+  match prepare ?machine ~verify:Analysis.Sanitizer.Off ~attach ~install app with
+  | exception Setup_oom why ->
+      failwith ("gcsim check: workload setup out of memory: " ^ why)
+  | rt, request ->
+      let n =
+        match requests with
+        | Some n -> n
+        | None -> app.Workload.Apps.fixed_requests
+      in
+      ignore
+        (Runtime.Driver.run rt
+           ~n_mutators:app.Workload.Apps.spec.Workload.Spec.mutators
+           ~mode:(Runtime.Driver.Fixed n) ~request ())
 
 (* ------------------------------------------------------------------ *)
 (* Host-time speedometer.                                               *)

@@ -52,6 +52,13 @@ let fresh_uid () =
     tri-color discipline does not constrain it. *)
 let uid_watermark () = !uid_counter
 
+(** Restart the uid space.  Called when a fresh heap is created
+    ({!Heap_impl.create}): uids, like virtual time, are then a pure
+    function of the run — two in-process runs of one configuration mint
+    identical uids, which is what lets the schedule-space explorer
+    promise byte-identical violation reports on replay. *)
+let reset_uids () = uid_counter := 0
+
 let make ~id ~size ~nrefs ~region ~offset =
   {
     id;

@@ -80,6 +80,9 @@ let dump_region_history rid =
   | Some l -> String.concat " <- " !l
 
 let create ?(costs = Costs.default) cfg =
+  (* A fresh heap is a fresh simulated world: restart the uid space so
+     runs are byte-reproducible within one process (replay needs it). *)
+  Gobj.reset_uids ();
   let nregions = cfg.heap_bytes / cfg.region_bytes in
   if nregions < 2 then invalid_arg "Heap.create: need at least two regions";
   if nregions > Crdt.max_region_id then

@@ -19,8 +19,15 @@
     With the default 20 µs quantum the timing error of any measured
     interval is below one quantum, an order of magnitude finer than the
     sub-millisecond pauses under study.  Runs are fully deterministic:
-    scheduling order is a pure function of the configuration and the
-    workload's PRNG seed; simultaneous wakeups order by thread id. *)
+    scheduling order is a pure function of the configuration, the
+    workload's PRNG seed and the installed scheduling {!policy};
+    simultaneous wakeups order by [(wake time, tid)].
+
+    The policy seam ({!set_policy}) lets analysis tooling perturb the
+    round-robin order at every {e choice point} — a round whose outcome
+    genuinely depends on which runnable thread goes first.  With no
+    policy installed (the default) the scheduler takes the run queue in
+    FIFO order, bit-identical to the historical behaviour. *)
 
 type kind = Mutator | Gc | Aux
 
@@ -79,6 +86,14 @@ type trace_event =
   | Spawned of { parent : int; child : int; name : string }
   | Woken of { waker : int; woken : int; cond : string }
 
+(** A runnable thread as shown to a scheduling {!policy} at a choice
+    point.  [c_debt] is the virtual CPU the thread still owes before its
+    code resumes; a thread with [c_debt <= quantum] will execute code
+    within the coming round. *)
+type candidate = { c_tid : int; c_name : string; c_kind : kind; c_debt : int }
+
+type policy = candidate array -> int
+
 type t = {
   cores : int;
   quantum : int;
@@ -95,6 +110,8 @@ type t = {
   mutable failure : exn option;
   mutable current : thread; (* thread being driven; [dummy_thread] outside *)
   mutable tracer : (trace_event -> unit) option;
+  mutable policy : policy option;
+  mutable choice_points : int; (* choice points presented to the policy *)
 }
 
 exception Deadlock of string
@@ -124,12 +141,15 @@ let create ?(cores = 8) ?(quantum = 20_000) () =
     failure = None;
     current = dummy_thread;
     tracer = None;
+    policy = None;
+    choice_points = 0;
   }
 
 (** Virtual time as seen by the currently running thread. *)
 let now t = t.clock + t.run_offset
 
 let cores t = t.cores
+let quantum t = t.quantum
 let busy_ns t kind = t.busy_ns.(kind_index kind)
 let total_busy_ns t = Array.fold_left ( + ) 0 t.busy_ns
 
@@ -142,6 +162,13 @@ let current_tid t = t.current.tid
 (** Install (or remove) the scheduling-event tracer.  [None] — the
     default — keeps every event site down to one branch. *)
 let set_tracer t f = t.tracer <- f
+
+(** Install (or remove) the scheduling policy.  [None] — the default —
+    keeps the allocation-free FIFO fast path. *)
+let set_policy t p = t.policy <- p
+
+(** Choice points presented to the installed policy so far. *)
+let choice_points t = t.choice_points
 
 let enqueue t th =
   if not th.enqueued && th.state = Runnable then begin
@@ -438,12 +465,71 @@ let run ?until t =
        else begin
          let wake = next_wake_ns t in
          let n = ref 0 in
-         while !n < t.cores && not (Queue.is_empty t.runq) do
-           let th = Queue.pop t.runq in
-           th.enqueued <- false;
-           scratch.(!n) <- th;
-           incr n
-         done;
+         (match t.policy with
+         | None ->
+             (* FIFO fast path: serve the front [cores] threads in queue
+                order; the remainder stays queued, still in order. *)
+             while !n < t.cores && not (Queue.is_empty t.runq) do
+               let th = Queue.pop t.runq in
+               th.enqueued <- false;
+               scratch.(!n) <- th;
+               incr n
+             done
+         | Some pick ->
+             (* Policy seam: drain every runnable thread, ask the policy
+                for a left-rotation at choice points, serve the first
+                [cores] of the rotated order and put the rest back —
+                ahead of anything the served threads wake — so rotation 0
+                reproduces the FIFO fast path bit-identically.  A round
+                is a choice point only when its outcome can depend on the
+                rotation: more runnable threads than cores (someone is
+                delayed a round), or at least two threads whose code will
+                actually execute this round (their host order decides who
+                observes whose effects at equal virtual time). *)
+             let m = Queue.length t.runq in
+             let cands = Array.make m dummy_thread in
+             for i = 0 to m - 1 do
+               let th = Queue.pop t.runq in
+               th.enqueued <- false;
+               cands.(i) <- th
+             done;
+             let will_resume = ref 0 in
+             for i = 0 to m - 1 do
+               if cands.(i).debt <= t.quantum then incr will_resume
+             done;
+             let r =
+               if m >= 2 && (m > t.cores || !will_resume >= 2) then begin
+                 t.choice_points <- t.choice_points + 1;
+                 let view =
+                   Array.map
+                     (fun th ->
+                       {
+                         c_tid = th.tid;
+                         c_name = th.name;
+                         c_kind = th.kind;
+                         c_debt = th.debt;
+                       })
+                     cands
+                 in
+                 let r = pick view in
+                 if r < 0 || r >= m then
+                   invalid_arg
+                     (Printf.sprintf
+                        "Sim.Engine: policy returned rotation %d with %d \
+                         candidates"
+                        r m);
+                 r
+               end
+               else 0
+             in
+             let served = min t.cores m in
+             for i = 0 to served - 1 do
+               scratch.(i) <- cands.((i + r) mod m)
+             done;
+             for i = served to m - 1 do
+               enqueue t cands.((i + r) mod m)
+             done;
+             n := served);
          (* Baseline step: one quantum, clamped so sleepers wake on time. *)
          let step =
            if wake > t.clock then min t.quantum (wake - t.clock) else t.quantum

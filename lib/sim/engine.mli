@@ -16,10 +16,20 @@
     aligned to the quantum grid — an optimization of the scheduler's
     bookkeeping, not a change to the machine model.
 
-    Determinism: scheduling order is a pure function of the spawn order
-    and the threads' behaviour; two runs of the same configuration
-    produce identical traces.  Threads sleeping until the same instant
-    wake in thread-id order. *)
+    Determinism: scheduling order is a pure function of the spawn
+    order, the threads' behaviour and the installed scheduling
+    {!policy}; two runs of the same configuration produce identical
+    traces.  Sleepers are kept in the min-heap for the whole sleep (no
+    per-round re-partitioning), so threads sleeping until the same
+    instant wake in [(wake time, tid)] order — the heap key — and a
+    wake never reorders unrelated sleepers.
+
+    The policy seam ({!set_policy}) exposes every scheduling {e choice
+    point} — a round whose outcome depends on which runnable thread
+    goes first — to analysis tooling (the schedule-space explorer in
+    [lib/analysis/explore.ml]).  With no policy installed, or with a
+    policy that always returns rotation [0], the scheduler serves the
+    run queue in FIFO order, bit-identical to the default. *)
 
 (** Thread classes, for CPU accounting ({!busy_ns}). *)
 type kind = Mutator | Gc | Aux
@@ -48,6 +58,9 @@ val now : t -> int
     its progress within the current quantum). *)
 
 val cores : t -> int
+
+val quantum : t -> int
+(** The scheduling quantum in virtual ns. *)
 
 val busy_ns : t -> kind -> int
 (** Cumulative CPU consumed by threads of [kind], in virtual ns. *)
@@ -124,6 +137,37 @@ type trace_event =
 
 val set_tracer : t -> (trace_event -> unit) option -> unit
 (** Install or remove the scheduling-event tracer. *)
+
+(** {2 Scheduling-policy seam}
+
+    The schedule-space explorer perturbs scheduling through this seam;
+    nothing else should.  A policy is consulted once per {e choice
+    point}: a scheduling round with [n >= 2] runnable threads whose
+    outcome can depend on their order — either [n > cores] (the policy
+    decides who is delayed a round) or at least two threads will resume
+    code within the round (the policy decides their relative order at
+    equal virtual time).  Rounds that are pure debt bookkeeping are not
+    choice points and are never presented. *)
+
+(** One runnable thread as presented to a policy, in current run-queue
+    order.  [c_debt] is the virtual CPU still owed before the thread's
+    code resumes. *)
+type candidate = { c_tid : int; c_name : string; c_kind : kind; c_debt : int }
+
+type policy = candidate array -> int
+(** A policy returns a left-rotation [r] of the presented candidates
+    ([0 <= r < n]): the scheduler serves the first [cores] threads of
+    the rotated order this round and requeues the rest, preserving the
+    rotated order.  Rotation [0] reproduces the default FIFO round-robin
+    bit-identically.  Out-of-range rotations raise [Invalid_argument]. *)
+
+val set_policy : t -> policy option -> unit
+(** Install or remove the scheduling policy.  [None] (the default)
+    keeps the allocation-free FIFO fast path. *)
+
+val choice_points : t -> int
+(** Number of choice points presented to the installed policy so far
+    (0 with no policy installed). *)
 
 val current_tid : t -> int
 (** Tid of the thread the engine is driving right now; [-1] when called

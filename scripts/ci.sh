@@ -6,6 +6,9 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "== purity lint (simulator core must stay deterministic) =="
+bash scripts/lint_purity.sh
+
 echo "== dune build =="
 dune build
 
@@ -20,6 +23,14 @@ for c in jade g1 g1-10ms lxr zgc shenandoah genz genshen; do
       -d 0.25 --warmup 0.1 --verify=full > /dev/null
   done
 done
+
+echo "== schedule-space check smoke (explorer oracles stay clean) =="
+# 64 random schedules at depth 8 over a small fixed workload: every
+# schedule re-runs the simulation under the fast verifier + race
+# detector, so this both exercises the explorer end to end and asserts
+# that no legal interleaving of the default collector trips an oracle.
+dune exec bin/gcsim.exe -- check -c jade -w avrora \
+  --requests 2000 --schedules 64 --depth 8 --strategy rand
 
 echo "== bench smoke (quick micro + speed) =="
 dune exec bench/main.exe -- --quick micro speed

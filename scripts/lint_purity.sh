@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Purity lint: the simulator core must be deterministic.
+#
+# Everything under lib/{sim,core,heap,collectors} runs inside the
+# discrete-event simulation, where runs are replayed bit-for-bit by the
+# schedule-space explorer (gcsim check) and diffed across collectors.
+# Host nondeterminism — wall-clock time, environment lookups, host
+# randomness, hash-order iteration, or stray printing that interleaves
+# with test output — silently breaks that contract, so new uses fail CI
+# here rather than surfacing as an unreproducible replay much later.
+#
+# Known-benign uses (env-gated stderr debug heartbeats) live in
+# scripts/purity_allowlist.txt as "<file> <pattern>" lines.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DIRS="lib/sim lib/core lib/heap lib/collectors"
+PATTERNS='Unix\.|Sys\.time|Sys\.getenv|Random\.self_init|Hashtbl\.hash|Printf\.printf|Printf\.eprintf|print_endline|print_string|print_newline'
+ALLOW=scripts/purity_allowlist.txt
+
+fail=0
+seen_pairs=$(mktemp)
+trap 'rm -f "$seen_pairs"' EXIT
+
+# shellcheck disable=SC2086
+grep -rnE "$PATTERNS" $DIRS --include='*.ml' --include='*.mli' |
+  while IFS= read -r hit; do
+    file=${hit%%:*}
+    rest=${hit#*:}
+    line=${rest%%:*}
+    text=${rest#*:}
+    # A line may match several patterns; check each one.
+    printf '%s\n' "$text" | grep -oE "$PATTERNS" | sort -u |
+      while IFS= read -r pattern; do
+        if grep -qF -- "$file $pattern" "$ALLOW"; then
+          printf '%s %s\n' "$file" "$pattern" >>"$seen_pairs"
+        else
+          printf 'purity: %s:%s: disallowed %s\n  %s\n' \
+            "$file" "$line" "$pattern" "$text" >&2
+          touch "$seen_pairs.fail"
+        fi
+      done
+  done
+
+if [ -e "$seen_pairs.fail" ]; then
+  rm -f "$seen_pairs.fail"
+  echo "purity lint FAILED: host nondeterminism in the simulator core." >&2
+  echo "If this is env-gated debug output, add '<file> <pattern>' to $ALLOW." >&2
+  exit 1
+fi
+
+# Stale allowlist entries mean the debt was paid off: retire them.
+stale=0
+while IFS= read -r entry; do
+  case $entry in ''|'#'*) continue ;; esac
+  if ! grep -qxF -- "$entry" "$seen_pairs"; then
+    echo "purity: stale allowlist entry (no matching hit): $entry" >&2
+    stale=1
+  fi
+done <"$ALLOW"
+if [ "$stale" -ne 0 ]; then
+  echo "purity lint FAILED: remove stale entries from $ALLOW." >&2
+  exit 1
+fi
+
+echo "purity lint OK ($(grep -cvE '^(#|$)' "$ALLOW") allowlisted hits)"

@@ -1,0 +1,405 @@
+(* Schedule-space explorer: the policy seam is bit-compatible with the
+   default scheduler, the explorer finds a schedule-dependent planted
+   bug that round-robin never trips, minimizes it to a handful of forced
+   choices, and replays are byte-deterministic. *)
+
+let us = Util.Units.us
+let kib = Util.Units.kib
+let mib = Util.Units.mib
+
+(* ------------------------------------------------------------------ *)
+(* Replay codec. *)
+
+let test_schedule_codec () =
+  let t =
+    {
+      Analysis.Schedule.meta =
+        [ ("collector", "jade"); ("workload", "avrora"); ("seed", "7") ];
+      choices = [ (3, 1); (17, 2) ];
+    }
+  in
+  let s = Analysis.Schedule.to_string t in
+  let t' = Analysis.Schedule.of_string s in
+  Alcotest.(check (list (pair int int)))
+    "choices round-trip" t.Analysis.Schedule.choices
+    t'.Analysis.Schedule.choices;
+  Alcotest.(check (option string))
+    "meta round-trip" (Some "avrora")
+    (Analysis.Schedule.find_meta t' "workload");
+  Alcotest.(check string) "serialization is canonical" s
+    (Analysis.Schedule.to_string t');
+  (* Choices are stored ascending regardless of input order. *)
+  let shuffled =
+    Analysis.Schedule.of_string
+      "gcsim-schedule v1\nchoice 17 2\nchoice 3 1\n"
+  in
+  Alcotest.(check (list (pair int int)))
+    "choices sorted" [ (3, 1); (17, 2) ]
+    shuffled.Analysis.Schedule.choices;
+  let fails s =
+    match Analysis.Schedule.of_string s with
+    | exception Analysis.Schedule.Parse_error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "bad header rejected" true (fails "bogus v9\n");
+  Alcotest.(check bool) "duplicate ordinal rejected" true
+    (fails "gcsim-schedule v1\nchoice 3 1\nchoice 3 2\n");
+  Alcotest.(check bool) "malformed choice rejected" true
+    (fails "gcsim-schedule v1\nchoice 3\n");
+  Alcotest.(check bool) "empty file rejected" true (fails "")
+
+(* ------------------------------------------------------------------ *)
+(* Bit-identity: a zero-rotation policy is the default scheduler. *)
+
+let small_machine =
+  {
+    Experiments.Harness.cores = 4;
+    heap_bytes = 24 * mib;
+    region_bytes = 256 * kib;
+    quantum = 20 * us;
+    seed = 11;
+  }
+
+let test_zero_policy_is_bit_identical () =
+  let app = Workload.Apps.find "avrora" in
+  let run ?attach () =
+    Experiments.Harness.run_fixed ~machine:small_machine ?attach
+      ~requests:2_000
+      ~install:(fun rt -> ignore (Jade.Collector.install rt))
+      ~collector:"jade" app
+  in
+  let plain = run () in
+  let zero =
+    run
+      ~attach:(fun rt ->
+        Sim.Engine.set_policy rt.Runtime.Rt.engine (Some (fun _ -> 0)))
+      ()
+  in
+  let open Experiments.Harness in
+  Alcotest.(check int) "completed" plain.completed zero.completed;
+  Alcotest.(check int) "elapsed" plain.elapsed zero.elapsed;
+  Alcotest.(check int) "p99 latency" plain.p99_latency zero.p99_latency;
+  Alcotest.(check int) "max latency" plain.max_latency zero.max_latency;
+  Alcotest.(check int) "pause count" plain.pause_count zero.pause_count;
+  Alcotest.(check int) "cumulative pause" plain.cumulative_pause
+    zero.cumulative_pause;
+  Alcotest.(check int) "mutator cpu" plain.cpu_mutator zero.cpu_mutator;
+  Alcotest.(check int) "gc cpu" plain.cpu_gc zero.cpu_gc
+
+(* ------------------------------------------------------------------ *)
+(* The planted schedule-dependent bug.
+
+   Two evacuation workers over two remembered cards, one core:
+
+   - the "cheap" card holds one old holder referencing young [x];
+   - the "prep" card holds two old holders in one region: the first
+     references a large young [y] (about two quanta of copy work), the
+     second references the same [x].
+
+   The worker that draws the cheap card reaches [x]'s forwarding check
+   almost immediately; with [Racy_forwarding_window] planted it then
+   sits in a one-quantum check-then-act window before installing.  The
+   other worker must first copy [y], so under round-robin it reaches
+   [x] well after the install and sees the forward — the default
+   schedule is clean.  Only when the scheduler delays the cheap worker
+   by a round or two does the second check land inside the window and
+   both workers relocate [x]. *)
+
+let config ~plant =
+  {
+    Jade.Jade_config.default with
+    planted_bug =
+      (if plant then Jade.Jade_config.Racy_forwarding_window
+       else Jade.Jade_config.No_bug);
+  }
+
+(* A jade young collector on a hand-built runtime: no controller
+   daemons, the scenario decides when collection runs (same shape as
+   the planted-bug tests in test_analysis.ml, minus the sanitizer —
+   the explorer installs its own oracles through [attach]). *)
+let young_only_rt ~cores ~config () =
+  let engine = Sim.Engine.create ~cores ~quantum:(20 * us) () in
+  let cfg =
+    Heap.Heap_impl.config ~heap_bytes:(16 * mib) ~region_bytes:(256 * kib) ()
+  in
+  let heap = Heap.Heap_impl.create cfg in
+  let rt = Runtime.Rt.create ~seed:7 ~engine ~heap () in
+  Heap.Access.reset ();
+  let young = Jade.Young.create ~config rt in
+  Runtime.Rt.register_remset_provider rt
+    {
+      Runtime.Vhook.rp_name = "test.jade.old2young";
+      rp_covers =
+        (fun () ->
+          Some
+            (fun ~card ~target_rid:_ ->
+              Heap.Remset.mem young.Jade.Young.remset card
+              || Heap.Heap_impl.card_is_dirty heap card));
+    };
+  Runtime.Rt.install_collector rt
+    {
+      Runtime.Rt.cname = "jade";
+      store_barrier =
+        (fun ~src ~field ~old_v:_ ~new_v ->
+          Jade.Young.barrier young ~src ~field ~new_v);
+      load_extra_cost = 1;
+      mutator_tax_pct = 0;
+      alloc_failure = (fun () -> failwith "test heap exhausted");
+    };
+  (rt, young)
+
+let holder_size = Heap.Heap_impl.object_size ~nrefs:1 ~data_bytes:0
+
+(* One old holder alone in a fresh region (its own card). *)
+let fresh_old_holder rt =
+  let heap = rt.Runtime.Rt.heap in
+  match Heap.Heap_impl.claim_region heap Heap.Region.Old with
+  | None -> Alcotest.fail "test heap has no free region"
+  | Some r -> Heap.Heap_impl.alloc_in heap r ~size:holder_size ~nrefs:1 ()
+
+(* Two old holders adjacent in one fresh region: same card, scanned in
+   allocation order. *)
+let two_old_holders rt =
+  let heap = rt.Runtime.Rt.heap in
+  match Heap.Heap_impl.claim_region heap Heap.Region.Old with
+  | None -> Alcotest.fail "test heap has no free region"
+  | Some r ->
+      let h1 = Heap.Heap_impl.alloc_in heap r ~size:holder_size ~nrefs:1 () in
+      let h2 = Heap.Heap_impl.alloc_in heap r ~size:holder_size ~nrefs:1 () in
+      (h1, h2)
+
+(* [y]'s copy costs about two quanta (1 ns/byte vs a 20 us quantum). *)
+let y_bytes = 40_000
+
+let window_scenario ~plant : Analysis.Explore.scenario =
+ fun ~attach ->
+  let rt, young = young_only_rt ~cores:1 ~config:(config ~plant) () in
+  attach rt;
+  ignore
+    (Sim.Engine.spawn rt.Runtime.Rt.engine ~name:"planter"
+       ~kind:Sim.Engine.Mutator (fun () ->
+         let m = Runtime.Mutator.create rt in
+         let x = Runtime.Mutator.alloc m ~data_bytes:32 ~nrefs:0 in
+         let y = Runtime.Mutator.alloc m ~data_bytes:y_bytes ~nrefs:0 in
+         let cheap = fresh_old_holder rt in
+         let prep1, prep2 = two_old_holders rt in
+         Runtime.Mutator.write m cheap 0 (Some x);
+         Runtime.Mutator.write m prep1 0 (Some y);
+         Runtime.Mutator.write m prep2 0 (Some x);
+         Runtime.Mutator.finish m;
+         ignore (Jade.Young.collect young ~workers:2)));
+  Sim.Engine.run rt.Runtime.Rt.engine
+
+let is_forwarding_race (r : Analysis.Report.t) =
+  r.Analysis.Report.engine = "race-detector"
+
+let bounded_cfg =
+  {
+    Analysis.Explore.strategy = Analysis.Explore.Bounded;
+    schedules = 400;
+    depth = 10;
+    seed = 1;
+  }
+
+let test_default_schedule_is_clean () =
+  (* Self-check: the planted window must be invisible to round-robin —
+     otherwise this is just test_analysis's racy-forwarding test and
+     proves nothing about exploration. *)
+  Alcotest.(check (option string))
+    "planted run, default schedule: no violation" None
+    (Option.map Analysis.Report.to_string
+       (Analysis.Explore.replay (window_scenario ~plant:true) []))
+
+let test_bounded_finds_window_bug () =
+  let r = Analysis.Explore.run (window_scenario ~plant:true) bounded_cfg in
+  match r.Analysis.Explore.violation with
+  | None ->
+      Alcotest.failf
+        "bounded search missed the planted window bug (%d schedules, %d \
+         baseline choice points)"
+        r.Analysis.Explore.explored r.Analysis.Explore.baseline_choice_points
+  | Some v ->
+      Alcotest.(check bool) "caught by the race detector" true
+        (is_forwarding_race v.Analysis.Explore.report);
+      Alcotest.(check bool)
+        (Printf.sprintf "minimized to <= 3 forced choices (got %s)"
+           (Analysis.Schedule.describe v.Analysis.Explore.schedule))
+        true
+        (List.length v.Analysis.Explore.schedule <= 3);
+      Alcotest.(check bool) "minimized schedule is non-empty" true
+        (v.Analysis.Explore.schedule <> [])
+
+let test_rand_finds_window_bug () =
+  let cfg =
+    {
+      Analysis.Explore.strategy = Analysis.Explore.Rand;
+      schedules = 256;
+      depth = 4;
+      seed = 3;
+    }
+  in
+  let r = Analysis.Explore.run (window_scenario ~plant:true) cfg in
+  match r.Analysis.Explore.violation with
+  | None ->
+      Alcotest.failf "random walk missed the planted window bug (%d schedules)"
+        r.Analysis.Explore.explored
+  | Some v ->
+      Alcotest.(check bool) "caught by the race detector" true
+        (is_forwarding_race v.Analysis.Explore.report)
+
+let test_unplanted_scenario_stays_clean () =
+  (* Control: the same exploration over the bug-free collector must not
+     cry wolf. *)
+  let r = Analysis.Explore.run (window_scenario ~plant:false) bounded_cfg in
+  (match r.Analysis.Explore.violation with
+  | None -> ()
+  | Some v ->
+      Alcotest.failf "false positive on clean scenario: %s"
+        (Analysis.Report.to_string v.Analysis.Explore.report));
+  Alcotest.(check bool) "explored more than the baseline" true
+    (r.Analysis.Explore.explored > 1)
+
+let test_replay_is_byte_deterministic () =
+  let r = Analysis.Explore.run (window_scenario ~plant:true) bounded_cfg in
+  let v =
+    match r.Analysis.Explore.violation with
+    | Some v -> v
+    | None -> Alcotest.fail "bounded search missed the planted window bug"
+  in
+  let replay () =
+    match
+      Analysis.Explore.replay (window_scenario ~plant:true)
+        v.Analysis.Explore.schedule
+    with
+    | Some rep -> Analysis.Report.to_string rep
+    | None -> Alcotest.fail "minimized schedule did not reproduce"
+  in
+  let a = replay () and b = replay () in
+  Alcotest.(check string) "replayed reports are byte-identical" a b;
+  Alcotest.(check string) "explorer's own report matches replay" a
+    (Analysis.Report.to_string v.Analysis.Explore.report);
+  (* Round-trip the schedule through the on-disk codec. *)
+  let encoded =
+    Analysis.Schedule.to_string
+      { Analysis.Schedule.meta = []; choices = v.Analysis.Explore.schedule }
+  in
+  let decoded = Analysis.Schedule.of_string encoded in
+  (match
+     Analysis.Explore.replay (window_scenario ~plant:true)
+       decoded.Analysis.Schedule.choices
+   with
+  | Some rep ->
+      Alcotest.(check string) "decoded schedule reproduces byte-identically" a
+        (Analysis.Report.to_string rep)
+  | None -> Alcotest.fail "decoded schedule did not reproduce")
+
+let test_strategies_agree () =
+  (* Bounded and pruned walk the same search tree (pruning only skips
+     schedules proven equivalent), so they must find the same first
+     violation, shrink it to the same schedule, and ship byte-identical
+     reports. *)
+  let run strategy =
+    let r =
+      Analysis.Explore.run (window_scenario ~plant:true)
+        { bounded_cfg with Analysis.Explore.strategy }
+    in
+    match r.Analysis.Explore.violation with
+    | Some v -> v
+    | None ->
+        Alcotest.failf "%s search missed the planted window bug"
+          (Analysis.Explore.strategy_to_string strategy)
+  in
+  let b = run Analysis.Explore.Bounded in
+  let p = run Analysis.Explore.Pruned in
+  Alcotest.(check (list (pair int int)))
+    "same minimized schedule" b.Analysis.Explore.schedule
+    p.Analysis.Explore.schedule;
+  Alcotest.(check string) "byte-identical reports"
+    (Analysis.Report.to_string b.Analysis.Explore.report)
+    (Analysis.Report.to_string p.Analysis.Explore.report)
+
+(* ------------------------------------------------------------------ *)
+(* Footprint pruning.
+
+   Two workers over two disjoint cards (no shared child object), two
+   cores: every choice point is a same-round reorder of threads whose
+   footprints never intersect, so the pruned strategy should discard
+   most of the search tree the bounded strategy pays for. *)
+
+let disjoint_scenario : Analysis.Explore.scenario =
+ fun ~attach ->
+  let rt, young = young_only_rt ~cores:2 ~config:(config ~plant:false) () in
+  attach rt;
+  ignore
+    (Sim.Engine.spawn rt.Runtime.Rt.engine ~name:"planter"
+       ~kind:Sim.Engine.Mutator (fun () ->
+         let m = Runtime.Mutator.create rt in
+         let x = Runtime.Mutator.alloc m ~data_bytes:256 ~nrefs:0 in
+         let y = Runtime.Mutator.alloc m ~data_bytes:256 ~nrefs:0 in
+         let h1 = fresh_old_holder rt in
+         let h2 = fresh_old_holder rt in
+         Runtime.Mutator.write m h1 0 (Some x);
+         Runtime.Mutator.write m h2 0 (Some y);
+         Runtime.Mutator.finish m;
+         ignore (Jade.Young.collect young ~workers:2)));
+  Sim.Engine.run rt.Runtime.Rt.engine
+
+let test_pruning_skips_equivalent_schedules () =
+  let cfg = { bounded_cfg with Analysis.Explore.schedules = 600 } in
+  let bounded =
+    Analysis.Explore.run disjoint_scenario
+      { cfg with Analysis.Explore.strategy = Analysis.Explore.Bounded }
+  in
+  let pruned =
+    Analysis.Explore.run disjoint_scenario
+      { cfg with Analysis.Explore.strategy = Analysis.Explore.Pruned }
+  in
+  Alcotest.(check bool) "bounded finds nothing" true
+    (bounded.Analysis.Explore.violation = None);
+  Alcotest.(check bool) "pruned finds nothing" true
+    (pruned.Analysis.Explore.violation = None);
+  Alcotest.(check bool)
+    (Printf.sprintf "pruning skipped schedules (%d pruned)"
+       pruned.Analysis.Explore.pruned)
+    true
+    (pruned.Analysis.Explore.pruned > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "pruned explored fewer schedules (%d vs %d)"
+       pruned.Analysis.Explore.explored bounded.Analysis.Explore.explored)
+    true
+    (pruned.Analysis.Explore.explored < bounded.Analysis.Explore.explored)
+
+let () =
+  Alcotest.run "explore"
+    [
+      ( "codec",
+        [ Alcotest.test_case "schedule file round-trip" `Quick test_schedule_codec ] );
+      ( "policy-seam",
+        [
+          Alcotest.test_case "zero-rotation policy is bit-identical" `Quick
+            test_zero_policy_is_bit_identical;
+        ] );
+      ( "planted-window-bug",
+        [
+          Alcotest.test_case "default schedule is clean" `Quick
+            test_default_schedule_is_clean;
+          Alcotest.test_case "bounded search finds it" `Quick
+            test_bounded_finds_window_bug;
+          Alcotest.test_case "random walk finds it" `Quick
+            test_rand_finds_window_bug;
+          Alcotest.test_case "clean scenario stays clean" `Quick
+            test_unplanted_scenario_stays_clean;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "byte-deterministic replays" `Quick
+            test_replay_is_byte_deterministic;
+          Alcotest.test_case "bounded and pruned agree" `Quick
+            test_strategies_agree;
+        ] );
+      ( "pruning",
+        [
+          Alcotest.test_case "equivalent schedules skipped" `Quick
+            test_pruning_skips_equivalent_schedules;
+        ] );
+    ]
