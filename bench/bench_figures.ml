@@ -9,6 +9,11 @@ let pt = Util.Units.pp_time_ns
 
 let quick = ref false
 
+(* Fan-out width for per-collector series (bench's [-j N] flag); each
+   series is an independent run chain, so figures are byte-identical at
+   any value ({!Exp.sweep}). *)
+let jobs = ref 1
+
 let duration () = if !quick then 400 * ms else 700 * ms
 let warmup () = if !quick then 150 * ms else 250 * ms
 
@@ -35,8 +40,12 @@ let latency_figure ~title ~collectors ~app ~mult =
        Registry.g1 app ~mult)
       .Harness.throughput
   in
+  (* One task per collector: a full QPS series against the shared peak.
+     Cells only compute; the table renders after the sweep returns. *)
   let columns =
-    List.map (fun e -> (e, series e app ~mult ~peak)) collectors
+    Exp.sweep ~jobs:!jobs
+      (fun e -> (e, series e app ~mult ~peak))
+      collectors
   in
   let t =
     Util.Table.create ~title
@@ -205,7 +214,7 @@ let fig8 () =
         :: List.map (fun g -> Printf.sprintf "%d groups" g) group_counts)
   in
   let runs =
-    List.map
+    Exp.sweep ~jobs:!jobs
       (fun g ->
         let e =
           Registry.jade_with
@@ -241,7 +250,7 @@ let fig8 () =
         :: List.map (fun k -> Printf.sprintf "%dKiB" k) region_sizes)
   in
   let runs =
-    List.map
+    Exp.sweep ~jobs:!jobs
       (fun kib ->
         let machine =
           {

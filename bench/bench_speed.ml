@@ -9,9 +9,15 @@
    - sleeper-wheel   thousands of periodic sleepers (Pqueue wake/peek)
    - idle-jump       an almost-idle machine (next-event clock jumps)
    - card-sweep      dirty-card bitmap scans (word-level iteration)
-   - closed-loop     an end-to-end harness run (jade on h2-tpcc) *)
+   - closed-loop     an end-to-end harness run (jade on h2-tpcc)
+   - check-rand      schedule-space exploration, sequential and at -j N *)
 
 let quick = ref false
+
+(* Domain count for the parallel check-exploration scenario (bench's
+   [-j N] flag).  Defaults to 4 rather than the host core count so
+   BENCH_speed.json always carries a -j4 row comparable across hosts. *)
+let jobs = ref 4
 
 let ms = Util.Units.ms
 
@@ -106,6 +112,39 @@ let closed_loop ~duration () =
   | None -> ());
   s.Experiments.Harness.elapsed
 
+(* Schedule-space exploration throughput: the [gcsim check] hot path,
+   once sequentially and once across a Dpool of [jobs] domains.  The
+   explored schedule set is byte-identical at any -j (the explorer's
+   determinism contract), so sim_ns matches between the two rows and
+   the host_s delta is the parallel-speedup datum — about jobs-fold on
+   a host with that many idle cores, ~1x on a single-core host. *)
+let check_explore ~jobs ~schedules () =
+  let entry = Experiments.Registry.jade in
+  let app = Workload.Apps.find "avrora" in
+  let sim_ns = Atomic.make 0 in
+  let scenario =
+    Experiments.Harness.check_scenario
+      ~machine:(Experiments.Exp.machine_for ~cores:4 app ~mult:4.0)
+      ~requests:400
+      ~on_run:(fun r ->
+        ignore (Atomic.fetch_and_add sim_ns r.Runtime.Driver.elapsed_ns))
+      ~install:entry.Experiments.Registry.install app
+  in
+  let r =
+    Analysis.Explore.run scenario
+      {
+        Analysis.Explore.strategy = Analysis.Explore.Rand;
+        schedules;
+        depth = 8;
+        seed = 1;
+        jobs;
+      }
+  in
+  (match r.Analysis.Explore.violation with
+  | Some _ -> Printf.printf "  (check scenario found a violation?!)\n%!"
+  | None -> ());
+  Atomic.get sim_ns
+
 (* Wall-clock of the --quick micro suite (no sim time; host_s is the
    datum).  This is the smoke-path gauge scripts/ci.sh cares about. *)
 let quick_micro () =
@@ -158,11 +197,34 @@ let all () =
       measure ~label:"card-sweep" (card_sweep ~sweeps:(scale 2_000));
       measure ~label:"closed-loop-jade-h2"
         (closed_loop ~duration:(scale (400 * ms)));
+      (let schedules = if q then 32 else 128 in
+       measure
+         ~label:(Printf.sprintf "check-rand-%d-j1" schedules)
+         (check_explore ~jobs:1 ~schedules));
+      (let schedules = if q then 32 else 128 in
+       measure
+         ~label:(Printf.sprintf "check-rand-%d-j%d" schedules !jobs)
+         (check_explore ~jobs:!jobs ~schedules));
       measure ~label:"quick-micro-suite" quick_micro;
     ]
   in
   List.iter
     (fun s -> print_endline ("  " ^ Experiments.Harness.pp_speed s))
     speeds;
+  (* The two check-rand rows explore the same schedule set, so their
+     virtual time must agree exactly; a mismatch is a determinism bug. *)
+  (match
+     List.filter
+       (fun (s : Experiments.Harness.speed) ->
+         String.length s.Experiments.Harness.label >= 10
+         && String.sub s.Experiments.Harness.label 0 10 = "check-rand")
+       speeds
+   with
+  | [ a; b ]
+    when a.Experiments.Harness.sim_ns <> b.Experiments.Harness.sim_ns ->
+      Printf.printf
+        "  !! check-rand sim_ns differs between -j1 and -j%d (determinism bug)\n%!"
+        !jobs
+  | _ -> ());
   write_json ~path:"BENCH_speed.json" ~quick:q speeds;
   print_endline "  -> BENCH_speed.json"

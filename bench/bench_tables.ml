@@ -15,6 +15,12 @@ let f0 x = Printf.sprintf "%.0f" x
 (* Run lengths scale down in --quick mode. *)
 let quick = ref false
 
+(* Fan-out width for the embarrassingly parallel cell sweeps (bench's
+   [-j N] flag).  Each (collector x config) cell builds its own machine
+   and all simulator state is domain-scoped, so the rendered tables are
+   byte-identical at any value ({!Exp.sweep}). *)
+let jobs = ref 1
+
 let duration () = if !quick then 400 * ms else 800 * ms
 let warmup () = if !quick then 150 * ms else 250 * ms
 
@@ -41,10 +47,11 @@ let table1 () =
         [ "Collector"; "Max Thru (req/s)"; "p99 latency"; "Cum. pause";
           "p99 pause" ]
   in
+  let entries = [ Registry.g1; Registry.zgc; Registry.shenandoah; Registry.jade ] in
+  let summaries = Exp.sweep ~jobs:!jobs (fun e -> run_max e app ~mult) entries in
   let t =
-    List.fold_left
-      (fun t e ->
-        let s = run_max e app ~mult in
+    List.fold_left2
+      (fun t e s ->
         Util.Table.add_row t
           [
             e.Registry.name;
@@ -53,8 +60,7 @@ let table1 () =
             pt s.Harness.cumulative_pause;
             pt s.Harness.p99_pause;
           ])
-      t
-      [ Registry.g1; Registry.zgc; Registry.shenandoah; Registry.jade ]
+      t entries summaries
   in
   Util.Table.print t
 
@@ -121,31 +127,39 @@ let table3 () =
           ~headers:
             ("Collector" :: List.map (fun h -> Printf.sprintf "%.1fx heap" h) heaps)
       in
+      (* One (collector x heap) cell per task; the critical-throughput
+         sweep stays inside its cell so each task is self-contained. *)
+      let cell (e, mult) =
+        let s = run_max e app ~mult in
+        match s.Harness.oom with
+        | Some _ -> "OOM"
+        | None ->
+            if with_critical then begin
+              (* The SPECjbb critical-jops SLO band tops out at
+                 100 ms; we use 50 ms against p99. *)
+              let slo = 50 * Util.Units.ms in
+              let crit =
+                Exp.critical_throughput e app ~mult ~slo
+                  ~peak:s.Harness.throughput
+              in
+              Printf.sprintf "%.0f/%.0f" crit s.Harness.throughput
+            end
+            else f0 s.Harness.throughput
+      in
+      let grid =
+        List.concat_map
+          (fun e -> List.map (fun mult -> (e, mult)) heaps)
+          collectors
+      in
+      let rendered = Array.of_list (Exp.sweep ~jobs:!jobs cell grid) in
+      let hn = List.length heaps in
       let t =
         List.fold_left
-          (fun t e ->
-            let cells =
-              List.map
-                (fun mult ->
-                  let s = run_max e app ~mult in
-                  match s.Harness.oom with
-                  | Some _ -> "OOM"
-                  | None ->
-                      if with_critical then begin
-                        (* The SPECjbb critical-jops SLO band tops out at
-                           100 ms; we use 50 ms against p99. *)
-                        let slo = 50 * Util.Units.ms in
-                        let crit =
-                          Exp.critical_throughput e app ~mult ~slo
-                            ~peak:s.Harness.throughput
-                        in
-                        Printf.sprintf "%.0f/%.0f" crit s.Harness.throughput
-                      end
-                      else f0 s.Harness.throughput)
-                heaps
-            in
+          (fun t (i, (e : Registry.entry)) ->
+            let cells = Array.to_list (Array.sub rendered (i * hn) hn) in
             Util.Table.add_row t (e.Registry.name :: cells))
-          t collectors
+          t
+          (List.mapi (fun i e -> (i, e)) collectors)
       in
       Util.Table.print t)
     apps;
@@ -154,10 +168,13 @@ let table3 () =
     Util.Table.create ~title:"Table 3 (cont.): shop max throughput, fixed heap"
       ~headers:[ "Collector"; "Max Thru (req/s)"; "p99 latency" ]
   in
+  let entries = [ Registry.jade; Registry.g1; Registry.zgc; Registry.shenandoah ] in
+  let summaries =
+    Exp.sweep ~jobs:!jobs (fun e -> run_max e Workload.Apps.shop ~mult:4.0) entries
+  in
   let t =
-    List.fold_left
-      (fun t e ->
-        let s = run_max e Workload.Apps.shop ~mult:4.0 in
+    List.fold_left2
+      (fun t e s ->
         Util.Table.add_row t
           [
             e.Registry.name;
@@ -166,8 +183,7 @@ let table3 () =
             | None -> f0 s.Harness.throughput);
             pt s.Harness.p99_latency;
           ])
-      t
-      [ Registry.jade; Registry.g1; Registry.zgc; Registry.shenandoah ]
+      t entries summaries
   in
   Util.Table.print t
 
@@ -202,25 +218,37 @@ let table4 () =
               if !quick then app.Workload.Apps.fixed_requests / 4
               else app.Workload.Apps.fixed_requests
             in
-            let base =
-              Exp.fixed_time ~cores:4 ~requests Registry.g1 app ~mult
+            (* One fixed-work run per collector, fanned out; the G1 run
+               doubles as the normalization base (every run rebuilds its
+               machine from scratch, so this is the same number the old
+               dedicated base run produced). *)
+            let runs =
+              Exp.sweep ~jobs:!jobs
+                (fun e -> Exp.fixed_time ~cores:4 ~requests e app ~mult)
+                collectors
             in
-            let base_ns = base.Harness.elapsed in
+            let base_ns =
+              match
+                List.find_opt
+                  (fun ((e : Registry.entry), _) -> e.Registry.name = "g1")
+                  (List.combine collectors runs)
+              with
+              | Some (_, s) -> s.Harness.elapsed
+              | None -> 1
+            in
             let cells =
-              List.map
-                (fun e ->
+              List.map2
+                (fun (e : Registry.entry) (s : Harness.summary) ->
                   if e.Registry.name = "g1" then
                     Printf.sprintf "%.0fms" (Util.Units.to_ms base_ns)
-                  else begin
-                    let s = Exp.fixed_time ~cores:4 ~requests e app ~mult in
+                  else
                     match s.Harness.oom with
                     | Some _ -> "OOM"
                     | None ->
                         Printf.sprintf "%.3f"
                           (float_of_int s.Harness.elapsed
-                          /. float_of_int (max 1 base_ns))
-                  end)
-                collectors
+                          /. float_of_int (max 1 base_ns)))
+                collectors runs
             in
             Util.Table.add_row t (app.Workload.Apps.name :: cells))
           t suite

@@ -4,6 +4,11 @@
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- table3 fig4  # selected experiments
      dune exec bench/main.exe -- --quick all  # reduced sizes
+     dune exec bench/main.exe -- -j 4 table3  # fan cells over 4 domains
+
+   -j N (or --jobs N) fans each experiment's independent cells over N
+   domains; -j 0 picks a host-derived default.  Outputs are
+   byte-identical at any -j — parallelism only changes wall-clock.
 
    Output shapes are compared against the paper in EXPERIMENTS.md. *)
 
@@ -29,11 +34,31 @@ let experiments : (string * (unit -> unit)) list =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "--quick" args in
+  (* Extract "-j N" / "--jobs N" and return the remaining args. *)
+  let jobs, args =
+    let rec go acc = function
+      | [] -> (None, List.rev acc)
+      | ("-j" | "--jobs") :: v :: rest -> (
+          match int_of_string_opt v with
+          | Some n when n >= 0 -> (Some n, List.rev_append acc rest)
+          | _ -> failwith (Printf.sprintf "-j %s: want a non-negative integer" v))
+      | ("-j" | "--jobs") :: [] -> failwith "-j needs a value"
+      | a :: rest -> go (a :: acc) rest
+    in
+    go [] args
+  in
   Bench_tables.quick := quick;
   Bench_figures.quick := quick;
   Bench_ablations.quick := quick;
   Bench_micro.quick := quick;
   Bench_speed.quick := quick;
+  (match jobs with
+  | None -> ()
+  | Some n ->
+      let n = if n = 0 then Util.Dpool.default_jobs () else n in
+      Bench_tables.jobs := n;
+      Bench_figures.jobs := n;
+      Bench_speed.jobs := n);
   let selected =
     List.filter (fun a -> a <> "--quick" && a <> "all") args
   in

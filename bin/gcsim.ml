@@ -12,9 +12,47 @@
 open Cmdliner
 open Experiments
 
-let run_cmd collector workload heap_mult qps duration_s warmup_s cores seed
-    region_kib gc_report verify =
-  let e = Registry.find collector in
+(* '-j 0' means "pick for me". *)
+let resolve_jobs jobs =
+  if jobs < 0 then begin
+    Printf.eprintf "gcsim: --jobs=%d (want 0 for auto, or >= 1)\n" jobs;
+    exit 2
+  end
+  else if jobs = 0 then Util.Dpool.default_jobs ()
+  else jobs
+
+(* Print one finished run.  Must stay out of the domain pool: parallel
+   runs compute summaries silently and print here, in list order. *)
+let print_summary ~gc_report (s : Harness.summary) =
+  let pt = Util.Units.pp_time_ns in
+  Printf.printf "throughput      : %.0f req/s (%d completed)\n"
+    s.Harness.throughput s.Harness.completed;
+  Printf.printf "latency p50/p99/p99.9/max : %s / %s / %s / %s\n"
+    (pt s.Harness.p50_latency) (pt s.Harness.p99_latency)
+    (pt s.Harness.p999_latency) (pt s.Harness.max_latency);
+  Printf.printf "pauses          : %d, cumulative %s, avg %s, p99 %s, max %s\n"
+    s.Harness.pause_count
+    (pt s.Harness.cumulative_pause)
+    (pt s.Harness.avg_pause) (pt s.Harness.p99_pause) (pt s.Harness.max_pause);
+  Printf.printf "alloc stalls    : %s cumulative\n" (pt s.Harness.cumulative_stall);
+  Printf.printf "cpu             : mutator %s, gc %s, utilization %.0f%%\n"
+    (pt s.Harness.cpu_mutator) (pt s.Harness.cpu_gc)
+    (100. *. s.Harness.cpu_utilization);
+  if gc_report then Harness.print_gc_report s;
+  match s.Harness.oom with
+  | Some why ->
+      Printf.printf "OUT OF MEMORY   : %s\n" why;
+      3
+  | None -> 0
+
+let run_cmd collectors workload heap_mult qps duration_s warmup_s cores seed
+    region_kib gc_report verify jobs =
+  let jobs = resolve_jobs jobs in
+  let entries = Registry.find_list collectors in
+  if entries = [] then begin
+    Printf.eprintf "gcsim: --collector needs at least one name\n";
+    exit 2
+  end;
   let verify =
     match Analysis.Sanitizer.level_of_string verify with
     | Some level -> level
@@ -32,9 +70,13 @@ let run_cmd collector workload heap_mult qps duration_s warmup_s cores seed
   in
   let duration = int_of_float (duration_s *. 1e9) in
   let warmup = int_of_float (warmup_s *. 1e9) in
+  (* The banner never mentions jobs: run output, like check output, is
+     byte-identical at any -j. *)
   Printf.printf
-    "collector=%s workload=%s heap=%s (%.2fx min) cores=%d region=%dKiB %s\n%!"
-    collector workload
+    "collector%s=%s workload=%s heap=%s (%.2fx min) cores=%d region=%dKiB %s\n%!"
+    (if List.length entries > 1 then "s" else "")
+    (String.concat "," (List.map (fun e -> e.Registry.name) entries))
+    workload
     (Util.Units.pp_bytes machine.Harness.heap_bytes)
     heap_mult cores region_kib
     (match qps with
@@ -44,36 +86,26 @@ let run_cmd collector workload heap_mult qps duration_s warmup_s cores seed
      Printf.printf "sanitizer       : %s (invariant verifier%s)\n%!"
        (Analysis.Sanitizer.level_to_string verify)
        (if verify = Analysis.Sanitizer.Full then " + race detector" else ""));
-  let s =
-    match qps with
-    | Some qps ->
-        Harness.run_open ~machine ~verify ~warmup ~duration
-          ~install:e.Registry.install ~collector ~qps app
-    | None ->
-        Harness.run_closed ~machine ~verify ~warmup ~duration
-          ~install:e.Registry.install ~collector app
+  (* One (collector x config) cell per pool task; summaries come back
+     in collector order and print identically at any -j. *)
+  let summaries =
+    Util.Dpool.map_list ~jobs
+      (fun (e : Registry.entry) ->
+        match qps with
+        | Some qps ->
+            Harness.run_open ~machine ~verify ~warmup ~duration
+              ~install:e.Registry.install ~collector:e.Registry.name ~qps app
+        | None ->
+            Harness.run_closed ~machine ~verify ~warmup ~duration
+              ~install:e.Registry.install ~collector:e.Registry.name app)
+      entries
   in
-  let pt = Util.Units.pp_time_ns in
-  Printf.printf "throughput      : %.0f req/s (%d completed)\n"
-    s.Harness.throughput s.Harness.completed;
-  Printf.printf "latency p50/p99/p99.9/max : %s / %s / %s / %s\n"
-    (pt s.Harness.p50_latency) (pt s.Harness.p99_latency)
-    (pt s.Harness.p999_latency) (pt s.Harness.max_latency);
-  Printf.printf "pauses          : %d, cumulative %s, avg %s, p99 %s, max %s\n"
-    s.Harness.pause_count
-    (pt s.Harness.cumulative_pause)
-    (pt s.Harness.avg_pause) (pt s.Harness.p99_pause) (pt s.Harness.max_pause);
-  Printf.printf "alloc stalls    : %s cumulative\n" (pt s.Harness.cumulative_stall);
-  Printf.printf "cpu             : mutator %s, gc %s, utilization %.0f%%\n"
-    (pt s.Harness.cpu_mutator) (pt s.Harness.cpu_gc)
-    (100. *. s.Harness.cpu_utilization);
-  if gc_report then Harness.print_gc_report s;
-  (match s.Harness.oom with
-  | Some why ->
-      Printf.printf "OUT OF MEMORY   : %s\n" why;
-      exit 3
-  | None -> ());
-  0
+  let multi = List.length entries > 1 in
+  List.fold_left
+    (fun code (s : Harness.summary) ->
+      if multi then Printf.printf "-- %s --\n" s.Harness.collector;
+      max code (print_summary ~gc_report s))
+    0 summaries
 
 (* -- gcsim check: schedule-space exploration -------------------------- *)
 
@@ -133,7 +165,8 @@ let check_meta ~collector ~workload ~heap_mult ~cores ~seed ~region_kib
   ]
 
 let check_cmd collector workload heap_mult cores seed region_kib requests
-    schedules depth strategy_s bug_s replay_file replay_out =
+    schedules depth strategy_s bug_s replay_file replay_out jobs =
+  let jobs = resolve_jobs jobs in
   let strategy =
     match Analysis.Explore.strategy_of_string strategy_s with
     | Some s -> s
@@ -197,8 +230,10 @@ let check_cmd collector workload heap_mult cores seed region_kib requests
           ~requests ~bug
       in
       let cfg =
-        { Analysis.Explore.strategy; schedules; depth; seed }
+        { Analysis.Explore.strategy; schedules; depth; seed; jobs }
       in
+      (* The banner and report never mention jobs: `check -j N` output is
+         byte-identical to `-j 1` (scripts/ci.sh diffs the two). *)
       Printf.printf
         "checking %s on %s: strategy=%s schedules=%d depth=%d seed=%d%s\n%!"
         collector workload strategy_s schedules depth seed
@@ -258,7 +293,22 @@ let list_cmd () =
 let collector_arg =
   Arg.(
     value & opt string "jade"
-    & info [ "c"; "collector" ] ~docv:"NAME" ~doc:"Collector to run.")
+    & info [ "c"; "collector" ] ~docv:"NAME"
+        ~doc:
+          "Collector to run.  $(b,run) accepts a comma-separated list \
+           (e.g. $(b,-c jade,g1,zgc)): each collector is one independent \
+           simulation, fanned over $(b,--jobs) domains, with summaries \
+           printed in list order.")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Domains to fan independent simulations over ($(b,0) = auto).  \
+           Output is byte-identical at any $(docv): results are folded \
+           back in task order, and every simulation owns a fresh \
+           engine/heap/PRNG, so parallelism only changes wall-clock.")
 
 let workload_arg =
   Arg.(
@@ -375,7 +425,7 @@ let check_term =
   Term.(
     const check_cmd $ collector_arg $ workload_arg $ heap_mult_arg $ cores_arg
     $ seed_arg $ region_arg $ requests_arg $ schedules_arg $ depth_arg
-    $ strategy_arg $ bug_arg $ replay_arg $ replay_out_arg)
+    $ strategy_arg $ bug_arg $ replay_arg $ replay_out_arg $ jobs_arg)
 
 let check_info =
   Cmd.info "check"
@@ -388,7 +438,7 @@ let run_term =
   Term.(
     const run_cmd $ collector_arg $ workload_arg $ heap_mult_arg $ qps_arg
     $ duration_arg $ warmup_arg $ cores_arg $ seed_arg $ region_arg
-    $ gc_report_arg $ verify_arg)
+    $ gc_report_arg $ verify_arg $ jobs_arg)
 
 let run_info =
   Cmd.info "run" ~doc:"Run one collector on one workload and print a summary."

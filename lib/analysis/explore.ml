@@ -30,7 +30,14 @@
     A violating schedule is shrunk by delta debugging to a minimal set
     of forced rotations that still reproduces the same broken invariant,
     then reported with both the original and minimized choice sequences;
-    {!Schedule} gives them a replayable on-disk form. *)
+    {!Schedule} gives them a replayable on-disk form.
+
+    With [jobs > 1] candidate schedules fan out over a fixed domain pool
+    ({!Util.Dpool}), one fresh engine/heap/oracle set per schedule per
+    domain; results are folded back in task order, so every field of
+    {!result} — and any replay file written from it — is byte-identical
+    to a sequential run.  Shrinking stays sequential: ddmin is a chain
+    of dependent replays. *)
 
 module RtM = Runtime.Rt
 
@@ -54,10 +61,16 @@ type config = {
       (** [Bounded]/[Pruned]: choice-point horizon K; [Rand]: max forced
           rotations (preemption points) per schedule *)
   seed : int;  (** PRNG seed for [Rand]; ignored by the others *)
+  jobs : int;
+      (** domains to fan candidate schedules over ({!Util.Dpool}); the
+          result — violation, minimized schedule, and every reported
+          count — is byte-identical to [jobs = 1].  Schedules past the
+          first violation in task order may run speculatively; they are
+          discarded, not counted. *)
 }
 
 let default_config =
-  { strategy = Rand; schedules = 64; depth = 8; seed = 1 }
+  { strategy = Rand; schedules = 64; depth = 8; seed = 1; jobs = 1 }
 
 type scenario = attach:(RtM.t -> unit) -> unit
 (** One full simulation: build a fresh engine/heap/runtime, call
@@ -316,33 +329,59 @@ let found scenario first_record first_report =
   ( { report; schedule = minimal; first_schedule; first_report },
     shrink_runs )
 
+(* Parallel batches.  Candidate schedules are embarrassingly parallel —
+   each runs the scenario on a fresh engine/heap/oracle set — so a
+   batch of up to [cfg.jobs] of them fans out over a domain pool and
+   the records come back in task order.  Determinism is preserved by
+   *processing* strictly in task order with the sequential loop's exact
+   bookkeeping: a schedule is counted (and allowed to set the result or
+   extend the frontier) only while no earlier schedule has violated.
+   Batch-mates past the first violation ran speculatively; their
+   records are dropped, so every reported count matches [jobs = 1]. *)
+let run_batch cfg (tasks : (unit -> run_record) array) =
+  Util.Dpool.map ~jobs:cfg.jobs (Array.length tasks) (fun k -> tasks.(k) ())
+
 (* Seeded random walk: each schedule forces at most [depth] rotations at
-   ordinals sampled uniformly over the baseline's choice points. *)
+   ordinals sampled uniformly over the baseline's choice points.  The
+   schedule at index [i] is a pure function of [(cfg.seed, i)], which is
+   what makes the walk batchable. *)
+let rand_schedule scenario cfg ~total i () =
+  let prng = Util.Prng.create ((cfg.seed * 1_000_003) + i) in
+  let budget = max 1 cfg.depth in
+  let points = Hashtbl.create 8 in
+  for _ = 1 to budget do
+    (* Sampling with replacement; duplicates collapse, so a schedule
+       carries between 1 and [depth] preemption points. *)
+    Hashtbl.replace points (Util.Prng.int prng total) (Util.Prng.bits prng)
+  done;
+  let forced ~ordinal ~arity =
+    match Hashtbl.find_opt points ordinal with
+    | Some salt when arity >= 2 -> 1 + (salt mod (arity - 1))
+    | _ -> 0
+  in
+  run_schedule scenario ~horizon:0 ~forced
+
 let explore_rand scenario cfg ~(baseline : run_record) =
   let total = max 1 baseline.rr_choice_points in
   let explored = ref 1 in
   let result = ref None in
   let i = ref 1 in
   while !result = None && !i < cfg.schedules do
-    let prng = Util.Prng.create ((cfg.seed * 1_000_003) + !i) in
-    let budget = max 1 cfg.depth in
-    let points = Hashtbl.create 8 in
-    for _ = 1 to budget do
-      (* Sampling with replacement; duplicates collapse, so a schedule
-         carries between 1 and [depth] preemption points. *)
-      Hashtbl.replace points (Util.Prng.int prng total) (Util.Prng.bits prng)
-    done;
-    let forced ~ordinal ~arity =
-      match Hashtbl.find_opt points ordinal with
-      | Some salt when arity >= 2 -> 1 + (salt mod (arity - 1))
-      | _ -> 0
+    let batch = min cfg.jobs (cfg.schedules - !i) in
+    let recs =
+      run_batch cfg
+        (Array.init batch (fun k -> rand_schedule scenario cfg ~total (!i + k)))
     in
-    let rec_ = run_schedule scenario ~horizon:0 ~forced in
-    incr explored;
-    (match rec_.rr_report with
-    | Some r -> result := Some (rec_, r)
-    | None -> ());
-    incr i
+    Array.iter
+      (fun rec_ ->
+        if !result = None then begin
+          incr explored;
+          (match rec_.rr_report with
+          | Some r -> result := Some (rec_, r)
+          | None -> ());
+          incr i
+        end)
+      recs
   done;
   (!explored, !result)
 
@@ -370,18 +409,34 @@ let explore_bounded scenario cfg
       done
     done
   in
-  push_children [||] baseline;
-  while !result = None && not (Queue.is_empty queue) && !explored < cfg.schedules
-  do
-    let v = Queue.pop queue in
+  let run_vector (v : int array) () =
     let forced ~ordinal ~arity:_ =
       if ordinal < Array.length v then v.(ordinal) else 0
     in
-    let rec_ = run_schedule scenario ~horizon:cfg.depth ~forced in
-    incr explored;
-    match rec_.rr_report with
-    | Some r -> result := Some (rec_, r)
-    | None -> push_children v rec_
+    run_schedule scenario ~horizon:cfg.depth ~forced
+  in
+  push_children [||] baseline;
+  while
+    !result = None && not (Queue.is_empty queue) && !explored < cfg.schedules
+  do
+    (* A batch never outruns the budget, and FIFO order is undisturbed:
+       the popped vectors all predate any child they generate, so
+       processing the batch in pop order pushes children exactly where
+       the sequential loop would have. *)
+    let batch =
+      min (Queue.length queue) (min cfg.jobs (cfg.schedules - !explored))
+    in
+    let vs = Array.init batch (fun _ -> Queue.pop queue) in
+    let recs = run_batch cfg (Array.map run_vector vs) in
+    Array.iteri
+      (fun k rec_ ->
+        if !result = None then begin
+          incr explored;
+          match rec_.rr_report with
+          | Some r -> result := Some (rec_, r)
+          | None -> push_children vs.(k) rec_
+        end)
+      recs
   done;
   (!explored, !pruned, !result)
 
@@ -408,6 +463,7 @@ let footprint_prune (rec_ : run_record) j r =
 let run scenario cfg =
   if cfg.schedules < 1 then invalid_arg "Explore.run: schedules";
   if cfg.depth < 1 then invalid_arg "Explore.run: depth";
+  if cfg.jobs < 1 then invalid_arg "Explore.run: jobs";
   let horizon =
     match cfg.strategy with Rand -> 0 | Bounded | Pruned -> cfg.depth
   in

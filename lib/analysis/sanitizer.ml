@@ -46,7 +46,7 @@ let install ?(on_violation = default_on_violation) ~level rt =
         if level = Full then begin
           let r = Race.create ~engine:rt.RtM.engine ~on_violation () in
           Sim.Engine.set_tracer rt.RtM.engine (Some (Race.on_trace r));
-          Heap.Access.hook := Some (Race.on_access r);
+          Heap.Access.set_hook (Some (Race.on_access r));
           Some r
         end
         else None
@@ -79,11 +79,11 @@ let install_check_oracles ?(on_access = fun _ _ ~key:_ ~site:_ -> ())
          (fun ev ->
            Race.on_trace race ev;
            on_trace ev));
-    Heap.Access.hook :=
-      Some
-        (fun op res ~key ~site ->
-          Race.on_access race op res ~key ~site;
-          on_access op res ~key ~site);
+    Heap.Access.set_hook
+      (Some
+         (fun op res ~key ~site ->
+           Race.on_access race op res ~key ~site;
+           on_access op res ~key ~site));
     { verifier = Some verifier; race = Some race }
   end
 

@@ -2,6 +2,14 @@
     minimum-heap anchor, peak-throughput measurement, critical-throughput
     (throughput under a latency SLO) search, and latency/QPS sweeps. *)
 
+(** Fan a sweep's independent cells — one (collector x config) run each —
+    over [jobs] domains, results in cell order ({!Util.Dpool}).  Every
+    cell builds its own engine/heap/runtime and all simulator state is
+    domain-scoped, so the summaries (and any table rendered from them)
+    are byte-identical at any [jobs].  Cells must not print: a table
+    driver renders after the whole sweep returns. *)
+let sweep ?(jobs = 1) f cells = Util.Dpool.map_list ~jobs f cells
+
 let mib = Util.Units.mib
 let ms = Util.Units.ms
 

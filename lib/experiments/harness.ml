@@ -210,9 +210,14 @@ let run_fixed ?machine ?verify ?attach ?requests ~install ~collector app =
     completion, with the explorer's policy and oracles attached via
     [attach].  The sanitizer is forced [Off] here because the explorer
     installs its own oracle set per run
-    ({!Analysis.Sanitizer.install_check_oracles}). *)
-let check_scenario ?machine ?requests ~install (app : Workload.Apps.t) :
-    Analysis.Explore.scenario =
+    ({!Analysis.Sanitizer.install_check_oracles}).
+
+    [on_run] observes each completed run's driver result (the speed
+    benchmark accumulates virtual ns explored this way).  Under a
+    parallel exploration it is called from pool domains, so it must be
+    domain-safe — accumulate through [Atomic], not a plain ref. *)
+let check_scenario ?machine ?requests ?(on_run = fun (_ : Runtime.Driver.result) -> ())
+    ~install (app : Workload.Apps.t) : Analysis.Explore.scenario =
  fun ~attach ->
   match prepare ?machine ~verify:Analysis.Sanitizer.Off ~attach ~install app with
   | exception Setup_oom why ->
@@ -223,7 +228,7 @@ let check_scenario ?machine ?requests ~install (app : Workload.Apps.t) :
         | Some n -> n
         | None -> app.Workload.Apps.fixed_requests
       in
-      ignore
+      on_run
         (Runtime.Driver.run rt
            ~n_mutators:app.Workload.Apps.spec.Workload.Spec.mutators
            ~mode:(Runtime.Driver.Fixed n) ~request ())

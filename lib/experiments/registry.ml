@@ -68,3 +68,12 @@ let find name =
   match List.find_opt (fun e -> e.name = name) all with
   | Some e -> e
   | None -> invalid_arg ("unknown collector: " ^ name)
+
+(** Parse a comma-separated collector list ("jade,g1,zgc") into entries,
+    order preserved — the unit of fan-out for parallel sweeps
+    ({!Exp.sweep}) and [gcsim run -c a,b,c -j N]. *)
+let find_list names =
+  String.split_on_char ',' names
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+  |> List.map find

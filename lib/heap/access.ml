@@ -36,15 +36,25 @@ type res =
 
 type logger = op -> res -> key:int -> site:string -> unit
 
-let hook : logger option ref = ref None
+(* Domain-local, not global: parallel exploration runs one simulation
+   per domain ([Util.Dpool]), each with its own race detector — a
+   global hook would make one domain's detector observe a sibling
+   domain's unrelated heap. *)
+let hook_key : logger option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+(** Install (or remove) this domain's metadata-access logger. *)
+let set_hook f = Domain.DLS.get hook_key := f
 
 let log op res ~key ~site =
-  match !hook with None -> () | Some f -> f op res ~key ~site
+  match !(Domain.DLS.get hook_key) with
+  | None -> ()
+  | Some f -> f op res ~key ~site
 
 (** Remove any installed logger (every harness run starts from here so a
     detector left over from a previous in-process run cannot observe an
     unrelated heap). *)
-let reset () = hook := None
+let reset () = set_hook None
 
 let res_to_string = function
   | Forward -> "forward"

@@ -36,28 +36,34 @@ let flag_freed = 4
 
 let no_fields : t option array = [||]
 
-(* Physical identities are minted from one global counter: region ids and
-   offsets are both recycled, so only the record itself names "this copy
-   of this object" unambiguously across a whole run. *)
-let uid_counter = ref 0
+(* Physical identities are minted from one per-domain counter: region
+   ids and offsets are both recycled, so only the record itself names
+   "this copy of this object" unambiguously across a whole run.
+   Domain-local, not global: the parallel exploration/sweep drivers
+   ([Util.Dpool]) build one heap per domain, and a shared counter would
+   interleave uid streams host-nondeterministically. *)
+let uid_counter_key : int ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref 0)
 
 let fresh_uid () =
-  let u = !uid_counter in
-  incr uid_counter;
+  let c = Domain.DLS.get uid_counter_key in
+  let u = !c in
+  incr c;
   u
 
 (** Current value of the uid counter.  The verifier records it when a
     marking snapshot is taken: any record with a uid at or above the
     watermark was created (allocated or copied) after the snapshot, and
     tri-color discipline does not constrain it. *)
-let uid_watermark () = !uid_counter
+let uid_watermark () = !(Domain.DLS.get uid_counter_key)
 
 (** Restart the uid space.  Called when a fresh heap is created
     ({!Heap_impl.create}): uids, like virtual time, are then a pure
     function of the run — two in-process runs of one configuration mint
     identical uids, which is what lets the schedule-space explorer
-    promise byte-identical violation reports on replay. *)
-let reset_uids () = uid_counter := 0
+    promise byte-identical violation reports on replay, whether the
+    runs share a domain (sequential) or not ([-j N]). *)
+let reset_uids () = Domain.DLS.get uid_counter_key := 0
 
 let make ~id ~size ~nrefs ~region ~offset =
   {

@@ -59,10 +59,15 @@ type t = {
 let trace_regions =
   match Sys.getenv_opt "SIM_HEAP_TRACE" with Some "1" -> true | _ -> false
 
-let region_history : (int, string list ref) Hashtbl.t = Hashtbl.create 64
+(* Domain-local so traced parallel sweeps don't interleave histories
+   (and so the simulator core keeps zero shared mutable toplevel state,
+   per scripts/lint_purity.sh). *)
+let region_history_key : (int, string list ref) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
 
 let record_region_event rid ev =
   if trace_regions then begin
+    let region_history = Domain.DLS.get region_history_key in
     let l =
       match Hashtbl.find_opt region_history rid with
       | Some l -> l
@@ -75,7 +80,7 @@ let record_region_event rid ev =
   end
 
 let dump_region_history rid =
-  match Hashtbl.find_opt region_history rid with
+  match Hashtbl.find_opt (Domain.DLS.get region_history_key) rid with
   | None -> "no history"
   | Some l -> String.concat " <- " !l
 

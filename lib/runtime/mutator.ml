@@ -28,11 +28,9 @@ let poll_interval = 24
    long [work] calls; 4 us keeps time-to-safepoint well under a quantum. *)
 let work_chunk_ns = 4_000
 
-let next_mid = ref 0
-
 let create rt =
-  let mid = !next_mid in
-  incr next_mid;
+  let mid = rt.Rt.next_mid in
+  rt.Rt.next_mid <- mid + 1;
   let m =
     {
       mid;

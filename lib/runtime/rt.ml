@@ -43,6 +43,9 @@ type t = {
   mutable stalled_mutators : int;
   mutable oom : bool;
   mutable stop_flag : bool;  (** harness tells mutator loops to wind down *)
+  mutable next_mid : int;
+      (** mutator-id allocator — runtime-scoped (not a process global) so
+          concurrent runs in sibling domains mint identical id streams *)
   prng : Util.Prng.t;
   (* -- correctness-tooling registry (lib/analysis); all empty/off by
      default and populated only when a sanitizer is installed or a
@@ -72,7 +75,10 @@ let null_collector : collector =
     alloc_failure = (fun () -> raise (Out_of_memory "no collector installed"));
   }
 
-let create ?(seed = 42) ~engine ~heap () =
+(* [seed] is required, not defaulted: every PRNG stream in library code
+   must trace back to an explicit seed (no ambient randomness), so a
+   run's configuration is visible at its construction site. *)
+let create ~seed ~engine ~heap () =
   let costs = heap.Heap.Heap_impl.costs in
   let metrics = Metrics.create () in
   let globals = Util.Vec.create None in
@@ -90,6 +96,7 @@ let create ?(seed = 42) ~engine ~heap () =
     stalled_mutators = 0;
     oom = false;
     stop_flag = false;
+    next_mid = 0;
     prng = Util.Prng.create seed;
     phase_hook = None;
     remset_providers = [];

@@ -206,20 +206,27 @@ let spawn t ?(daemon = false) ~name ~kind body =
 (* ------------------------------------------------------------------ *)
 (* Operations performed from inside a thread.                          *)
 
-(* The engine whose thread is currently being driven (simulation is
-   single-domain, so at most one resume is live; nested engines
-   save/restore around [run_thread]).  Lets {!tick} pay charges that fit
-   in the thread's remaining round budget by bumping [run_offset]
-   directly — no effect perform, no continuation switch.  The outcome is
-   bit-identical to suspending: the old scheduler paid a fitting tick in
-   full and immediately resumed the thread within the same round slot at
-   the same virtual time; only the coroutine round-trip disappears. *)
-let running : t option ref = ref None
+(* The engine whose thread is currently being driven (each simulation
+   runs entirely within one domain, so at most one resume is live per
+   domain; nested engines save/restore around [run_thread]).  Lets
+   {!tick} pay charges that fit in the thread's remaining round budget
+   by bumping [run_offset] directly — no effect perform, no
+   continuation switch.  The outcome is bit-identical to suspending:
+   the old scheduler paid a fitting tick in full and immediately
+   resumed the thread within the same round slot at the same virtual
+   time; only the coroutine round-trip disappears.
+
+   Domain-local, not global: the parallel exploration/sweep drivers
+   ([Util.Dpool]) run whole simulations in sibling domains, and this
+   cell names *this domain's* engine — a plain global here would let
+   one domain's [tick] charge another domain's engine. *)
+let running_key : t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
 (** Charge [n] ns of virtual CPU time to the calling thread. *)
 let tick n =
   if n > 0 then
-    match !running with
+    match !(Domain.DLS.get running_key) with
     | Some t when t.run_offset + n <= t.local_budget ->
         t.run_offset <- t.run_offset + n
     | _ -> Effect.perform (Tick n)
@@ -338,6 +345,7 @@ let resume t th =
    pays a fitting charge itself. *)
 let run_thread t th budget =
   th.yielded <- false;
+  let running = Domain.DLS.get running_key in
   let saved_running = !running in
   let saved_current = t.current in
   running := Some t;

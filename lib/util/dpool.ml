@@ -1,0 +1,75 @@
+(** Deterministic fan-out over OCaml 5 domains (see dpool.mli).
+
+    Implementation notes.  Task distribution is a single atomic cursor:
+    a worker claims the next unclaimed index, runs it, and stores the
+    outcome in that index's slot.  Which domain runs which task is
+    host-nondeterministic; which result (or exception) the caller sees
+    is not, because slots are keyed by task index and the caller only
+    looks at the completed array.  [Domain.join] publishes every
+    worker's slot writes to the caller, and no two workers ever write
+    one slot, so the array needs no locking. *)
+
+(* Set while a task body runs in this domain; [map] refuses to start a
+   nested pool. *)
+let in_task_key : bool ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref false)
+
+(* Per-domain count of domains spawned by [map]; a test hook. *)
+let spawned_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+let spawned_domains () = !(Domain.DLS.get spawned_key)
+
+let default_jobs () = min 8 (Domain.recommended_domain_count ())
+
+let run_task f i =
+  let in_task = Domain.DLS.get in_task_key in
+  in_task := true;
+  Fun.protect ~finally:(fun () -> in_task := false) (fun () -> f i)
+
+let map ~jobs n f =
+  if jobs < 1 then invalid_arg "Dpool.map: jobs must be >= 1";
+  if n < 0 then invalid_arg "Dpool.map: negative task count";
+  if !(Domain.DLS.get in_task_key) then
+    failwith "Dpool.map: nested use (called from inside a pool task)";
+  if jobs = 1 || n <= 1 then
+    (* In-domain execution: no spawn, sequential left-to-right — the
+       reference semantics every parallel run must reproduce. *)
+    Array.init n (run_task f)
+  else begin
+    let slots : ('a, exn) result option array = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let worker () =
+      let continue_ = ref true in
+      while !continue_ do
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i >= n then continue_ := false
+        else
+          slots.(i) <-
+            Some (match run_task f i with v -> Ok v | exception e -> Error e)
+      done
+    in
+    let helpers = min jobs n - 1 in
+    let spawned = Domain.DLS.get spawned_key in
+    spawned := !spawned + helpers;
+    let domains = List.init helpers (fun _ -> Domain.spawn worker) in
+    (* The calling domain is pool member zero. *)
+    worker ();
+    List.iter Domain.join domains;
+    Array.mapi
+      (fun i slot ->
+        match slot with
+        | Some (Ok v) -> v
+        | Some (Error e) ->
+            (* First failure in task order, as a sequential run would
+               surface it.  [i] is the lowest index still unmapped, so
+               an [Error] here is the lowest-indexed failure. *)
+            raise e
+        | None ->
+            failwith
+              (Printf.sprintf "Dpool.map: task %d has no result after join" i))
+      slots
+  end
+
+let map_list ~jobs f xs =
+  let arr = Array.of_list xs in
+  Array.to_list (map ~jobs (Array.length arr) (fun i -> f arr.(i)))

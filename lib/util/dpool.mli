@@ -1,0 +1,42 @@
+(** Deterministic fan-out over OCaml 5 domains.
+
+    A fixed-size pool of domains executes an {e indexed} task list and
+    returns results in task order, so a parallel run is observably
+    identical to the sequential one: same results, same exception, in
+    the same places.  There is no work stealing and no shared mutable
+    task state — each task owns its index, workers pull the next index
+    from one atomic counter, and every result lands in its own slot.
+
+    Determinism contract (what callers must provide): each task must be
+    a pure function of its index — any global mutable state it touches
+    must be {!Domain.DLS}-scoped (fresh per domain) or explicitly
+    threaded.  Under that contract [map ~jobs:n] and [map ~jobs:1]
+    return identical arrays; the simulator core enforces the contract
+    with [scripts/lint_purity.sh]'s no-toplevel-mutable-cell rule.
+
+    Exceptions: if tasks fail, the exception of the {e lowest-indexed}
+    failing task is re-raised after all workers join — exactly the
+    exception a sequential left-to-right run would have surfaced.
+    (Later tasks may have run speculatively; their effects are
+    discarded with their results.)
+
+    Nesting is rejected: calling {!map} from inside a task raises
+    [Failure] — a nested pool would oversubscribe the host and break
+    the one-counter task-order guarantee. *)
+
+val map : jobs:int -> int -> (int -> 'a) -> 'a array
+(** [map ~jobs n f] evaluates [f i] for [i = 0..n-1] on at most [jobs]
+    domains (the calling domain counts as one: [jobs = 1] runs every
+    task in-domain and spawns nothing) and returns [|f 0; ...; f (n-1)|].
+    Raises [Invalid_argument] if [jobs < 1] or [n < 0]. *)
+
+val map_list : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_list ~jobs f xs] is [map] over a list, preserving order. *)
+
+val spawned_domains : unit -> int
+(** Total domains spawned by this domain's [map] calls so far (test
+    hook: proves [~jobs:1] degenerates to in-domain execution). *)
+
+val default_jobs : unit -> int
+(** A sensible default parallelism for '-j 0'-style auto flags:
+    [Domain.recommended_domain_count ()], capped at 8. *)

@@ -8,6 +8,7 @@ cd "$(dirname "$0")/.."
 
 echo "== purity lint (simulator core must stay deterministic) =="
 bash scripts/lint_purity.sh
+bash scripts/lint_purity.sh --self-test
 
 echo "== dune build =="
 dune build
@@ -30,7 +31,19 @@ echo "== schedule-space check smoke (explorer oracles stay clean) =="
 # detector, so this both exercises the explorer end to end and asserts
 # that no legal interleaving of the default collector trips an oracle.
 dune exec bin/gcsim.exe -- check -c jade -w avrora \
-  --requests 2000 --schedules 64 --depth 8 --strategy rand
+  --requests 2000 --schedules 64 --depth 8 --strategy rand \
+  > /tmp/ci_check_j1.txt
+cat /tmp/ci_check_j1.txt
+
+echo "== parallel-check determinism fence (-j 2 byte-identical to -j 1) =="
+# The same exploration fanned over two domains must print the same
+# bytes: parallelism may only change wall-clock, never what is explored
+# or reported (DESIGN.md §8).
+dune exec bin/gcsim.exe -- check -c jade -w avrora \
+  --requests 2000 --schedules 64 --depth 8 --strategy rand -j 2 \
+  > /tmp/ci_check_j2.txt
+diff -u /tmp/ci_check_j1.txt /tmp/ci_check_j2.txt
+echo "check -j 2 output identical to -j 1"
 
 echo "== bench smoke (quick micro + speed) =="
 dune exec bench/main.exe -- --quick micro speed

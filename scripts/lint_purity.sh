@@ -9,58 +9,174 @@
 # with test output — silently breaks that contract, so new uses fail CI
 # here rather than surfacing as an unreproducible replay much later.
 #
+# Two rules:
+#
+#   1. Forbidden host-facing calls (Unix.*, Sys.time, Random.*, print*,
+#      ...) anywhere in the linted directories.
+#   2. No toplevel mutable cell (ref / Hashtbl.create / Atomic.make /
+#      Buffer.create / Queue.create / Array.make / Bytes.*) outside
+#      Domain.DLS.new_key.  Cross-run state that lives in a module-level
+#      cell leaks between runs sharing a process and, worse, between
+#      domains when the explorer or a table sweep fans out (-j N); the
+#      only sanctioned homes for mutable simulator state are a value
+#      threaded through the run (e.g. a field of Rt.t) or a
+#      domain-local slot (Domain.DLS).
+#
 # Known-benign uses (env-gated stderr debug heartbeats) live in
-# scripts/purity_allowlist.txt as "<file> <pattern>" lines.
+# scripts/purity_allowlist.txt as "<file> <pattern>" lines; rule 2 hits
+# use the pseudo-pattern "mutable-cell".
+#
+# --self-test exercises the lint against a synthetic tree containing a
+# violation of each rule and exits nonzero if either slips through.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 DIRS="lib/sim lib/core lib/heap lib/collectors"
-PATTERNS='Unix\.|Sys\.time|Sys\.getenv|Random\.self_init|Hashtbl\.hash|Printf\.printf|Printf\.eprintf|print_endline|print_string|print_newline'
+PATTERNS='Unix\.|Sys\.time|Sys\.getenv|Random\.|Hashtbl\.hash|Printf\.printf|Printf\.eprintf|print_endline|print_string|print_newline'
 ALLOW=scripts/purity_allowlist.txt
 
-fail=0
-seen_pairs=$(mktemp)
-trap 'rm -f "$seen_pairs"' EXIT
-
-# shellcheck disable=SC2086
-grep -rnE "$PATTERNS" $DIRS --include='*.ml' --include='*.mli' |
-  while IFS= read -r hit; do
-    file=${hit%%:*}
-    rest=${hit#*:}
-    line=${rest%%:*}
-    text=${rest#*:}
-    # A line may match several patterns; check each one.
-    printf '%s\n' "$text" | grep -oE "$PATTERNS" | sort -u |
-      while IFS= read -r pattern; do
-        if grep -qF -- "$file $pattern" "$ALLOW"; then
-          printf '%s %s\n' "$file" "$pattern" >>"$seen_pairs"
-        else
-          printf 'purity: %s:%s: disallowed %s\n  %s\n' \
-            "$file" "$line" "$pattern" "$text" >&2
-          touch "$seen_pairs.fail"
-        fi
-      done
+# Toplevel mutable-cell scan (rule 2).  Joins "let x ... =" with its
+# continuation line so wrapped definitions are still seen; skips
+# Domain.DLS.new_key initialisers (the ref there is domain-local).
+# Matches only name-then-optional-type-annotation bindings: "let f x =
+# ref ..." is a function allocating per call, not a toplevel cell.
+scan_mutable_cells() {
+  # shellcheck disable=SC2086
+  for f in $(find $1 -name '*.ml' | sort); do
+    awk -v FILE="$f" '
+      function check(text, ln) {
+        if (text ~ /^let [a-z_][A-Za-z0-9_'\'']*([ \t]*:[^=]*)?[ \t]*=[ \t]*(ref([ \t(]|$)|Hashtbl\.create|Queue\.create|Stack\.create|Buffer\.create|Atomic\.make|Array\.(make|create|init)|Bytes\.(make|create))/ \
+            && text !~ /Domain\.DLS\.new_key/) {
+          printf "%s\t%d\t%s\n", FILE, ln, text
+        }
+      }
+      {
+        if (pending != "") { check(pending " " $0, pline); pending = "" }
+        if ($0 ~ /^let /) {
+          if ($0 ~ /=[ \t]*$/) { pending = $0; pline = NR } else check($0, NR)
+        }
+      }
+    ' "$f"
   done
+}
 
-if [ -e "$seen_pairs.fail" ]; then
-  rm -f "$seen_pairs.fail"
-  echo "purity lint FAILED: host nondeterminism in the simulator core." >&2
-  echo "If this is env-gated debug output, add '<file> <pattern>' to $ALLOW." >&2
-  exit 1
-fi
+run_lint() {
+  local dirs=$1 allow=$2
+  local fail_marker seen_pairs
+  seen_pairs=$(mktemp)
+  fail_marker="$seen_pairs.fail"
+  # shellcheck disable=SC2064
+  trap "rm -f '$seen_pairs' '$fail_marker'" RETURN
 
-# Stale allowlist entries mean the debt was paid off: retire them.
-stale=0
-while IFS= read -r entry; do
-  case $entry in ''|'#'*) continue ;; esac
-  if ! grep -qxF -- "$entry" "$seen_pairs"; then
-    echo "purity: stale allowlist entry (no matching hit): $entry" >&2
-    stale=1
+  # Rule 1: forbidden host-facing calls.
+  # shellcheck disable=SC2086
+  grep -rnE "$PATTERNS" $dirs --include='*.ml' --include='*.mli' |
+    while IFS= read -r hit; do
+      file=${hit%%:*}
+      rest=${hit#*:}
+      line=${rest%%:*}
+      text=${rest#*:}
+      # A line may match several patterns; check each one.
+      printf '%s\n' "$text" | grep -oE "$PATTERNS" | sort -u |
+        while IFS= read -r pattern; do
+          if grep -qF -- "$file $pattern" "$allow"; then
+            printf '%s %s\n' "$file" "$pattern" >>"$seen_pairs"
+          else
+            printf 'purity: %s:%s: disallowed %s\n  %s\n' \
+              "$file" "$line" "$pattern" "$text" >&2
+            touch "$fail_marker"
+          fi
+        done
+    done
+
+  # Rule 2: toplevel mutable cells outside Domain.DLS.
+  while IFS=$'\t' read -r file line text; do
+    [ -n "$file" ] || continue
+    if grep -qF -- "$file mutable-cell" "$allow"; then
+      printf '%s mutable-cell\n' "$file" >>"$seen_pairs"
+    else
+      printf 'purity: %s:%s: toplevel mutable cell outside Domain.DLS\n  %s\n' \
+        "$file" "$line" "$text" >&2
+      touch "$fail_marker"
+    fi
+  done < <(scan_mutable_cells "$dirs")
+
+  if [ -e "$fail_marker" ]; then
+    echo "purity lint FAILED: host nondeterminism in the simulator core." >&2
+    echo "If this is env-gated debug output, add '<file> <pattern>' to $allow;" >&2
+    echo "mutable state belongs in Rt.t or a Domain.DLS slot, not a toplevel cell." >&2
+    return 1
   fi
-done <"$ALLOW"
-if [ "$stale" -ne 0 ]; then
-  echo "purity lint FAILED: remove stale entries from $ALLOW." >&2
-  exit 1
-fi
 
-echo "purity lint OK ($(grep -cvE '^(#|$)' "$ALLOW") allowlisted hits)"
+  # Stale allowlist entries mean the debt was paid off: retire them.
+  local stale=0
+  while IFS= read -r entry; do
+    case $entry in ''|'#'*) continue ;; esac
+    if ! grep -qxF -- "$entry" "$seen_pairs"; then
+      echo "purity: stale allowlist entry (no matching hit): $entry" >&2
+      stale=1
+    fi
+  done <"$allow"
+  if [ "$stale" -ne 0 ]; then
+    echo "purity lint FAILED: remove stale entries from $allow." >&2
+    return 1
+  fi
+
+  echo "purity lint OK ($(grep -cvE '^(#|$)' "$allow") allowlisted hits)"
+}
+
+self_test() {
+  local tmp rc
+  tmp=$(mktemp -d)
+  # shellcheck disable=SC2064
+  trap "rm -rf '$tmp'" RETURN
+  mkdir -p "$tmp/lib/sim"
+  : >"$tmp/allow.txt"
+
+  # A clean file must pass.
+  cat >"$tmp/lib/sim/good.ml" <<'EOF'
+let key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+let bump () = incr (Domain.DLS.get key)
+let make_counter () = ref 0
+EOF
+  if ! run_lint "$tmp/lib/sim" "$tmp/allow.txt" >/dev/null 2>&1; then
+    echo "purity self-test FAILED: clean tree rejected" >&2
+    return 1
+  fi
+
+  # Each planted violation must be caught on its own.
+  local i=0
+  while IFS= read -r bad; do
+    i=$((i + 1))
+    printf '%s\n' "$bad" >"$tmp/lib/sim/bad.ml"
+    if run_lint "$tmp/lib/sim" "$tmp/allow.txt" >/dev/null 2>&1; then
+      echo "purity self-test FAILED: violation not caught: $bad" >&2
+      rm -f "$tmp/lib/sim/bad.ml"
+      return 1
+    fi
+    rm -f "$tmp/lib/sim/bad.ml"
+  done <<'EOF'
+let () = Random.self_init ()
+let seed = Random.int 1000
+let counter = ref 0
+let table = Hashtbl.create 16
+let slots = Atomic.make 0
+let now () = Unix.gettimeofday ()
+EOF
+
+  # The allowlist must still work for rule 2's pseudo-pattern.
+  printf 'let counter = ref 0\n' >"$tmp/lib/sim/bad.ml"
+  printf '%s/lib/sim/bad.ml mutable-cell\n' "$tmp" >"$tmp/allow.txt"
+  if ! run_lint "$tmp/lib/sim" "$tmp/allow.txt" >/dev/null 2>&1; then
+    echo "purity self-test FAILED: allowlisted mutable cell rejected" >&2
+    return 1
+  fi
+
+  echo "purity self-test OK ($i violations caught)"
+}
+
+if [ "${1:-}" = "--self-test" ]; then
+  self_test
+else
+  run_lint "$DIRS" "$ALLOW"
+fi

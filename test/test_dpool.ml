@@ -1,0 +1,192 @@
+(* Deterministic fan-out pool (Util.Dpool): results come back in task
+   order whatever the domain count, the lowest-index exception wins,
+   nested use is rejected, and -j 1 never spawns a domain.  This is the
+   layer the parallel explorer and bench sweeps stand on, so its
+   determinism contract gets property coverage of its own. *)
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+exception Task_failed of int
+
+(* ------------------------------------------------------------------ *)
+(* Order preservation. *)
+
+(* A cheap but index-sensitive task body: any reordering or slot mixup
+   changes some element. *)
+let body salt i = (salt * 1_000_003) + (i * i) + i
+
+let order_preserved =
+  qtest "map returns results in task order"
+    QCheck2.Gen.(triple (int_range 1 8) (int_range 0 64) (int_range 0 1000))
+    (fun (jobs, n, salt) ->
+      let got = Util.Dpool.map ~jobs n (body salt) in
+      got = Array.init n (body salt))
+
+let map_list_order_preserved =
+  qtest "map_list preserves list order"
+    QCheck2.Gen.(pair (int_range 1 8) (list_size (int_range 0 40) (int_range 0 10_000)))
+    (fun (jobs, xs) ->
+      Util.Dpool.map_list ~jobs (fun x -> x * 2 + 1) xs
+      = List.map (fun x -> x * 2 + 1) xs)
+
+(* Tasks with deliberately skewed costs: the fast tasks finish long
+   before the slow ones, so any completion-order leak would surface. *)
+let skewed_costs_still_ordered =
+  qtest ~count:30 "skewed task costs do not reorder results"
+    QCheck2.Gen.(int_range 2 6)
+    (fun jobs ->
+      let n = 24 in
+      let f i =
+        (* Early tasks spin a while; late ones return immediately. *)
+        let spin = if i < 4 then 50_000 else 0 in
+        let acc = ref i in
+        for k = 1 to spin do
+          acc := (!acc * 31 + k) land 0xFFFF
+        done;
+        (i, !acc)
+      in
+      Util.Dpool.map ~jobs n f = Array.init n f)
+
+(* ------------------------------------------------------------------ *)
+(* Exception propagation. *)
+
+let lowest_index_exception_wins =
+  qtest ~count:100 "lowest failing index propagates"
+    QCheck2.Gen.(
+      triple (int_range 1 6) (int_range 1 32)
+        (list_size (int_range 1 5) (int_range 0 31)))
+    (fun (jobs, n, fail_at) ->
+      let fails = List.filter (fun i -> i < n) fail_at in
+      QCheck2.assume (fails <> []);
+      let expected = List.fold_left min max_int fails in
+      match
+        Util.Dpool.map ~jobs n (fun i ->
+            if List.mem i fails then raise (Task_failed i) else i)
+      with
+      | _ -> false
+      | exception Task_failed i -> i = expected)
+
+let all_tasks_fail () =
+  (* Every task throws: index 0's exception is the one reported. *)
+  match Util.Dpool.map ~jobs:4 8 (fun i -> raise (Task_failed i)) with
+  | _ -> Alcotest.fail "expected Task_failed"
+  | exception Task_failed i -> Alcotest.(check int) "index 0 wins" 0 i
+
+(* ------------------------------------------------------------------ *)
+(* Nested use. *)
+
+let nested_use_rejected () =
+  let saw = ref None in
+  (try
+     ignore
+       (Util.Dpool.map ~jobs:2 4 (fun i ->
+            if i = 0 then (
+              try ignore (Util.Dpool.map ~jobs:2 2 (fun j -> j))
+              with Failure msg -> saw := Some msg);
+            i))
+   with e -> Alcotest.failf "outer map leaked %s" (Printexc.to_string e));
+  match !saw with
+  | Some msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "message names the restriction (got %S)" msg)
+        true
+        (String.length msg > 0)
+  | None -> Alcotest.fail "nested Dpool.map inside a task did not raise"
+
+let nested_rejected_even_at_j1 () =
+  (* jobs:1 inside a task is still nested use: the restriction is about
+     re-entering the pool from pool context, not about spawning. *)
+  let saw = ref false in
+  ignore
+    (Util.Dpool.map ~jobs:1 2 (fun i ->
+         (try ignore (Util.Dpool.map ~jobs:1 1 (fun j -> j))
+          with Failure _ -> saw := true);
+         i));
+  Alcotest.(check bool) "rejected" true !saw
+
+(* ------------------------------------------------------------------ *)
+(* -j 1 degenerates to the plain in-domain loop. *)
+
+let j1_never_spawns () =
+  let before = Util.Dpool.spawned_domains () in
+  let r = Util.Dpool.map ~jobs:1 32 (fun i -> i * 3) in
+  Alcotest.(check int) "no domain spawned" before (Util.Dpool.spawned_domains ());
+  Alcotest.(check bool) "results correct" true (r = Array.init 32 (fun i -> i * 3))
+
+let tiny_n_never_spawns () =
+  (* n <= 1 has nothing to fan out, whatever jobs says. *)
+  let before = Util.Dpool.spawned_domains () in
+  ignore (Util.Dpool.map ~jobs:8 1 (fun i -> i));
+  ignore (Util.Dpool.map ~jobs:8 0 (fun i -> i));
+  Alcotest.(check int) "no domain spawned" before (Util.Dpool.spawned_domains ())
+
+let parallel_map_spawns_helpers () =
+  let before = Util.Dpool.spawned_domains () in
+  ignore (Util.Dpool.map ~jobs:3 8 (fun i -> i));
+  Alcotest.(check int) "jobs-1 helpers spawned" (before + 2)
+    (Util.Dpool.spawned_domains ())
+
+let helpers_capped_by_tasks () =
+  (* More jobs than tasks: the pool never spawns idle helpers. *)
+  let before = Util.Dpool.spawned_domains () in
+  ignore (Util.Dpool.map ~jobs:8 3 (fun i -> i));
+  Alcotest.(check int) "min jobs n - 1 helpers" (before + 2)
+    (Util.Dpool.spawned_domains ())
+
+(* ------------------------------------------------------------------ *)
+(* Argument validation. *)
+
+let invalid_args () =
+  Alcotest.check_raises "jobs = 0"
+    (Invalid_argument "Dpool.map: jobs must be >= 1") (fun () ->
+      ignore (Util.Dpool.map ~jobs:0 4 (fun i -> i)));
+  Alcotest.check_raises "negative n"
+    (Invalid_argument "Dpool.map: negative task count") (fun () ->
+      ignore (Util.Dpool.map ~jobs:2 (-1) (fun i -> i)))
+
+let empty_map () =
+  Alcotest.(check int) "n = 0 yields empty array" 0
+    (Array.length (Util.Dpool.map ~jobs:4 0 (fun i -> i)))
+
+let default_jobs_sane () =
+  let d = Util.Dpool.default_jobs () in
+  Alcotest.(check bool) "1 <= default <= 8" true (d >= 1 && d <= 8)
+
+let () =
+  Alcotest.run "dpool"
+    [
+      ( "determinism",
+        [
+          order_preserved;
+          map_list_order_preserved;
+          skewed_costs_still_ordered;
+        ] );
+      ( "exceptions",
+        [
+          lowest_index_exception_wins;
+          Alcotest.test_case "all tasks fail: index 0 wins" `Quick
+            all_tasks_fail;
+        ] );
+      ( "nesting",
+        [
+          Alcotest.test_case "nested use rejected" `Quick nested_use_rejected;
+          Alcotest.test_case "nested use rejected at -j 1" `Quick
+            nested_rejected_even_at_j1;
+        ] );
+      ( "spawning",
+        [
+          Alcotest.test_case "-j 1 never spawns a domain" `Quick j1_never_spawns;
+          Alcotest.test_case "n <= 1 never spawns" `Quick tiny_n_never_spawns;
+          Alcotest.test_case "parallel map spawns jobs-1 helpers" `Quick
+            parallel_map_spawns_helpers;
+          Alcotest.test_case "helpers capped by task count" `Quick
+            helpers_capped_by_tasks;
+        ] );
+      ( "edges",
+        [
+          Alcotest.test_case "invalid arguments rejected" `Quick invalid_args;
+          Alcotest.test_case "empty task list" `Quick empty_map;
+          Alcotest.test_case "default_jobs in range" `Quick default_jobs_sane;
+        ] );
+    ]

@@ -1,0 +1,30 @@
+(* The purity lint is itself part of the determinism story: it is what
+   keeps toplevel mutable cells and ambient randomness out of the
+   simulator core now that exploration fans out over domains.  Its
+   --self-test plants one violation of each class (Random.self_init,
+   Random.int seeding, toplevel ref / Hashtbl / Atomic cells,
+   Unix.gettimeofday) in a synthetic lib/sim tree and fails unless the
+   lint rejects every one and still accepts a clean DLS-based file. *)
+
+let script = Filename.concat (Filename.concat ".." "scripts") "lint_purity.sh"
+
+let test_self_test () =
+  let rc = Sys.command (Printf.sprintf "bash %s --self-test" (Filename.quote script)) in
+  Alcotest.(check int) "lint self-test exit code" 0 rc
+
+let test_real_tree_clean () =
+  (* The actual simulator core must pass: no toplevel mutable cells
+     outside Domain.DLS, no host nondeterminism beyond the allowlist. *)
+  let rc = Sys.command (Printf.sprintf "bash %s" (Filename.quote script)) in
+  Alcotest.(check int) "lint exit code on the real tree" 0 rc
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "purity",
+        [
+          Alcotest.test_case "self-test: planted violations rejected" `Quick
+            test_self_test;
+          Alcotest.test_case "real tree passes" `Quick test_real_tree_clean;
+        ] );
+    ]

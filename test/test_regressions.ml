@@ -62,7 +62,7 @@ let test_live_ratio_is_capacity_based () =
 let test_full_compact_with_zero_free_regions () =
   let engine = Sim.Engine.create ~cores:2 () in
   let heap = mk_heap ~heap_bytes:(2 * mib) ~region_bytes:(128 * kib) () in
-  let rt = Runtime.Rt.create ~engine ~heap () in
+  let rt = Runtime.Rt.create ~seed:42 ~engine ~heap () in
   (* Fill every region half with live, half with garbage; keep the live
      halves rooted. *)
   let live = ref [] in
@@ -106,7 +106,7 @@ let test_full_compact_with_zero_free_regions () =
 let test_unrooted_handles_are_collected () =
   let engine = Sim.Engine.create ~cores:2 () in
   let heap = mk_heap ~heap_bytes:(8 * mib) () in
-  let rt = Runtime.Rt.create ~engine ~heap () in
+  let rt = Runtime.Rt.create ~seed:42 ~engine ~heap () in
   ignore (Collectors.G1.install rt);
   let unrooted = ref None and rooted = ref None in
   ignore
@@ -144,7 +144,7 @@ let test_survivor_overflow_promotes () =
     Heap_impl.create
       (Heap_impl.config ~heap_bytes:(16 * mib) ~region_bytes:(256 * kib) ())
   in
-  let rt = Runtime.Rt.create ~engine ~heap () in
+  let rt = Runtime.Rt.create ~seed:42 ~engine ~heap () in
   ignore (Collectors.G1.install rt);
   ignore
     (Sim.Engine.spawn engine ~name:"mut" ~kind:Sim.Engine.Mutator (fun () ->
@@ -189,7 +189,7 @@ let test_dead_humongous_reclaimed () =
         Heap_impl.create
           (Heap_impl.config ~heap_bytes:(16 * mib) ~region_bytes:(256 * kib) ())
       in
-      let rt = Runtime.Rt.create ~engine ~heap () in
+      let rt = Runtime.Rt.create ~seed:42 ~engine ~heap () in
       install rt;
       ignore
         (Sim.Engine.spawn engine ~name:"mut" ~kind:Sim.Engine.Mutator

@@ -13,7 +13,7 @@ let mk_rt ?(cores = 4) ?(heap_bytes = 16 * mib) () =
     Heap.Heap_impl.create
       (Heap.Heap_impl.config ~heap_bytes ~region_bytes:(256 * Util.Units.kib) ())
   in
-  Rt.create ~engine ~heap ()
+  Rt.create ~seed:42 ~engine ~heap ()
 
 (* ------------------------------------------------------------------ *)
 (* Metrics *)

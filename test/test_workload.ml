@@ -9,7 +9,7 @@ let mk_rt ?(heap_bytes = 192 * mib) () =
     Heap.Heap_impl.create
       (Heap.Heap_impl.config ~heap_bytes ~region_bytes:(512 * Util.Units.kib) ())
   in
-  Runtime.Rt.create ~engine ~heap ()
+  Runtime.Rt.create ~seed:42 ~engine ~heap ()
 
 (* Reachable bytes from the roots (resolving forwarding). *)
 let reachable_bytes rt =

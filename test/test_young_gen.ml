@@ -18,7 +18,7 @@ let mk_env ?(heap_bytes = 8 * mib) () =
   let heap =
     Heap_impl.create (Heap_impl.config ~heap_bytes ~region_bytes:(256 * kib) ())
   in
-  let rt = Runtime.Rt.create ~engine ~heap () in
+  let rt = Runtime.Rt.create ~seed:42 ~engine ~heap () in
   { engine; heap; rt }
 
 (* Run [f] in a mutator fiber to completion. *)
