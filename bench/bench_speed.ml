@@ -19,6 +19,15 @@ let quick = ref false
    BENCH_speed.json always carries a -j4 row comparable across hosts. *)
 let jobs = ref 4
 
+(* [--baseline FILE]: after measuring, diff against a previous
+   BENCH_speed.json and print per-run speedup factors. *)
+let baseline : string option ref = ref None
+
+(* [--fail-under R]: exit nonzero when any comparable run's speedup
+   factor falls below R (scripts/ci.sh passes 0.5: fail on a >2x
+   regression of any sim_ns_per_host_s row). *)
+let fail_under : float option ref = ref None
+
 let ms = Util.Units.ms
 
 module Engine = Sim.Engine
@@ -162,11 +171,35 @@ let json_escape s =
        (function '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
        (List.init (String.length s) (String.get s)))
 
+(* --- provenance: where did these numbers come from? ---------------- *)
+
+let command_line cmd =
+  try
+    let ic = Unix.open_process_in cmd in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> Some line
+    | _ -> None
+  with _ -> None
+
+let git_rev () =
+  match command_line "git rev-parse --short HEAD 2>/dev/null" with
+  | Some rev -> (
+      match command_line "git status --porcelain 2>/dev/null" with
+      | Some _ -> rev ^ "-dirty" (* any output line = uncommitted changes *)
+      | None -> rev)
+  | None -> "unknown"
+
 let write_json ~path ~quick (speeds : Experiments.Harness.speed list) =
   let oc = open_out path in
   Printf.fprintf oc "{\n  \"experiment\": \"speed\",\n";
   Printf.fprintf oc "  \"quick\": %b,\n" quick;
   Printf.fprintf oc "  \"unix_time\": %.0f,\n" (Unix.time ());
+  Printf.fprintf oc "  \"git_rev\": \"%s\",\n" (json_escape (git_rev ()));
+  Printf.fprintf oc "  \"ocaml_version\": \"%s\",\n"
+    (json_escape Sys.ocaml_version);
+  Printf.fprintf oc "  \"host_cores\": %d,\n"
+    (Domain.recommended_domain_count ());
   Printf.fprintf oc "  \"runs\": [\n";
   List.iteri
     (fun i (s : Experiments.Harness.speed) ->
@@ -180,6 +213,93 @@ let write_json ~path ~quick (speeds : Experiments.Harness.speed list) =
     speeds;
   Printf.fprintf oc "  ]\n}\n";
   close_out oc
+
+(* --- baseline diff (--baseline FILE). ------------------------------ *)
+
+(* Find [marker] in [line]; index just past it. *)
+let after line marker =
+  let ml = String.length marker and n = String.length line in
+  let rec go i =
+    if i + ml > n then None
+    else if String.sub line i ml = marker then Some (i + ml)
+    else go (i + 1)
+  in
+  go 0
+
+let until line start stops =
+  let n = String.length line in
+  let rec go i = if i >= n || List.mem line.[i] stops then i else go (i + 1) in
+  String.sub line start (go start - start)
+
+(* Parse the run rows of a BENCH_speed.json this binary wrote:
+   name -> (host_s, sim_ns_per_host_s).  Tolerant by construction — a
+   line that is not a run row contributes nothing. *)
+let parse_baseline path =
+  let rows = ref [] in
+  (try
+     let ic = open_in path in
+     (try
+        while true do
+          let line = input_line ic in
+          match after line "\"name\": \"" with
+          | None -> ()
+          | Some i -> (
+              let name = until line i [ '"' ] in
+              let field key =
+                match after line (Printf.sprintf "\"%s\": " key) with
+                | None -> None
+                | Some j -> float_of_string_opt (until line j [ ','; '}' ])
+              in
+              match (field "host_s", field "sim_ns_per_host_s") with
+              | Some h, Some r -> rows := (name, (h, r)) :: !rows
+              | _ -> ())
+        done
+      with End_of_file -> ());
+     close_in ic
+   with Sys_error e -> Printf.printf "  (baseline unreadable: %s)\n%!" e);
+  List.rev !rows
+
+(** Print per-run speedup factors against [path]; false when any
+    comparable sim-rate row fell below the [--fail-under] threshold. *)
+let diff_against_baseline ~path (speeds : Experiments.Harness.speed list) =
+  let base = parse_baseline path in
+  if base = [] then begin
+    Printf.printf "  (baseline %s: no runs to compare)\n%!" path;
+    true
+  end
+  else begin
+    Printf.printf "  vs baseline %s:\n" path;
+    let ok = ref true in
+    List.iter
+      (fun (s : Experiments.Harness.speed) ->
+        let label = s.Experiments.Harness.label in
+        match List.assoc_opt label base with
+        | None -> Printf.printf "    %-28s (not in baseline)\n" label
+        | Some (bh, br) ->
+            if s.Experiments.Harness.sim_ns_per_host_s > 0. && br > 0. then begin
+              let speedup = s.Experiments.Harness.sim_ns_per_host_s /. br in
+              let flag =
+                match !fail_under with
+                | Some thr when speedup < thr ->
+                    ok := false;
+                    "  REGRESSED"
+                | _ -> ""
+              in
+              Printf.printf "    %-28s %5.2fx  (%.1f -> %.1f sim-us/host-ms)%s\n"
+                label speedup (br /. 1e6)
+                (s.Experiments.Harness.sim_ns_per_host_s /. 1e6)
+                flag
+            end
+            else if bh > 0. then
+              (* No sim rate (micro suites): host time ratio, informational
+                 only — not gated. *)
+              Printf.printf "    %-28s %5.2fx  (host %.3fs -> %.3fs)\n" label
+                (bh /. s.Experiments.Harness.host_s)
+                bh s.Experiments.Harness.host_s)
+      speeds;
+    Printf.printf "%!";
+    !ok
+  end
 
 let all () =
   print_endline "== Engine speed (simulated ns per host second) ==";
@@ -227,4 +347,12 @@ let all () =
         !jobs
   | _ -> ());
   write_json ~path:"BENCH_speed.json" ~quick:q speeds;
-  print_endline "  -> BENCH_speed.json"
+  print_endline "  -> BENCH_speed.json";
+  match !baseline with
+  | None -> ()
+  | Some path ->
+      if not (diff_against_baseline ~path speeds) then begin
+        Printf.printf
+          "  !! speed regression beyond --fail-under threshold (vs %s)\n%!" path;
+        exit 1
+      end

@@ -47,6 +47,27 @@ let () =
     in
     go [] args
   in
+  (* Extract "--baseline FILE" / "--fail-under R" (speed experiment). *)
+  let args =
+    let rec go acc = function
+      | [] -> List.rev acc
+      | "--baseline" :: v :: rest ->
+          Bench_speed.baseline := Some v;
+          go acc rest
+      | [ "--baseline" ] -> failwith "--baseline needs a file"
+      | "--fail-under" :: v :: rest -> (
+          match float_of_string_opt v with
+          | Some r when r > 0. ->
+              Bench_speed.fail_under := Some r;
+              go acc rest
+          | _ ->
+              failwith
+                (Printf.sprintf "--fail-under %s: want a positive ratio" v))
+      | [ "--fail-under" ] -> failwith "--fail-under needs a value"
+      | a :: rest -> go (a :: acc) rest
+    in
+    go [] args
+  in
   Bench_tables.quick := quick;
   Bench_figures.quick := quick;
   Bench_ablations.quick := quick;

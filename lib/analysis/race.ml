@@ -28,13 +28,17 @@
     of the metadata-access trace so the interleaving that produced the
     race can be read directly from the report. *)
 
+(* Mutable on purpose: the ring buffer preallocates [trace_capacity]
+   records at creation and overwrites them in place, so recording an
+   access — which happens on every metadata touch while a detector is
+   installed — allocates nothing. *)
 type access = {
-  a_op : Heap.Access.op;
-  a_res : Heap.Access.res;
-  a_key : int;
-  a_site : string;
-  a_tid : int;
-  a_time : int;  (** simulated ns *)
+  mutable a_op : Heap.Access.op;
+  mutable a_res : Heap.Access.res;
+  mutable a_key : int;
+  mutable a_site : string;
+  mutable a_tid : int;
+  mutable a_time : int;  (** simulated ns *)
 }
 
 (** Epoch of the last forwarding install on a record: the writing
@@ -50,8 +54,9 @@ type t = {
   region_clocks : (int, Vclock.t) Hashtbl.t;  (** rid -> published clock *)
   last_install : (int, write_epoch) Hashtbl.t;  (** obj uid -> last install *)
   names : (int, string) Hashtbl.t;  (** tid -> thread name *)
-  trace : access option array;  (** ring buffer of recent accesses *)
+  trace : access array;  (** preallocated ring buffer of recent accesses *)
   mutable trace_pos : int;
+  mutable trace_filled : int;  (** slots written so far, capped at capacity *)
   mutable reported : int;
   on_violation : Report.t -> unit;
 }
@@ -63,8 +68,18 @@ let create ~engine ~on_violation () =
     region_clocks = Hashtbl.create 256;
     last_install = Hashtbl.create 4096;
     names = Hashtbl.create 64;
-    trace = Array.make trace_capacity None;
+    trace =
+      Array.init trace_capacity (fun _ ->
+          {
+            a_op = Heap.Access.Read;
+            a_res = Heap.Access.Card;
+            a_key = 0;
+            a_site = "";
+            a_tid = -1;
+            a_time = 0;
+          });
     trace_pos = 0;
+    trace_filled = 0;
     reported = 0;
     on_violation;
   }
@@ -104,8 +119,15 @@ let on_trace t = function
 (* ---------------------------------------------------------------- *)
 (* Metadata accesses from the heap.                                   *)
 
-let record t a =
-  t.trace.(t.trace_pos) <- Some a;
+let record t op res ~key ~site ~tid ~time =
+  let a = Array.unsafe_get t.trace t.trace_pos in
+  a.a_op <- op;
+  a.a_res <- res;
+  a.a_key <- key;
+  a.a_site <- site;
+  a.a_tid <- tid;
+  a.a_time <- time;
+  if t.trace_filled < trace_capacity then t.trace_filled <- t.trace_filled + 1;
   t.trace_pos <- (t.trace_pos + 1) mod trace_capacity
 
 let access_to_string t a =
@@ -120,9 +142,10 @@ let trace_lines t =
   let lines = ref [] in
   for i = trace_capacity - 1 downto 0 do
     let idx = (t.trace_pos + i) mod trace_capacity in
-    match t.trace.(idx) with
-    | Some a -> lines := access_to_string t a :: !lines
-    | None -> ()
+    (* A slot is valid once written: all of them when the ring has
+       wrapped, indices below the fill mark before that. *)
+    if idx < t.trace_filled then
+      lines := access_to_string t t.trace.(idx) :: !lines
   done;
   (* [lines] is newest-first here; the report wants oldest-first. *)
   List.rev !lines
@@ -160,15 +183,7 @@ let report_install_race t ~key ~site ~tid prev =
 
 let on_access t op res ~key ~site =
   let tid = Sim.Engine.current_tid t.engine in
-  record t
-    {
-      a_op = op;
-      a_res = res;
-      a_key = key;
-      a_site = site;
-      a_tid = tid;
-      a_time = Sim.Engine.now t.engine;
-    };
+  record t op res ~key ~site ~tid ~time:(Sim.Engine.now t.engine);
   match (op, res) with
   | Heap.Access.Acquire, Heap.Access.Region_ctl -> (
       match Hashtbl.find_opt t.region_clocks key with

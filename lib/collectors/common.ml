@@ -183,14 +183,18 @@ module Marker = struct
       Util.Vec.push t.stack o
 
   let drain t tk =
+    (* Allocation-free: [Vec.pop] boxes an option per element, pure
+       garbage in the hottest GC loop.  Control flow is unchanged — in
+       particular the periodic flush check still runs after {e every}
+       iteration, including the terminal empty one (flushing ticks
+       virtual time, so moving it would shift the schedule). *)
     let continue_ = ref true in
     while !continue_ do
-      (match Util.Vec.pop t.stack with
-      | Some o -> visit t tk o
-      | None -> (
-          match Util.Vec.pop t.satb with
-          | Some o -> gray t o
-          | None -> continue_ := false));
+      if not (Util.Vec.is_empty t.stack) then
+        visit t tk (Util.Vec.pop_last t.stack)
+      else if not (Util.Vec.is_empty t.satb) then
+        gray t (Util.Vec.pop_last t.satb)
+      else continue_ := false;
       (* Yield periodically so concurrent marking really is concurrent. *)
       if Util.Vec.length t.stack land 255 = 0 then Ticker.flush tk
     done
@@ -270,7 +274,7 @@ module Evac = struct
         let copy : Gobj.t =
           {
             id = o.Gobj.id;
-            uid = Gobj.fresh_uid ();
+            uid = Gobj.mint d.rt.RtM.heap.Heap_impl.uids;
             size = o.Gobj.size;
             fields = o.Gobj.fields; (* one logical set of slots *)
             region = r.Region.rid;
@@ -283,7 +287,8 @@ module Evac = struct
           }
         in
         Heap_impl.push_relocated d.rt.RtM.heap r copy;
-        Gobj.set_forward ~site:"Evac.copy_object" o copy;
+        Gobj.set_forward_with ~hooks:d.rt.RtM.heap.Heap_impl.hooks
+          ~site:"Evac.copy_object" o copy;
         Ticker.tick tk (Costs.copy_cost costs o.Gobj.size);
         d.rt.RtM.heap.Heap_impl.bytes_allocated <-
           d.rt.RtM.heap.Heap_impl.bytes_allocated + o.Gobj.size;
@@ -478,18 +483,18 @@ let stw_full_compact ?(on_live_ref = fun _ _ _ -> ()) rt =
         let rec pick () =
           match !current_dest with
           | Some (d : Region.t) when Region.fits d o.Gobj.size -> Some d
-          | _ -> (
-              match Queue.take_opt dest_pool with
-              | Some d ->
-                  current_dest := Some d;
-                  pick ()
-              | None -> (
-                  (* Previously released victims are claimable too. *)
-                  match Heap_impl.claim_region heap Region.Old with
-                  | Some d ->
-                      current_dest := Some d;
-                      Some d
-                  | None -> None))
+          | _ ->
+              if not (Queue.is_empty dest_pool) then begin
+                current_dest := Some (Queue.pop dest_pool);
+                pick ()
+              end
+              else (
+                (* Previously released victims are claimable too. *)
+                match Heap_impl.claim_region heap Region.Old with
+                | Some d ->
+                    current_dest := Some d;
+                    Some d
+                | None -> None)
         in
         match pick () with
         | None -> false
@@ -497,7 +502,7 @@ let stw_full_compact ?(on_live_ref = fun _ _ _ -> ()) rt =
             let copy : Gobj.t =
               {
                 id = o.Gobj.id;
-                uid = Gobj.fresh_uid ();
+                uid = Gobj.mint heap.Heap_impl.uids;
                 size = o.Gobj.size;
                 fields = o.Gobj.fields;
                 region = d.Region.rid;
@@ -510,7 +515,8 @@ let stw_full_compact ?(on_live_ref = fun _ _ _ -> ()) rt =
               }
             in
             Heap_impl.push_relocated heap d copy;
-            Gobj.set_forward ~site:"full_compact.place_elsewhere" o copy;
+            Gobj.set_forward_with ~hooks:heap.Heap_impl.hooks
+              ~site:"full_compact.place_elsewhere" o copy;
             Ticker.tick tk (Costs.copy_cost costs o.Gobj.size);
             true
       in
@@ -537,14 +543,17 @@ let stw_full_compact ?(on_live_ref = fun _ _ _ -> ()) rt =
             (* In-place slide: rebuild the region with only its live
                objects; it then joins the destination pool. *)
             Heap_impl.begin_region_rebuild heap r;
-            Util.Vec.clear r.Region.objects;
-            r.Region.top <- 0;
+            (* Region.clear_objects, not a raw Vec.clear: the in-place
+               slide re-pushes survivors, and the block-offset table must
+               be invalidated with the object vector or later card scans
+               would start from indices of the pre-slide layout. *)
+            Region.clear_objects r;
             List.iter
               (fun (o : Gobj.t) ->
                 let copy : Gobj.t =
                   {
                     id = o.Gobj.id;
-                    uid = Gobj.fresh_uid ();
+                    uid = Gobj.mint heap.Heap_impl.uids;
                     size = o.Gobj.size;
                     fields = o.Gobj.fields;
                     region = r.Region.rid;
@@ -557,7 +566,8 @@ let stw_full_compact ?(on_live_ref = fun _ _ _ -> ()) rt =
                   }
                 in
                 Heap_impl.push_relocated heap r copy;
-                Gobj.set_forward ~site:"full_compact.slide_in_place" o copy;
+                Gobj.set_forward_with ~hooks:heap.Heap_impl.hooks
+                  ~site:"full_compact.slide_in_place" o copy;
                 Ticker.tick tk (Costs.copy_cost costs o.Gobj.size))
               stay;
             r.Region.live_bytes <- r.Region.top;

@@ -229,15 +229,12 @@ let collect rt ~(remsets : Region_remsets.t) ~config ~(old_cset : Region.t list)
                    rs)
            !cset;
          (* Transitive closure over new copies. *)
-         let continue_ = ref true in
-         while !continue_ do
-           match Util.Vec.pop scan_list with
-           | None -> continue_ := false
-           | Some o' ->
-               Common.Ticker.tick tk costs.Costs.mark_obj;
-               for i = 0 to Gobj.num_fields o' - 1 do
-                 fix_slot o' i
-               done
+         while not (Util.Vec.is_empty scan_list) do
+           let o' = Util.Vec.pop_last scan_list in
+           Common.Ticker.tick tk costs.Costs.mark_obj;
+           for i = 0 to Gobj.num_fields o' - 1 do
+             fix_slot o' i
+           done
          done
        with Common.Evac.Evacuation_failure -> failed := true);
       (* Paranoid: before releasing, every reachable object inside the

@@ -369,9 +369,13 @@ let evacuate_group t ~group (regions : Region.t list) =
   if not !failed then begin
     (* Heal every remembered incoming reference, then release the group:
        this is the per-group incremental reclamation of §3.1. *)
-    let cards = ref [] in
-    Remset.iter (fun c -> cards := c :: !cards) t.group_remsets.(group);
-    let cards = Array.of_list !cards in
+    (* Cons-free remset snapshot; descending order preserved (the legacy
+       list prepended during an ascending iteration, and card claim
+       order is part of the deterministic schedule). *)
+    let cardv = Util.Vec.create ~capacity:64 0 in
+    Remset.iter (fun c -> Util.Vec.push cardv c) t.group_remsets.(group);
+    let nc = Util.Vec.length cardv in
+    let cards = Array.init nc (fun i -> Util.Vec.get cardv (nc - 1 - i)) in
     let nextc = ref 0 in
     Common.run_workers rt ~n:workers ~name:"jade-heal" (fun _ tk ->
         let continue_ = ref true in

@@ -150,16 +150,19 @@ let scan_copy t dests tk (o' : Gobj.t) =
   done
 
 let drain t dests tk =
+  (* Allocation-free drain; same control flow as the option-matching
+     version, flush check after every iteration included the terminal
+     one (see Common.Marker.drain). *)
   let continue_ = ref true in
   while !continue_ do
-    (match Util.Vec.pop t.scan_stack with
-    | Some o' -> scan_copy t dests tk o'
-    | None -> (
-        match Util.Vec.pop t.pending with
-        | Some o ->
-            if in_snapshot t.rt.RtM.heap o && not (Gobj.is_forwarded o) then
-              ignore (copy_out t dests tk o)
-        | None -> continue_ := false));
+    if not (Util.Vec.is_empty t.scan_stack) then
+      scan_copy t dests tk (Util.Vec.pop_last t.scan_stack)
+    else if not (Util.Vec.is_empty t.pending) then begin
+      let o = Util.Vec.pop_last t.pending in
+      if in_snapshot t.rt.RtM.heap o && not (Gobj.is_forwarded o) then
+        ignore (copy_out t dests tk o)
+    end
+    else continue_ := false;
     if Util.Vec.length t.scan_stack land 127 = 0 then Common.Ticker.flush tk
   done
 
@@ -239,9 +242,14 @@ let collect t ~workers =
   (* Concurrent single phase: remembered-set cards, then the transitive
      copy-and-fix closure, picking up barrier discoveries as they come. *)
   if not !failed then begin
-    let cards = ref [] in
-    Remset.iter (fun c -> cards := c :: !cards) t.remset;
-    let card_arr = Array.of_list !cards in
+    (* Snapshot the remembered set without a cons per card.  The legacy
+       list was built by prepending during an ascending iteration, so
+       workers claimed cards in descending order — preserved here (the
+       claim order is part of the deterministic schedule). *)
+    let cards = Util.Vec.create ~capacity:64 0 in
+    Remset.iter (fun c -> Util.Vec.push cards c) t.remset;
+    let n_cards = Util.Vec.length cards in
+    let card_arr = Array.init n_cards (fun i -> Util.Vec.get cards (n_cards - 1 - i)) in
     let next_card = ref 0 in
     Common.run_workers rt ~n:workers ~name:"jade-young" (fun _ tk ->
         let dests =

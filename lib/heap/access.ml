@@ -36,20 +36,47 @@ type res =
 
 type logger = op -> res -> key:int -> site:string -> unit
 
+(** A cached handle on this domain's hook slot.  [Domain.DLS.get] costs
+    a handful of loads plus an initialization branch on {e every} call,
+    which is pure waste on paths that fire per mark / card dirty /
+    remset touch: hot-path owners ({!Heap_impl.t}, remsets, forwarding
+    tables) resolve the handle once at creation time and log through it
+    with {!log_with} — one load and one branch when no detector is
+    installed.  The handle stays valid for the whole run because
+    {!set_hook} mutates the slot's {e contents}, never rebinds it, so a
+    detector installed after the heap was built is still observed.
+
+    The cached handle must live in run-threaded state (a field of the
+    heap, a remset, ...) or in DLS itself — never in a toplevel mutable
+    cell, where it would leak across the explorer's per-domain runs;
+    [scripts/lint_purity.sh] enforces this. *)
+type hooks = logger option ref
+
 (* Domain-local, not global: parallel exploration runs one simulation
    per domain ([Util.Dpool]), each with its own race detector — a
    global hook would make one domain's detector observe a sibling
    domain's unrelated heap. *)
-let hook_key : logger option ref Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> ref None)
+let hook_key : hooks Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+(** Resolve this domain's hook slot once; thread the result through
+    run-owned state and log with {!log_with}. *)
+let hooks () : hooks = Domain.DLS.get hook_key
 
 (** Install (or remove) this domain's metadata-access logger. *)
 let set_hook f = Domain.DLS.get hook_key := f
 
-let log op res ~key ~site =
-  match !(Domain.DLS.get hook_key) with
-  | None -> ()
-  | Some f -> f op res ~key ~site
+(** The inlined fast flag: is a logger installed right now?  Batch
+    operations read this once and choose between the zero-event fast
+    path and the per-event loop a detector needs. *)
+let[@inline] enabled (h : hooks) =
+  match !h with None -> false | Some _ -> true
+
+let[@inline] log_with (h : hooks) op res ~key ~site =
+  match !h with None -> () | Some f -> f op res ~key ~site
+
+(** Uncached logging for cold paths and callers with no run state at
+    hand; pays the DLS lookup every call. *)
+let log op res ~key ~site = log_with (Domain.DLS.get hook_key) op res ~key ~site
 
 (** Remove any installed logger (every harness run starts from here so a
     detector left over from a previous in-process run cannot observe an

@@ -11,16 +11,20 @@
 type t = {
   rid : int;
   table : (int, Gobj.t) Hashtbl.t; (* old offset -> new copy *)
+  hooks : Access.hooks;  (* cached per-domain hook handle; see Access.hooks *)
 }
 
-let create ~rid ~expected = { rid; table = Hashtbl.create (max expected 16) }
+let create ~rid ~expected =
+  { rid; table = Hashtbl.create (max expected 16); hooks = Access.hooks () }
 
 let add t ~old_offset obj =
-  Access.log Access.Atomic Access.Fwd_table ~key:t.rid ~site:"Forwarding.add";
+  Access.log_with t.hooks Access.Atomic Access.Fwd_table ~key:t.rid
+    ~site:"Forwarding.add";
   Hashtbl.replace t.table old_offset obj
 
 let find t ~old_offset =
-  Access.log Access.Read Access.Fwd_table ~key:t.rid ~site:"Forwarding.find";
+  Access.log_with t.hooks Access.Read Access.Fwd_table ~key:t.rid
+    ~site:"Forwarding.find";
   Hashtbl.find_opt t.table old_offset
 
 let entries t = Hashtbl.length t.table

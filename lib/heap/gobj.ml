@@ -28,6 +28,7 @@ type t = {
 
 let header_bytes = 16
 let slot_bytes = 8
+let slot_shift = 3  (* log2 slot_bytes: card scans shift, not divide *)
 
 (* Flag bits *)
 let flag_weak_referent = 1
@@ -51,6 +52,21 @@ let fresh_uid () =
   incr c;
   u
 
+(** A cached handle on this domain's uid counter, for paths that mint a
+    uid per allocation or per evacuation copy: resolving the DLS slot
+    once at heap creation and minting through the handle turns the
+    per-object cost into one load and one store.  The handle must live
+    in run-threaded state (e.g. {!Heap_impl.t}), mirroring the
+    {!Access.hooks} discipline. *)
+type uids = int ref
+
+let uid_source () : uids = Domain.DLS.get uid_counter_key
+
+let[@inline] mint (c : uids) =
+  let u = !c in
+  c := u + 1;
+  u
+
 (** Current value of the uid counter.  The verifier records it when a
     marking snapshot is taken: any record with a uid at or above the
     watermark was created (allocated or copied) after the snapshot, and
@@ -64,6 +80,22 @@ let uid_watermark () = !(Domain.DLS.get uid_counter_key)
     promise byte-identical violation reports on replay, whether the
     runs share a domain (sequential) or not ([-j N]). *)
 let reset_uids () = Domain.DLS.get uid_counter_key := 0
+
+(** [make] with a cached uid handle — the allocation fast path. *)
+let make_with ~uids ~id ~size ~nrefs ~region ~offset =
+  {
+    id;
+    uid = mint uids;
+    size;
+    fields = (if nrefs = 0 then no_fields else Array.make nrefs None);
+    region;
+    offset;
+    forward = None;
+    mark = 0;
+    ymark = 0;
+    age = 0;
+    flags = 0;
+  }
 
 let make ~id ~size ~nrefs ~region ~offset =
   {
@@ -88,14 +120,29 @@ let is_weak_referent t = has_flag t flag_weak_referent
 let is_humongous t = has_flag t flag_humongous
 let is_freed t = has_flag t flag_freed
 
-let is_forwarded t = t.forward <> None
+(* A match, not [<> None]: polymorphic compare is an out-of-line C call
+   (this build has no flambda to specialize it), and this test guards
+   every mutator load/store and root access. *)
+let[@inline] is_forwarded t =
+  match t.forward with None -> false | Some _ -> true
 
 (** Install the forwarding pointer of [t].  All relocation paths go
     through here so the race detector sees every install as a [Write] on
     the old copy's physical identity — two unordered installs on one
-    record are a double relocation. *)
-let set_forward ?(site = "Gobj.set_forward") t copy =
-  Access.log Access.Write Access.Forward ~key:t.uid ~site;
+    record are a double relocation.  Evacuation loops pass their heap's
+    cached [hooks] handle so a disabled detector costs one load+branch
+    per install instead of a DLS lookup. *)
+let set_forward ?hooks ?(site = "Gobj.set_forward") t copy =
+  (match hooks with
+  | Some h -> Access.log_with h Access.Write Access.Forward ~key:t.uid ~site
+  | None -> Access.log Access.Write Access.Forward ~key:t.uid ~site);
+  t.forward <- Some copy
+
+(** [set_forward] for evacuation loops: the hooks handle is a plain
+    labeled argument, so the per-copy call does not box it in an option
+    the way [?hooks] would. *)
+let set_forward_with ~hooks ~site t copy =
+  Access.log_with hooks Access.Write Access.Forward ~key:t.uid ~site;
   t.forward <- Some copy
 
 (** Newest copy of an object (identity: follows the forwarding chain). *)

@@ -35,7 +35,22 @@ let config ?(heap_bytes = default_config.heap_bytes)
 
 type t = {
   cfg : config;
+  cpr : int;
+      (** [cfg.region_bytes / cfg.card_bytes], cached: card addressing
+          (every barrier's dirty_card goes through {!card_of}) must not
+          pay a division just to recover a config-constant ratio *)
   costs : Costs.t;
+  uids : Gobj.uids;
+      (** this domain's uid counter, resolved once at creation — object
+          allocation and evacuation copies mint uids per object, and the
+          cached handle spares them the DLS lookup ({!Gobj.uid_source}) *)
+  hooks : Access.hooks;
+      (** this domain's metadata-access hook slot, resolved once at
+          creation ({!Access.hooks}); every hot-path log goes through it
+          so a disabled detector costs one load and one branch instead
+          of a DLS lookup per event.  Still observes hooks installed
+          after creation — [Access.set_hook] mutates the slot's
+          contents, never rebinds it. *)
   regions : Region.t array;
   free_q : int Queue.t;
   mutable free_count : int;
@@ -93,13 +108,17 @@ let create ?(costs = Costs.default) cfg =
   if nregions > Crdt.max_region_id then
     invalid_arg "Heap.create: too many regions for CRDT encoding";
   let regions =
-    Array.init nregions (fun rid -> Region.make ~rid ~size:cfg.region_bytes)
+    Array.init nregions (fun rid ->
+        Region.make ~card_bytes:cfg.card_bytes ~rid ~size:cfg.region_bytes ())
   in
   let free_q = Queue.create () in
   Array.iter (fun (r : Region.t) -> Queue.push r.rid free_q) regions;
   {
     cfg;
+    cpr = cfg.region_bytes / cfg.card_bytes;
     costs;
+    uids = Gobj.uid_source ();
+    hooks = Access.hooks ();
     regions;
     free_q;
     free_count = nregions;
@@ -119,7 +138,7 @@ let region t rid = t.regions.(rid)
 let free_regions t = t.free_count
 let used_regions t = num_regions t - t.free_count
 let total_cards t = t.cfg.heap_bytes / t.cfg.card_bytes
-let cards_per_region t = t.cfg.region_bytes / t.cfg.card_bytes
+let cards_per_region t = t.cpr
 
 (** Occupancy as a fraction of the whole heap, at region granularity (the
     trigger metric used by all the collectors). *)
@@ -154,28 +173,47 @@ let card_to_region t card = card / cards_per_region t
 let card_to_offset t card = card mod cards_per_region t * t.cfg.card_bytes
 
 let dirty_card t card =
-  Access.log Access.Atomic Access.Card ~key:card ~site:"Heap_impl.dirty_card";
+  Access.log_with t.hooks Access.Atomic Access.Card ~key:card
+    ~site:"Heap_impl.dirty_card";
   ignore (Util.Bitset.set t.card_dirty card)
 
 let card_is_dirty t card = Util.Bitset.get t.card_dirty card
 
 let clean_card t card =
-  Access.log Access.Atomic Access.Card ~key:card ~site:"Heap_impl.clean_card";
+  Access.log_with t.hooks Access.Atomic Access.Card ~key:card
+    ~site:"Heap_impl.clean_card";
   Util.Bitset.clear t.card_dirty card
 
 let iter_dirty_cards f t = Util.Bitset.iter_set f t.card_dirty
 
 (** Scan the objects overlapping [card] in its region, applying [f] to each
-    reference slot that falls inside the card. *)
+    reference slot that falls inside the card.  The intersecting field
+    window is computed arithmetically — field [i] lives at byte
+    [o.offset + header_bytes + i*slot_bytes], so the window is a pair of
+    divisions instead of a per-field range check.  Visits exactly the
+    field indices [foff >= off && foff < stop] would, in the same
+    order. *)
 let scan_card t card ~f =
   let r = t.regions.(card_to_region t card) in
   if not (Region.is_free r) then begin
     let off = card_to_offset t card in
+    let stop = off + t.cfg.card_bytes in
     Region.iter_objects_in_range r ~off ~len:t.cfg.card_bytes (fun o ->
-        for i = 0 to Gobj.num_fields o - 1 do
-          let foff = Gobj.field_offset o i in
-          if foff >= off && foff < off + t.cfg.card_bytes then f o i
-        done)
+        let nf = Gobj.num_fields o in
+        if nf > 0 then begin
+          let base = o.Gobj.offset + Gobj.header_bytes in
+          let lo =
+            if base >= off then 0
+            else (off - base + Gobj.slot_bytes - 1) lsr Gobj.slot_shift
+          in
+          let hi =
+            if stop <= base then 0
+            else min nf ((stop - base + Gobj.slot_bytes - 1) lsr Gobj.slot_shift)
+          in
+          for i = lo to hi - 1 do
+            f o i
+          done
+        end)
   end
 
 (* ------------------------------------------------------------------ *)
@@ -183,25 +221,26 @@ let scan_card t card ~f =
 
 (** Claim a free region for allocation of the given kind. *)
 let claim_region t kind =
-  match Queue.take_opt t.free_q with
-  | None -> None
-  | Some rid ->
-      t.free_count <- t.free_count - 1;
-      let r = t.regions.(rid) in
-      if not (Region.is_free r) then
-        failwith
-          (Printf.sprintf
-             "Heap_impl.claim_region: region %d is on the free list but in \
-              state %s (top=%d) — double claim or missed release; history: %s"
-             rid
-             (Region.kind_to_string r.Region.kind)
-             r.Region.top (dump_region_history rid));
-      Access.log Access.Acquire Access.Region_ctl ~key:rid
-        ~site:"Heap_impl.claim_region";
-      r.kind <- kind;
-      r.alloc_epoch <- t.mark_epoch;
-      record_region_event rid ("claim:" ^ Region.kind_to_string kind);
-      Some r
+  if Queue.is_empty t.free_q then None
+  else begin
+    let rid = Queue.pop t.free_q in
+    t.free_count <- t.free_count - 1;
+    let r = t.regions.(rid) in
+    if not (Region.is_free r) then
+      failwith
+        (Printf.sprintf
+           "Heap_impl.claim_region: region %d is on the free list but in \
+            state %s (top=%d) — double claim or missed release; history: %s"
+           rid
+           (Region.kind_to_string r.Region.kind)
+           r.Region.top (dump_region_history rid));
+    Access.log_with t.hooks Access.Acquire Access.Region_ctl ~key:rid
+      ~site:"Heap_impl.claim_region";
+    r.kind <- kind;
+    r.alloc_epoch <- t.mark_epoch;
+    record_region_event rid ("claim:" ^ Region.kind_to_string kind);
+    Some r
+  end
 
 (** Release a region back to the free list; resident (non-evacuated)
     objects become garbage, the region's own cards are cleaned. *)
@@ -212,12 +251,22 @@ let release_region t (r : Region.t) =
          "Heap_impl.release_region: region %d is already free — double \
           release; history: %s"
          r.rid (dump_region_history r.rid));
-  Access.log Access.Release Access.Region_ctl ~key:r.rid
+  Access.log_with t.hooks Access.Release Access.Region_ctl ~key:r.rid
     ~site:"Heap_impl.release_region";
-  let c0 = r.rid * cards_per_region t in
-  for c = c0 to c0 + cards_per_region t - 1 do
-    clean_card t c
-  done;
+  (* Clean the region's whole card stripe word-wise.  When a detector is
+     installed, the per-card clean events it relies on are still emitted
+     — same resource, same key, same site, same order as the old
+     card-by-card loop — before the batched clear, so the observed event
+     sequence (Release edge, then each card's Atomic clean) is
+     unchanged. *)
+  let cpr = cards_per_region t in
+  let c0 = r.rid * cpr in
+  if Access.enabled t.hooks then
+    for c = c0 to c0 + cpr - 1 do
+      Access.log_with t.hooks Access.Atomic Access.Card ~key:c
+        ~site:"Heap_impl.clean_card"
+    done;
+  Util.Bitset.clear_range t.card_dirty ~lo:c0 ~hi:(c0 + cpr);
   t.used <- t.used - r.top;
   Region.reset r;
   record_region_event r.rid "release";
@@ -246,7 +295,7 @@ let alloc_in t (r : Region.t) ?id ~size ~nrefs () =
          (Region.kind_to_string r.kind)
          r.top r.size);
   let id = match id with Some id -> id | None -> fresh_obj_id t in
-  let o = Gobj.make ~id ~size ~nrefs ~region:r.rid ~offset:r.top in
+  let o = Gobj.make_with ~uids:t.uids ~id ~size ~nrefs ~region:r.rid ~offset:r.top in
   if t.allocate_live then o.mark <- t.mark_epoch;
   if t.allocate_live_young then o.ymark <- t.young_epoch;
   Region.push_obj r o;
@@ -295,7 +344,7 @@ let is_marked t (o : Gobj.t) = o.mark >= t.mark_epoch
 let mark_object t (o : Gobj.t) =
   if o.mark >= t.mark_epoch then false
   else begin
-    Access.log Access.Atomic Access.Mark_bit ~key:o.uid
+    Access.log_with t.hooks Access.Atomic Access.Mark_bit ~key:o.uid
       ~site:"Heap_impl.mark_object";
     o.mark <- t.mark_epoch;
     let r = t.regions.(o.region) in
@@ -323,7 +372,7 @@ let is_marked_young t (o : Gobj.t) = o.ymark >= t.young_epoch
 let mark_object_young t (o : Gobj.t) =
   if o.ymark >= t.young_epoch then false
   else begin
-    Access.log Access.Atomic Access.Mark_bit ~key:o.uid
+    Access.log_with t.hooks Access.Atomic Access.Mark_bit ~key:o.uid
       ~site:"Heap_impl.mark_object_young";
     o.ymark <- t.young_epoch;
     let r = t.regions.(o.region) in

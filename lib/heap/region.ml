@@ -1,9 +1,13 @@
 (** Equal-sized heap regions (§3.1).
 
     A region is a bump-allocated span holding the objects whose [region]
-    field names it, in allocation (= offset) order, which lets card scans
-    binary-search for the first object overlapping a card.  [live_bytes]
-    is the result of the last completed marking cycle and drives
+    field names it, in allocation (= offset) order.  A per-region
+    block-offset table ([bot], HotSpot BOT style: one entry per card)
+    maps each card to the first object overlapping it, so card scans
+    start at the right object in O(1) instead of binary-searching the
+    object vector per card; it is maintained incrementally by
+    {!push_obj} and invalidated wholesale by {!reset}.  [live_bytes] is
+    the result of the last completed marking cycle and drives
     collection-set / group selection. *)
 
 type kind = Free | Young | Old
@@ -13,9 +17,22 @@ let kind_to_string = function Free -> "free" | Young -> "young" | Old -> "old"
 type t = {
   rid : int;
   size : int;
+  card_bytes : int;  (** card granularity of [bot]; the heap's card size *)
+  card_shift : int;
+      (** log2 of [card_bytes] when it is a power of two, else -1; lets
+          the per-allocation BOT update shift instead of divide *)
   mutable kind : kind;
   mutable top : int;  (** bump pointer: bytes used *)
   objects : Gobj.t Util.Vec.t;
+  bot : int array;
+      (** block-offset table: per card, the index in [objects] of the
+          first object whose bytes overlap the card; -1 when no object
+          does.  Append-only between resets, exactly like [objects]. *)
+  mutable bot_filled : int;
+      (** number of owned BOT entries.  Allocation is contiguous, so the
+          owned entries are exactly the prefix covering [0, top): the
+          per-allocation update extends the prefix without re-testing
+          entries, and resets only refill the prefix. *)
   mutable live_bytes : int;  (** per last completed mark *)
   mutable marking_live : int;  (** accumulator of the in-progress mark *)
   mutable livemap : Util.Bitset.t option;  (** one bit per 8 bytes, lazy *)
@@ -27,13 +44,24 @@ type t = {
 
 let dummy_obj = Gobj.make ~id:(-1) ~size:0 ~nrefs:0 ~region:(-1) ~offset:0
 
-let make ~rid ~size =
+let make ?(card_bytes = 512) ~rid ~size () =
+  if card_bytes < 1 then invalid_arg "Region.make: card_bytes";
+  let card_shift =
+    let rec log2 n k =
+      if n = 1 then k else if n land 1 = 1 then -1 else log2 (n lsr 1) (k + 1)
+    in
+    log2 card_bytes 0
+  in
   {
     rid;
     size;
+    card_bytes;
+    card_shift;
     kind = Free;
     top = 0;
     objects = Util.Vec.create ~capacity:64 dummy_obj;
+    bot = Array.make ((size + card_bytes - 1) / card_bytes) (-1);
+    bot_filled = 0;
     live_bytes = 0;
     marking_live = 0;
     livemap = None;
@@ -61,13 +89,41 @@ let garbage_bytes t = t.size - t.live_bytes
 (** Can [size] more bytes be bump-allocated here? *)
 let fits t size = t.top + size <= t.size
 
+(** Card index of byte offset [off]: a shift in the common power-of-two
+    configuration, a division otherwise. *)
+let[@inline] card_index t off =
+  if t.card_shift >= 0 then off lsr t.card_shift else off / t.card_bytes
+
 (** Append an already-constructed object at the current top. The caller
-    guarantees [fits]. *)
+    guarantees [fits].  Maintains the block-offset table: allocation is
+    contiguous, so the unowned cards the object overlaps are exactly
+    [bot_filled ..= card(top + size - 1)] — extending the owned prefix
+    needs no per-card ownership test, and the common small object costs
+    one shift and one compare.  Amortized O(1): every BOT entry is
+    written at most once per region lifetime. *)
 let push_obj t (o : Gobj.t) =
   o.region <- t.rid;
   o.offset <- t.top;
-  t.top <- t.top + o.size;
-  Util.Vec.push t.objects o
+  let idx = Util.Vec.length t.objects in
+  Util.Vec.push t.objects o;
+  if o.size > 0 then begin
+    let c1 = card_index t (t.top + o.size - 1) in
+    while t.bot_filled <= c1 do
+      Array.unsafe_set t.bot t.bot_filled idx;
+      t.bot_filled <- t.bot_filled + 1
+    done
+  end;
+  t.top <- t.top + o.size
+
+(* Forget every object without touching liveness/kind bookkeeping: the
+   full-GC in-place slide empties the region and immediately re-pushes
+   its survivors.  The BOT must be invalidated with the object vector or
+   later card scans would start from indices of the pre-slide layout. *)
+let clear_objects t =
+  Util.Vec.clear t.objects;
+  Array.fill t.bot 0 t.bot_filled (-1);
+  t.bot_filled <- 0;
+  t.top <- 0
 
 (** Live bitmap management (one bit per 8 bytes, as in the paper). *)
 let livemap_get t =
@@ -86,21 +142,46 @@ let livemap_is_marked t (o : Gobj.t) =
 
 let livemap_clear t = match t.livemap with None -> () | Some m -> Util.Bitset.clear_all m
 
-(** First index in [objects] whose span reaches byte offset [off] or later.
-    Objects are offset-sorted, so this starts a card scan. *)
+(** First index in [objects] whose span reaches byte offset [off] or
+    later (equivalently: first object with [offset + size > off] —
+    objects are disjoint and offset-sorted).  O(1) via the block-offset
+    table: the BOT entry of the card holding [off] is the first object
+    overlapping that card, and only objects of that same card can end
+    in ([card start], [off]], so at most a card's worth of objects are
+    stepped over.  When no object overlaps the card, the answer is the
+    first object of a later card; binary search covers that cold case. *)
 let first_object_at t ~off =
-  (* find first object with offset + size > off; since objects are disjoint
-     and sorted, that is the first with offset > off - max_size... a clean
-     lower bound is the first object with offset >= off, minus one if its
-     predecessor spans across. *)
-  let i =
-    Util.Vec.find_first_geq t.objects ~key:off ~of_elt:(fun (o : Gobj.t) ->
-        o.offset)
-  in
-  if i > 0 then
-    let prev = Util.Vec.get t.objects (i - 1) in
-    if prev.offset + prev.size > off then i - 1 else i
-  else i
+  let n = Util.Vec.length t.objects in
+  if off >= t.top then n
+  else begin
+    let c = card_index t off in
+    let b = if c < Array.length t.bot then Array.unsafe_get t.bot c else -1 in
+    if b >= 0 then begin
+      let i = ref b in
+      while
+        !i < n
+        &&
+        let o = Util.Vec.get t.objects !i in
+        o.offset + o.size <= off
+      do
+        incr i
+      done;
+      !i
+    end
+    else begin
+      (* No object overlaps [off]'s card: the first object at or past
+         the card's end, found by binary search (cold path — only freshly
+         reset or humongous-tail gaps hit it). *)
+      let i =
+        Util.Vec.find_first_geq t.objects ~key:off ~of_elt:(fun (o : Gobj.t) ->
+            o.offset)
+      in
+      if i > 0 then
+        let prev = Util.Vec.get t.objects (i - 1) in
+        if prev.offset + prev.size > off then i - 1 else i
+      else i
+    end
+  end
 
 (** Iterate objects whose bytes intersect [off, off+len).  The length is
     re-read on every step: [f] may suspend the calling fiber (batched GC
@@ -120,10 +201,13 @@ let iter_objects_in_range t ~off ~len f =
     end
   done
 
-(** Reset to an empty, [Free] region; marks resident objects freed. *)
+(** Reset to an empty, [Free] region; marks resident objects freed and
+    invalidates the block-offset table. *)
 let reset t =
   Util.Vec.iter (fun (o : Gobj.t) -> Gobj.set_flag o Gobj.flag_freed) t.objects;
   Util.Vec.clear t.objects;
+  Array.fill t.bot 0 t.bot_filled (-1);
+  t.bot_filled <- 0;
   t.kind <- Free;
   t.top <- 0;
   t.live_bytes <- 0;

@@ -71,8 +71,11 @@ let maybe_check m =
     check_safepoint m
   end
 
-(* Apply the collector's mutator tax (e.g. compressed-oops disabled). *)
-let taxed m ns = ns + (ns * m.rt.Rt.collector.mutator_tax_pct / 100)
+(* Apply the collector's mutator tax (e.g. compressed-oops disabled).
+   The common case is a zero tax; skip the mul/div every op then. *)
+let taxed m ns =
+  let pct = m.rt.Rt.collector.mutator_tax_pct in
+  if pct = 0 then ns else ns + (ns * pct / 100)
 
 let tick m ns = m.pending_ns <- m.pending_ns + taxed m ns
 
@@ -188,7 +191,11 @@ let read m (o : Heap.Gobj.t) i =
   let o = Heap.Gobj.resolve o in
   match Heap.Gobj.get_field o i with
   | None -> None
-  | Some v -> Some (heal_load m o i v)
+  | Some v as slot ->
+      (* Reuse the slot's own option when no healing happened: loads are
+         the single hottest mutator operation and a fresh [Some] per
+         read is pure garbage. *)
+      if Heap.Gobj.is_forwarded v then Some (heal_load m o i v) else slot
 
 (** Store [v] into field [i] of [o], running the collector's write
     barrier (SATB / card dirtying / remembered sets / RC logging). *)
@@ -196,7 +203,12 @@ let write m (o : Heap.Gobj.t) i v =
   maybe_check m;
   let rt = m.rt in
   let o = Heap.Gobj.resolve o in
-  let v = Option.map Heap.Gobj.resolve v in
+  (* Re-wrap only when resolution moved the target. *)
+  let v =
+    match v with
+    | Some x when Heap.Gobj.is_forwarded x -> Some (Heap.Gobj.resolve x)
+    | _ -> v
+  in
   let old_v = Heap.Gobj.get_field o i in
   rt.Rt.collector.store_barrier ~src:o ~field:i ~old_v ~new_v:v;
   Heap.Gobj.set_field o i v
@@ -213,10 +225,14 @@ let set_root m i o = Util.Vec.set m.roots i o
 let get_root m i =
   match Util.Vec.get m.roots i with
   | None -> None
-  | Some o ->
-      let o' = Heap.Gobj.resolve o in
-      if o' != o then Util.Vec.set m.roots i (Some o');
-      Some o'
+  | Some o as slot ->
+      if Heap.Gobj.is_forwarded o then begin
+        let o' = Heap.Gobj.resolve o in
+        let slot' = Some o' in
+        Util.Vec.set m.roots i slot';
+        slot'
+      end
+      else slot
 
 (** Drop stack roots above index [n] (end-of-request cleanup). *)
 let truncate_roots m n =

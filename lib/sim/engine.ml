@@ -250,12 +250,12 @@ let trace_wake t c (th : thread) =
   | None -> ()
 
 let signal t c =
-  match Queue.take_opt c.waiters with
-  | None -> ()
-  | Some th ->
-      th.state <- Runnable;
-      enqueue t th;
-      trace_wake t c th
+  if not (Queue.is_empty c.waiters) then begin
+    let th = Queue.pop c.waiters in
+    th.state <- Runnable;
+    enqueue t th;
+    trace_wake t c th
+  end
 
 let broadcast t c =
   while not (Queue.is_empty c.waiters) do
@@ -427,7 +427,7 @@ let run ?until t =
   (try
      while
        (not t.stop_requested)
-       && t.failure = None
+       && (match t.failure with None -> true | Some _ -> false)
        && t.live_nondaemon > 0
        && t.clock < limit
      do

@@ -30,6 +30,15 @@ val set : t -> int -> bool
 val clear : t -> int -> unit
 val clear_all : t -> unit
 
+val clear_range : t -> lo:int -> hi:int -> unit
+(** Clear every bit in [lo, hi) word-wise (interior words are zeroed
+    with one store each); cardinal stays exact.  The batched
+    replacement for per-bit {!clear} loops on the hot paths — a region
+    release cleaning its whole card span, remset rebuilds. *)
+
+val count_range : t -> lo:int -> hi:int -> int
+(** Number of set bits in [lo, hi), counted word-wise. *)
+
 val iter_set : (int -> unit) -> t -> unit
 (** Visit set bits in increasing order (zero words are skipped). *)
 

@@ -48,6 +48,16 @@ let pop t =
 let pop_exn t =
   match pop t with Some x -> x | None -> invalid_arg "Vec.pop_exn: empty"
 
+(* Allocation-free pop for hot drain loops (mark stacks, SATB buffers):
+   [pop] boxes its result in an option on every call, which is pure
+   garbage in a loop that already tested [is_empty]. *)
+let pop_last t =
+  if t.len = 0 then invalid_arg "Vec.pop_last: empty";
+  t.len <- t.len - 1;
+  let x = t.data.(t.len) in
+  t.data.(t.len) <- t.dummy;
+  x
+
 let get t i =
   if i < 0 || i >= t.len then invalid_arg "Vec.get: index out of bounds";
   t.data.(i)

@@ -18,6 +18,12 @@ val push : 'a t -> 'a -> unit
 val pop : 'a t -> 'a option
 val pop_exn : 'a t -> 'a
 
+val pop_last : 'a t -> 'a
+(** Allocation-free pop: the caller has checked {!is_empty}.  [pop]
+    boxes its result in an option; drain loops (mark stacks, SATB
+    buffers) use this instead to stay allocation-free per element.
+    Raises [Invalid_argument] when empty. *)
+
 val get : 'a t -> int -> 'a
 val set : 'a t -> int -> 'a -> unit
 

@@ -45,5 +45,18 @@ dune exec bin/gcsim.exe -- check -c jade -w avrora \
 diff -u /tmp/ci_check_j1.txt /tmp/ci_check_j2.txt
 echo "check -j 2 output identical to -j 1"
 
-echo "== bench smoke (quick micro + speed) =="
-dune exec bench/main.exe -- --quick micro speed
+echo "== bench smoke (quick micro) =="
+dune exec bench/main.exe -- --quick micro
+
+echo "== perf smoke (quick speed vs committed baseline) =="
+# Guard the hot path: measure the quick speed suite and diff it against
+# the committed BENCH_speed.json, failing on a >2x regression of any
+# sim_ns_per_host_s row.  The committed file holds full-run numbers and
+# this compares quick runs, so the gate is deliberately loose (0.5x):
+# it exists to catch order-of-magnitude slips (an accidentally
+# quadratic scan, a debug hook left installed), not CI-host noise.
+# Snapshot the baseline first — the bench overwrites BENCH_speed.json.
+cp BENCH_speed.json /tmp/ci_speed_baseline.json
+dune exec bench/main.exe -- --quick speed \
+  --baseline /tmp/ci_speed_baseline.json --fail-under 0.5
+git checkout -- BENCH_speed.json 2>/dev/null || true

@@ -20,7 +20,12 @@
 #      domains when the explorer or a table sweep fans out (-j N); the
 #      only sanctioned homes for mutable simulator state are a value
 #      threaded through the run (e.g. a field of Rt.t) or a
-#      domain-local slot (Domain.DLS).
+#      domain-local slot (Domain.DLS).  The same rule covers toplevel
+#      caching of the Access.hooks handle: the handle is a ref into one
+#      domain's DLS slot, so a module-level "let h = Access.hooks ()"
+#      would alias the linting domain's detector into every other
+#      domain's runs — cache it in run-threaded state only (see
+#      lib/heap/access.ml).
 #
 # Known-benign uses (env-gated stderr debug heartbeats) live in
 # scripts/purity_allowlist.txt as "<file> <pattern>" lines; rule 2 hits
@@ -45,7 +50,7 @@ scan_mutable_cells() {
   for f in $(find $1 -name '*.ml' | sort); do
     awk -v FILE="$f" '
       function check(text, ln) {
-        if (text ~ /^let [a-z_][A-Za-z0-9_'\'']*([ \t]*:[^=]*)?[ \t]*=[ \t]*(ref([ \t(]|$)|Hashtbl\.create|Queue\.create|Stack\.create|Buffer\.create|Atomic\.make|Array\.(make|create|init)|Bytes\.(make|create))/ \
+        if (text ~ /^let [a-z_][A-Za-z0-9_'\'']*([ \t]*:[^=]*)?[ \t]*=[ \t]*(ref([ \t(]|$)|Hashtbl\.create|Queue\.create|Stack\.create|Buffer\.create|Atomic\.make|Array\.(make|create|init)|Bytes\.(make|create)|([A-Za-z0-9_.]*\.)?(Access\.)?hooks[ \t]*\(\))/ \
             && text !~ /Domain\.DLS\.new_key/) {
           printf "%s\t%d\t%s\n", FILE, ln, text
         }
@@ -162,6 +167,8 @@ let counter = ref 0
 let table = Hashtbl.create 16
 let slots = Atomic.make 0
 let now () = Unix.gettimeofday ()
+let hook_cache : (int -> unit) option ref = ref None
+let cached = Heap.Access.hooks ()
 EOF
 
   # The allowlist must still work for rule 2's pseudo-pattern.

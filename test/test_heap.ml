@@ -169,6 +169,158 @@ let test_release_clears_own_cards () =
   Alcotest.(check bool) "card cleaned on release" false
     (Heap_impl.card_is_dirty heap card)
 
+(* Batching regression: release_region clears its card stripe word-wise,
+   but a detector installed while the heap is live — note: AFTER heap
+   creation, so this also pins the cached-hook contract — must still see
+   the same event sequence the per-card loop produced: the region's
+   Release edge first, then one Atomic clean event per card of the
+   stripe, all before the next claimer's Acquire. *)
+let test_release_event_order_under_detector () =
+  let heap = mk_heap () in
+  let r = claim_exn heap Region.Old in
+  ignore (alloc heap r ~size:64 ~nrefs:2);
+  (* Exhaust the FIFO free list so the next claim after the release can
+     only return [r] itself — making the Release->Acquire pair below an
+     edge on one region. *)
+  while Heap_impl.free_regions heap > 0 do
+    ignore (claim_exn heap Region.Old)
+  done;
+  let events = ref [] in
+  Access.set_hook
+    (Some (fun op res ~key ~site:_ -> events := (op, res, key) :: !events));
+  Fun.protect ~finally:Access.reset (fun () ->
+      let rid = r.Region.rid in
+      Heap_impl.release_region heap r;
+      let r2 = claim_exn heap Region.Old in
+      Alcotest.(check int) "same region recycled" rid r2.Region.rid;
+      let seq = List.rev !events in
+      let cpr = Heap_impl.cards_per_region heap in
+      let c0 = rid * cpr in
+      let release_pos = ref (-1) and acquire_pos = ref (-1) in
+      let cleans = ref [] in
+      List.iteri
+        (fun i (op, res, key) ->
+          match (op, res) with
+          | Access.Release, Access.Region_ctl when key = rid ->
+              release_pos := i
+          | Access.Acquire, Access.Region_ctl when key = rid ->
+              acquire_pos := i
+          | Access.Atomic, Access.Card -> cleans := (i, key) :: !cleans
+          | _ -> ())
+        seq;
+      let cleans = List.rev !cleans in
+      Alcotest.(check bool) "release edge seen" true (!release_pos >= 0);
+      Alcotest.(check bool) "acquire edge seen" true (!acquire_pos >= 0);
+      Alcotest.(check bool) "release before acquire" true
+        (!release_pos < !acquire_pos);
+      Alcotest.(check (list int)) "one clean event per card, in order"
+        (List.init cpr (fun i -> c0 + i))
+        (List.map snd cleans);
+      Alcotest.(check bool) "cleans between release and acquire" true
+        (List.for_all
+           (fun (i, _) -> i > !release_pos && i < !acquire_pos)
+           cleans))
+
+(* The arithmetic field-window scan plus the block-offset table must
+   visit exactly the (object, field) pairs — in exactly the order — that
+   the naive "every object, every field, range-check the slot offset"
+   reference does, over random heaps: zero-field objects, objects
+   spanning card boundaries, near-region-sized (humongous) objects, and
+   freshly reset-and-reused regions. *)
+let scan_card_model =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:200
+       ~name:"scan_card/BOT matches naive all-fields reference"
+       QCheck2.Gen.(
+         pair
+           (list_size (int_range 0 40)
+              (pair (int_range 0 12) (int_range 0 600)))
+           (list_size (int_range 0 40)
+              (pair (int_range 0 12) (int_range 0 600))))
+       (fun (specs1, specs2) ->
+         let heap = mk_heap ~heap_bytes:(64 * kib) ~region_bytes:(8 * kib) () in
+         let fill r specs =
+           List.iter
+             (fun (nrefs, data_bytes) ->
+               (* An occasional near-region-sized object: spans most cards. *)
+               let data_bytes =
+                 if data_bytes >= 590 then 6 * kib else data_bytes
+               in
+               let size = Heap_impl.object_size ~nrefs ~data_bytes in
+               if Region.fits r size then
+                 ignore (alloc heap r ~size ~nrefs))
+             specs
+         in
+         let check_region (r : Region.t) =
+           let cpr = Heap_impl.cards_per_region heap in
+           let card_bytes = heap.Heap_impl.cfg.Heap_impl.card_bytes in
+           let ok = ref true in
+           for local = 0 to cpr - 1 do
+             let card = (r.Region.rid * cpr) + local in
+             let off = local * card_bytes in
+             let got = ref [] in
+             Heap_impl.scan_card heap card ~f:(fun o i ->
+                 got := (o.Gobj.uid, i) :: !got);
+             let expected = ref [] in
+             Util.Vec.iter
+               (fun (o : Gobj.t) ->
+                 for i = 0 to Gobj.num_fields o - 1 do
+                   let foff = Gobj.field_offset o i in
+                   if foff >= off && foff < off + card_bytes then
+                     expected := (o.Gobj.uid, i) :: !expected
+                 done)
+               r.Region.objects;
+             if !got <> !expected then ok := false
+           done;
+           !ok
+         in
+         let r = claim_exn heap Region.Old in
+         fill r specs1;
+         let pass1 = check_region r in
+         (* Release and re-claim: the BOT must be invalidated with the
+            region, and a freshly reset region must scan correctly. *)
+         Heap_impl.release_region heap r;
+         let r2 = claim_exn heap Region.Old in
+         let empty_ok = check_region r2 in
+         fill r2 specs2;
+         pass1 && empty_ok && check_region r2))
+
+(* Region.first_object_at (BOT fast path + binary-search fallback) vs a
+   naive linear scan, at arbitrary byte offsets — not just the
+   card-aligned ones scan_card produces. *)
+let first_object_at_model =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:200
+       ~name:"first_object_at matches naive linear scan"
+       QCheck2.Gen.(
+         list_size (int_range 0 30) (pair (int_range 0 6) (int_range 0 400)))
+       (fun specs ->
+         let heap = mk_heap ~heap_bytes:(64 * kib) ~region_bytes:(8 * kib) () in
+         let r = claim_exn heap Region.Old in
+         List.iter
+           (fun (nrefs, data_bytes) ->
+             let size = Heap_impl.object_size ~nrefs ~data_bytes in
+             if Region.fits r size then ignore (alloc heap r ~size ~nrefs))
+           specs;
+         let n = Util.Vec.length r.Region.objects in
+         let naive off =
+           let rec go i =
+             if i >= n then n
+             else
+               let o = Util.Vec.get r.Region.objects i in
+               if o.Gobj.offset + o.Gobj.size > off then i else go (i + 1)
+           in
+           go 0
+         in
+         let ok = ref true in
+         let step = max 1 (r.Region.size / 512) in
+         let off = ref 0 in
+         while !off <= r.Region.size do
+           if Region.first_object_at r ~off:!off <> naive !off then ok := false;
+           off := !off + step
+         done;
+         !ok))
+
 (* ------------------------------------------------------------------ *)
 (* Marking *)
 
@@ -373,6 +525,10 @@ let () =
           Alcotest.test_case "dirty cards" `Quick test_dirty_cards;
           Alcotest.test_case "release clears cards" `Quick
             test_release_clears_own_cards;
+          Alcotest.test_case "release event order under detector" `Quick
+            test_release_event_order_under_detector;
+          scan_card_model;
+          first_object_at_model;
         ] );
       ( "marking",
         [

@@ -253,6 +253,62 @@ let bitset_reference_model =
       Bitset.iter_set_range (fun i -> acc := i :: !acc) b ~lo ~hi;
       List.rev !acc = List.filter (fun i -> i >= lo && i < hi) ref_list)
 
+(* The batched range operations must agree bit-for-bit with per-bit
+   loops over a bool-array model: clear_range (including cardinal
+   maintenance, empty windows, out-of-range clamping, word-boundary
+   straddles) and count_range. *)
+let bitset_range_ops_model =
+  qtest ~count:300 "bitset clear_range/count_range match naive bit loops"
+    QCheck2.Gen.(
+      let size = oneofl [ 1; 7; 62; 63; 64; 125; 126; 189; 200; 255 ] in
+      pair size
+        (pair
+           (list (int_range 0 10_000)) (* initial set bits, mod nbits *)
+           (list (pair (int_range 0 3) (pair (int_range (-10) 300) (int_range (-10) 300))))))
+    (fun (nbits, (seeds, ops)) ->
+      let b = Bitset.create nbits in
+      let ref_bits = Array.make nbits false in
+      List.iter
+        (fun r ->
+          let i = r mod nbits in
+          ignore (Bitset.set b i);
+          ref_bits.(i) <- true)
+        seeds;
+      let naive_count lo hi =
+        let lo = max 0 lo and hi = min nbits hi in
+        let n = ref 0 in
+        for i = lo to hi - 1 do
+          if ref_bits.(i) then incr n
+        done;
+        !n
+      in
+      let ok = ref true in
+      List.iter
+        (fun (op, (lo, hi)) ->
+          match op with
+          | 0 ->
+              Bitset.clear_range b ~lo ~hi;
+              let l = max 0 lo and h = min nbits hi in
+              if l < h then Array.fill ref_bits l (h - l) false
+          | 1 -> if Bitset.count_range b ~lo ~hi <> naive_count lo hi then ok := false
+          | 2 ->
+              let i = abs lo mod nbits in
+              ignore (Bitset.set b i);
+              ref_bits.(i) <- true
+          | _ ->
+              let i = abs hi mod nbits in
+              Bitset.clear b i;
+              ref_bits.(i) <- false)
+        ops;
+      let ref_card =
+        Array.fold_left (fun n v -> if v then n + 1 else n) 0 ref_bits
+      in
+      !ok
+      && Bitset.cardinal b = ref_card
+      && Bitset.to_list b
+         = List.filter (fun i -> ref_bits.(i)) (List.init nbits Fun.id)
+      && Bitset.count_range b ~lo:0 ~hi:nbits = ref_card)
+
 (* ------------------------------------------------------------------ *)
 (* Pqueue *)
 
@@ -431,6 +487,7 @@ let () =
           Alcotest.test_case "iter/range" `Quick test_bitset_iter_range;
           bitset_model;
           bitset_reference_model;
+          bitset_range_ops_model;
         ] );
       ( "pqueue",
         [
