@@ -361,6 +361,7 @@ let update_refs_in_card rt (tk : Ticker.t) card =
 
 let paranoid =
   match Sys.getenv_opt "SIM_PARANOID" with Some "1" -> true | _ -> false
+  [@@gcsim.allow "env-gated validation flag (SIM_PARANOID), read once at module init"]
 
 exception Lost_object of string
 
@@ -432,6 +433,7 @@ let reclaim_dead_humongous rt (tk : Ticker.t) =
     once objects move). *)
 let debug_full =
   match Sys.getenv_opt "SIM_DEBUG" with Some "1" -> true | _ -> false
+  [@@gcsim.allow "env-gated debug flag (SIM_DEBUG), read once at module init"]
 
 let stw_full_compact ?(on_live_ref = fun _ _ _ -> ()) rt =
   let heap = rt.RtM.heap in
@@ -606,7 +608,7 @@ let stw_full_compact ?(on_live_ref = fun _ _ _ -> ()) rt =
       Ticker.flush tk;
       check_reachability rt ~where:"full_compact";
       Metrics.add metrics "full_gc_count" 1;
-      (if debug_full then begin
+      ((if debug_full then begin
          let live = ref 0 and used = ref 0 in
          Array.iter
            (fun (r : Region.t) ->
@@ -627,7 +629,8 @@ let stw_full_compact ?(on_live_ref = fun _ _ _ -> ()) rt =
                   a + 1
                 else a)
               0 heap.Heap_impl.regions)
-       end);
+       end)
+      [@gcsim.allow "debug summary on stderr, dead unless SIM_DEBUG=1"]);
       RtM.notify_memory_freed rt;
       RtM.fire_phase ~collector:vname rt Runtime.Vhook.Evac_end;
       RtM.fire_phase ~collector:vname rt Runtime.Vhook.Cycle_end;

@@ -46,6 +46,7 @@ type t = {
 
 let debug =
   match Sys.getenv_opt "SIM_DEBUG" with Some "1" -> true | _ -> false
+  [@@gcsim.allow "env-gated debug flag (SIM_DEBUG), read once at module init"]
 
 let stw_config (t : t) : Stw_collect.config =
   { tenure_age = t.config.tenure_age; gc_threads = t.config.gc_threads }
@@ -131,7 +132,7 @@ let collect t ~mixed =
   in
   let pause = Sim.Engine.now t.rt.RtM.engine - t0 in
   adapt_young_budget t ~pause;
-  if debug then
+  (if debug then
     Printf.eprintf
       "[g1] %.3fs %s pause=%s reclaimed=%d copied=%s free=%d budget=%d cands=%d\n%!"
       (float_of_int t0 /. 1e9)
@@ -139,7 +140,8 @@ let collect t ~mixed =
       (Util.Units.pp_time_ns pause) result.Stw_collect.reclaimed_regions
       (Util.Units.pp_bytes result.Stw_collect.copied_bytes)
       (Heap_impl.free_regions t.rt.RtM.heap)
-      t.young_budget (List.length t.candidates);
+      t.young_budget (List.length t.candidates))
+  [@gcsim.allow "debug trace on stderr, dead unless SIM_DEBUG=1"];
   Metrics.add metrics "g1.young_collections" 1;
   result.Stw_collect.failed
 
@@ -163,11 +165,12 @@ let full_gc t =
         ~card:(Heap_impl.card_of_field heap holder i)
   in
   let reclaimed = Common.stw_full_compact ~on_live_ref t.rt in
-  if debug then
-    Printf.eprintf "[g1] %.3fs full-gc reclaimed=%d free=%d\n%!"
-      (float_of_int (Sim.Engine.now t.rt.RtM.engine) /. 1e9)
-      reclaimed
-      (Heap_impl.free_regions heap);
+  (if debug then
+     Printf.eprintf "[g1] %.3fs full-gc reclaimed=%d free=%d\n%!"
+       (float_of_int (Sim.Engine.now t.rt.RtM.engine) /. 1e9)
+       reclaimed
+       (Heap_impl.free_regions heap))
+  [@gcsim.allow "debug trace on stderr, dead unless SIM_DEBUG=1"];
   reclaimed
 
 let remset_rebuild_wanted (r : Region.t) =
@@ -181,9 +184,10 @@ let run_mark_cycle t =
   let heap = rt.RtM.heap in
   let metrics = rt.RtM.metrics in
   let marker = t.marker in
-  if debug then
-    Printf.eprintf "[g1] %.3fs mark-cycle start\n%!"
-      (float_of_int (Sim.Engine.now rt.RtM.engine) /. 1e9);
+  (if debug then
+     Printf.eprintf "[g1] %.3fs mark-cycle start\n%!"
+       (float_of_int (Sim.Engine.now rt.RtM.engine) /. 1e9))
+  [@gcsim.allow "debug trace on stderr, dead unless SIM_DEBUG=1"];
   t.marking <- true;
   Metrics.phase_begin metrics "g1.conc_mark" ~now:(Sim.Engine.now rt.RtM.engine);
   Runtime.Safepoint.stw rt.RtM.safepoint Metrics.Init_mark (fun () ->
@@ -271,11 +275,12 @@ let run_mark_cycle t =
       (fun (a : Region.t) b ->
         compare (Region.garbage_bytes b) (Region.garbage_bytes a))
       !cands;
-  if debug then
-    Printf.eprintf "[g1] %.3fs mark-cycle done: candidates=%d free=%d\n%!"
-      (float_of_int (Sim.Engine.now rt.RtM.engine) /. 1e9)
-      (List.length t.candidates)
-      (Heap_impl.free_regions heap);
+  (if debug then
+     Printf.eprintf "[g1] %.3fs mark-cycle done: candidates=%d free=%d\n%!"
+       (float_of_int (Sim.Engine.now rt.RtM.engine) /. 1e9)
+       (List.length t.candidates)
+       (Heap_impl.free_regions heap))
+  [@gcsim.allow "debug trace on stderr, dead unless SIM_DEBUG=1"];
   t.marking <- false;
   RtM.fire_phase rt Runtime.Vhook.Cycle_end
 

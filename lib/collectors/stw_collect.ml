@@ -138,19 +138,20 @@ let collect rt ~(remsets : Region_remsets.t) ~config ~(old_cset : Region.t list)
                 ~card:(Heap_impl.card_of_field heap holder i)
             end
       in
-      (if Common.paranoid then
-         Array.iter
-           (fun (r : Region.t) ->
-             if
-               r.Region.kind = Region.Young
-               && (not r.Region.humongous)
-               && not r.Region.in_cset
-             then
-               Printf.eprintf
-                 "[paranoid] young region r%d outside cset! top=%d epoch=%d heap_epoch=%d\n%!"
-                 r.Region.rid r.Region.top r.Region.alloc_epoch
-                 heap.Heap_impl.mark_epoch)
-           heap.Heap_impl.regions);
+      ((if Common.paranoid then
+          Array.iter
+            (fun (r : Region.t) ->
+              if
+                r.Region.kind = Region.Young
+                && (not r.Region.humongous)
+                && not r.Region.in_cset
+              then
+                Printf.eprintf
+                  "[paranoid] young region r%d outside cset! top=%d epoch=%d heap_epoch=%d\n%!"
+                  r.Region.rid r.Region.top r.Region.alloc_epoch
+                  heap.Heap_impl.mark_epoch)
+            heap.Heap_impl.regions)
+       [@gcsim.allow "paranoid-mode report on stderr, dead unless SIM_PARANOID=1"]);
       let failed = ref false in
       (try
          (* Roots. *)

@@ -157,15 +157,17 @@ let evacuate_young_region t tk ~dest_young ~dest_old (r : Region.t) =
     failure (caller escalates). *)
 let debug =
   match Sys.getenv_opt "SIM_DEBUG" with Some "1" -> true | _ -> false
+  [@@gcsim.allow "env-gated debug flag (SIM_DEBUG), read once at module init"]
 
 let collect t ~gc_threads =
   let rt = t.rt in
   let heap = rt.RtM.heap in
-  if debug then
-    Printf.eprintf "[young] %.3fs start free=%d young=%d\n%!"
-      (float_of_int (Sim.Engine.now rt.RtM.engine) /. 1e9)
-      (Heap_impl.free_regions heap)
-      (List.length (young_regions t));
+  (if debug then
+     Printf.eprintf "[young] %.3fs start free=%d young=%d\n%!"
+       (float_of_int (Sim.Engine.now rt.RtM.engine) /. 1e9)
+       (Heap_impl.free_regions heap)
+       (List.length (young_regions t)))
+  [@gcsim.allow "debug trace on stderr, dead unless SIM_DEBUG=1"];
   let metrics = rt.RtM.metrics in
   let marker = t.marker in
   let now () = Sim.Engine.now rt.RtM.engine in
@@ -273,10 +275,11 @@ let collect t ~gc_threads =
   Metrics.phase_end metrics "young.cycle" ~now:(now ());
   t.young_cycle_active <- false;
   RtM.fire_phase rt Runtime.Vhook.Cycle_end;
-  if debug then
-    Printf.eprintf "[young] %.3fs end ok=%b free=%d remset=%d\n%!"
-      (float_of_int (Sim.Engine.now rt.RtM.engine) /. 1e9)
-      (not !failed)
-      (Heap_impl.free_regions heap)
-      (Remset.cardinal t.remset);
+  (if debug then
+     Printf.eprintf "[young] %.3fs end ok=%b free=%d remset=%d\n%!"
+       (float_of_int (Sim.Engine.now rt.RtM.engine) /. 1e9)
+       (not !failed)
+       (Heap_impl.free_regions heap)
+       (Remset.cardinal t.remset))
+  [@gcsim.allow "debug trace on stderr, dead unless SIM_DEBUG=1"];
   not !failed

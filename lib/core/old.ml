@@ -37,6 +37,7 @@ type t = {
 
 let debug =
   match Sys.getenv_opt "SIM_DEBUG" with Some "1" -> true | _ -> false
+  [@@gcsim.allow "env-gated debug flag (SIM_DEBUG), read once at module init"]
 
 let create ~config ~young rt =
   let heap = rt.RtM.heap in
@@ -180,16 +181,17 @@ let group_phase t =
   Sim.Engine.tick (60 * max 1 plan.Grouping.tracked);
   Metrics.phase_end metrics "jade.group" ~now:(now ());
   Metrics.add metrics "jade.groups_built" (Grouping.num_groups plan);
-  if debug then
-    Printf.eprintf
-      "[jade-old] %.3fs grouping: candidates=%d tracked=%d groups=%d regions=%d free_est=%s free_regions=%d promo_rate=%.1fMB/s est_time=%s\n%!"
-      (float_of_int (now ()) /. 1e9)
-      (List.length candidates) plan.Grouping.tracked
-      (Grouping.num_groups plan) (Grouping.total_regions plan)
-      (Util.Units.pp_bytes free_bytes)
-      (Heap_impl.free_regions heap)
-      (t.young.Young.promotion_rate /. 1e6)
-      (Util.Units.pp_time_ns t.est_cycle_time);
+  (if debug then
+     Printf.eprintf
+       "[jade-old] %.3fs grouping: candidates=%d tracked=%d groups=%d regions=%d free_est=%s free_regions=%d promo_rate=%.1fMB/s est_time=%s\n%!"
+       (float_of_int (now ()) /. 1e9)
+       (List.length candidates) plan.Grouping.tracked
+       (Grouping.num_groups plan) (Grouping.total_regions plan)
+       (Util.Units.pp_bytes free_bytes)
+       (Heap_impl.free_regions heap)
+       (t.young.Young.promotion_rate /. 1e6)
+       (Util.Units.pp_time_ns t.est_cycle_time))
+  [@gcsim.allow "debug trace on stderr, dead unless SIM_DEBUG=1"];
   plan
 
 (* ------------------------------------------------------------------ *)

@@ -62,6 +62,8 @@ let verify_level ?verify () =
           | None ->
               invalid_arg
                 (Printf.sprintf "GCSIM_VERIFY=%s (want off, fast or full)" s)))
+  [@@gcsim.allow
+    "host-side harness: GCSIM_VERIFY env probe selects the sanitizer level"]
 
 (** Build engine+heap+runtime, install the collector, construct the
     workload's live set, and return the runtime plus a request closure.
@@ -260,6 +262,9 @@ let measure_speed ~label f =
     sim_ns_per_host_s =
       (if host_s > 0. then float_of_int sim_ns /. host_s else 0.);
   }
+  [@@gcsim.allow
+    "host-side harness: wall-clock timing of the simulator itself, never \
+     feeds back into simulated time"]
 
 let pp_speed (s : speed) =
   Printf.sprintf "%-28s %8.3fs host  %12s sim  %10.1f sim-us/host-ms" s.label
@@ -300,3 +305,4 @@ let print_gc_report (s : summary) =
       (fun (name, v) -> Printf.printf "  %-34s %14d\n" name v)
       counters
   end
+  [@@gcsim.allow "host-side harness: CLI report printing on stdout"]

@@ -1,0 +1,139 @@
+(** Simulated heap objects.
+
+    An object is a record holding real reference slots ([fields]) to other
+    objects, so marking genuinely traverses the graph and evacuation
+    genuinely copies.  Relocation creates a fresh record for the new copy
+    and installs it in the old copy's [forward] slot: references elsewhere
+    in the heap keep pointing at the old record, which is exactly a stale
+    reference in a concurrent copying collector, and healing replaces them
+    with {!resolve}.  The new copy shares the [fields] array (the payload
+    moved; there is one logical set of slots).
+
+    The record is concrete: collectors and the verifier read and mutate
+    fields directly on their hot paths. *)
+
+type t = {
+  id : int;  (** logical identity, preserved across copies *)
+  uid : int;  (** physical identity of this record — unique per copy,
+                  never reused; keys forwarding-install race checks *)
+  size : int;  (** bytes, header included *)
+  fields : t option array;
+  mutable region : int;
+  mutable offset : int;  (** byte offset of the header inside the region *)
+  mutable forward : t option;  (** newer copy, if relocated *)
+  mutable mark : int;  (** epoch of the last old/full marking that reached it *)
+  mutable ymark : int;
+      (** epoch of the last *young* marking that reached it — young and
+          old cycles co-run, so their mark state must not alias *)
+  mutable age : int;  (** young collections survived *)
+  mutable flags : int;
+}
+
+(** {2 Layout constants} *)
+
+val header_bytes : int
+val slot_bytes : int
+val slot_shift : int
+(** log2 [slot_bytes]: card scans shift, not divide. *)
+
+(** {2 Flag bits} *)
+
+val flag_weak_referent : int
+val flag_humongous : int
+val flag_freed : int
+
+val no_fields : t option array
+(** The shared empty field array (reference-free objects allocate none). *)
+
+(** {2 Physical identity (uids)}
+
+    Uids are minted from one per-domain counter: region ids and offsets
+    are both recycled, so only the record itself names "this copy of
+    this object" unambiguously across a whole run.  Domain-local, not
+    global: the parallel exploration/sweep drivers ([Util.Dpool]) build
+    one heap per domain, and a shared counter would interleave uid
+    streams host-nondeterministically. *)
+
+type uids = int ref
+(** A cached handle on this domain's uid counter, for paths that mint a
+    uid per allocation or per evacuation copy: resolving the DLS slot
+    once at heap creation and minting through the handle turns the
+    per-object cost into one load and one store.  The handle must live
+    in run-threaded state (e.g. {!Heap_impl.t}), mirroring the
+    {!Access.hooks} discipline — [tools/gcsim_lint] rule R4 enforces
+    this. *)
+
+val uid_source : unit -> uids
+(** Resolve this domain's uid counter once. *)
+
+val mint : uids -> int
+
+val uid_watermark : unit -> int
+(** Current value of the uid counter.  The verifier records it when a
+    marking snapshot is taken: any record with a uid at or above the
+    watermark was created (allocated or copied) after the snapshot, and
+    tri-color discipline does not constrain it. *)
+
+val reset_uids : unit -> unit
+(** Restart the uid space.  Called when a fresh heap is created
+    ({!Heap_impl.create}): uids, like virtual time, are then a pure
+    function of the run — two in-process runs of one configuration mint
+    identical uids, which is what lets the schedule-space explorer
+    promise byte-identical violation reports on replay, whether the
+    runs share a domain (sequential) or not ([-j N]). *)
+
+(** {2 Construction} *)
+
+val make_with :
+  uids:uids -> id:int -> size:int -> nrefs:int -> region:int -> offset:int -> t
+(** [make] with a cached uid handle — the allocation fast path. *)
+
+val make : id:int -> size:int -> nrefs:int -> region:int -> offset:int -> t
+(** Like {!make_with} but pays the DLS lookup; for cold paths and tests. *)
+
+(** {2 Flags} *)
+
+val has_flag : t -> int -> bool
+val set_flag : t -> int -> unit
+val clear_flag : t -> int -> unit
+val is_weak_referent : t -> bool
+val is_humongous : t -> bool
+val is_freed : t -> bool
+
+(** {2 Forwarding} *)
+
+val is_forwarded : t -> bool
+
+val set_forward : ?hooks:Access.hooks -> ?site:string -> t -> t -> unit
+(** Install the forwarding pointer of [t].  All relocation paths go
+    through here so the race detector sees every install as a [Write] on
+    the old copy's physical identity — two unordered installs on one
+    record are a double relocation.  Evacuation loops pass their heap's
+    cached [hooks] handle so a disabled detector costs one load+branch
+    per install instead of a DLS lookup. *)
+
+val set_forward_with : hooks:Access.hooks -> site:string -> t -> t -> unit
+(** [set_forward] for evacuation loops: the hooks handle is a plain
+    labeled argument, so the per-copy call does not box it in an option
+    the way [?hooks] would. *)
+
+val resolve : t -> t
+(** Newest copy of an object (identity: follows the forwarding chain). *)
+
+val forward_depth : t -> int
+(** Length of the forwarding chain, for tests and cost accounting. *)
+
+(** {2 Fields} *)
+
+val num_fields : t -> int
+
+val field_offset : t -> int -> int
+(** Byte offset of field slot [i] inside the object's region. *)
+
+val get_field : t -> int -> t option
+val set_field : t -> int -> t option -> unit
+
+val iter_fields : (int -> t -> unit) -> t -> unit
+(** Apply to each non-[None] field (index, referent). *)
+
+val pp : Format.formatter -> t -> unit

@@ -73,6 +73,7 @@ type t = {
 (* Debug aid: per-region event history, recorded when SIM_HEAP_TRACE=1. *)
 let trace_regions =
   match Sys.getenv_opt "SIM_HEAP_TRACE" with Some "1" -> true | _ -> false
+  [@@gcsim.allow "env-gated trace flag (SIM_HEAP_TRACE), read once at module init"]
 
 (* Domain-local so traced parallel sweeps don't interleave histories
    (and so the simulator core keeps zero shared mutable toplevel state,

@@ -1,0 +1,186 @@
+(** The simulated heap: a fixed array of equal-sized regions, a free list,
+    a global card table, and allocation bookkeeping shared by mutators
+    (through TLABs, see the runtime library) and GC threads (evacuation
+    destinations).
+
+    Addresses.  A heap "address" is [(region id, byte offset)]; the global
+    card index of an address is [rid * cards_per_region + offset / 512].
+    This keeps card, remembered-set and CRDT arithmetic identical to a real
+    flat address space while letting regions be recycled freely. *)
+
+type config = {
+  heap_bytes : int;
+  region_bytes : int;
+  card_bytes : int;
+  tlab_bytes : int;
+}
+
+val default_config : config
+
+val config :
+  ?heap_bytes:int ->
+  ?region_bytes:int ->
+  ?card_bytes:int ->
+  ?tlab_bytes:int ->
+  unit ->
+  config
+(** Validated constructor: [heap_bytes] must be a multiple of
+    [region_bytes], which must be a multiple of [card_bytes]. *)
+
+type t = {
+  cfg : config;
+  cpr : int;
+      (** [cfg.region_bytes / cfg.card_bytes], cached: card addressing
+          (every barrier's dirty_card goes through {!card_of}) must not
+          pay a division just to recover a config-constant ratio *)
+  costs : Costs.t;
+  uids : Gobj.uids;
+      (** this domain's uid counter, resolved once at creation — object
+          allocation and evacuation copies mint uids per object, and the
+          cached handle spares them the DLS lookup ({!Gobj.uid_source}) *)
+  hooks : Access.hooks;
+      (** this domain's metadata-access hook slot, resolved once at
+          creation ({!Access.hooks}); every hot-path log goes through it
+          so a disabled detector costs one load and one branch instead
+          of a DLS lookup per event.  Still observes hooks installed
+          after creation — [Access.set_hook] mutates the slot's
+          contents, never rebinds it. *)
+  regions : Region.t array;
+  free_q : int Queue.t;
+  mutable free_count : int;
+  card_dirty : Util.Bitset.t;  (** global card table: dirtied by stores *)
+  mutable next_obj_id : int;
+  mutable mark_epoch : int;  (** current/most recent old/full marking id *)
+  mutable young_epoch : int;  (** current/most recent young marking id *)
+  mutable allocate_live : bool;
+      (** while an old mark is running, new objects are born marked (SATB) *)
+  mutable allocate_live_young : bool;
+      (** same for a co-running young marking cycle *)
+  mutable bytes_allocated : int;  (** cumulative, for rate estimation *)
+  mutable used : int;
+      (** sum of non-free regions' bump pointers, maintained incrementally
+          so {!used_bytes} is O(1) instead of a region-array fold *)
+  mutable weak_refs : (Gobj.t * (unit -> unit) option) Util.Vec.t;
+      (** registered weak references: referent + optional callback *)
+}
+
+val create : ?costs:Costs.t -> config -> t
+(** Build a fresh heap with every region free.  Restarts the uid space
+    ({!Gobj.reset_uids}): a fresh heap is a fresh simulated world, and
+    runs must be byte-reproducible within one process (replay needs it). *)
+
+(** {2 Geometry and occupancy} *)
+
+val num_regions : t -> int
+val region : t -> int -> Region.t
+val free_regions : t -> int
+val used_regions : t -> int
+val total_cards : t -> int
+val cards_per_region : t -> int
+
+val occupancy : t -> float
+(** Occupancy as a fraction of the whole heap, at region granularity (the
+    trigger metric used by all the collectors). *)
+
+val used_bytes : t -> int
+
+val push_relocated : t -> Region.t -> Gobj.t -> unit
+(** Append an already-constructed (relocated) object at [r]'s bump
+    pointer.  GC evacuation and compaction paths must use this instead of
+    raw [Region.push_obj] so heap-level accounting stays exact. *)
+
+val begin_region_rebuild : t -> Region.t -> unit
+(** A collector about to rebuild [r] in place (full-GC slide) retires the
+    region's current contents from the incremental {!used_bytes};
+    survivors re-enter through {!push_relocated}. *)
+
+(** {2 Cards} *)
+
+val card_of : t -> rid:int -> offset:int -> int
+val card_of_field : t -> Gobj.t -> int -> int
+(** Card holding field slot [i] of [o]. *)
+
+val card_to_region : t -> int -> int
+val card_to_offset : t -> int -> int
+(** First byte offset covered by the card inside its region. *)
+
+val dirty_card : t -> int -> unit
+val card_is_dirty : t -> int -> bool
+val clean_card : t -> int -> unit
+val iter_dirty_cards : (int -> unit) -> t -> unit
+
+val scan_card : t -> int -> f:(Gobj.t -> int -> unit) -> unit
+(** Scan the objects overlapping [card] in its region, applying [f] to
+    each reference slot that falls inside the card.  The intersecting
+    field window is computed arithmetically from the slot grid, visiting
+    exactly the in-card field indices in order. *)
+
+(** {2 Region lifecycle} *)
+
+val claim_region : t -> Region.kind -> Region.t option
+(** Claim a free region for allocation of the given kind. *)
+
+val release_region : t -> Region.t -> unit
+(** Release a region back to the free list; resident (non-evacuated)
+    objects become garbage, the region's own cards are cleaned. *)
+
+val record_region_event : int -> string -> unit
+(** Append an event to a region's trace history (no-op unless
+    SIM_HEAP_TRACE=1); collectors record kind relabels through this. *)
+
+val dump_region_history : int -> string
+(** Per-region claim/release history for diagnostics; "no history"
+    unless SIM_HEAP_TRACE=1 was set at startup. *)
+
+(** {2 Object allocation} *)
+
+val fresh_obj_id : t -> int
+
+val alloc_in : t -> Region.t -> ?id:int -> size:int -> nrefs:int -> unit -> Gobj.t
+(** Allocate an object at [r]'s bump pointer.  The caller has checked
+    [Region.fits] and owns the region (mutator TLAB or GC destination).
+    When [id] is given the object is a relocated copy keeping its logical
+    identity; otherwise a fresh id is minted. *)
+
+val object_size : nrefs:int -> data_bytes:int -> int
+(** Round a requested payload size up to the slot grid, header included. *)
+
+(** {2 Marking support} *)
+
+val begin_mark : ?scope:(Region.t -> bool) -> t -> int
+(** Start a marking cycle; returns the new epoch.  [scope] restricts
+    which regions' liveness accounting is reset and later published — a
+    generational young collection marks only young regions and must not
+    clobber the old generation's results from its own marking cycle. *)
+
+val end_mark : ?scope:(Region.t -> bool) -> t -> unit
+val is_marked : t -> Gobj.t -> bool
+
+val mark_object : t -> Gobj.t -> bool
+(** Mark [o] in the current old epoch; returns false if it already was.
+    Also accounts region live bytes and sets the region's live bitmap. *)
+
+(** Young-generation marking: an independent mark word and epoch so a
+    young cycle can overlap an old cycle without corrupting it. *)
+
+val begin_young_mark : t -> int
+val end_young_mark : t -> unit
+val is_marked_young : t -> Gobj.t -> bool
+val mark_object_young : t -> Gobj.t -> bool
+
+(** {2 Weak references} *)
+
+val register_weak : t -> Gobj.t -> callback:(unit -> unit) option -> unit
+
+val process_weak_refs : t -> alive:(Gobj.t -> bool) -> int * int
+(** Process registered weak references: referents judged dead by [alive]
+    are dropped (their callbacks run) and the rest survive.  Tracing
+    collectors pass a mark test; young-only collections pass a
+    freed-region test.  Returns (survivors, cleared). *)
+
+val process_weak_refs_marked : t -> int * int
+(** Weak processing against the current mark (old/full collections). *)
+
+val process_weak_refs_freed_only : t -> int * int
+(** Weak processing for young-only collections: a referent is dead only
+    when its region was reclaimed (freed flag). *)

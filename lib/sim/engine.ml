@@ -419,6 +419,7 @@ let next_wake_ns t =
     escaping any thread.  Raises {!Deadlock} when progress is impossible. *)
 let debug_heartbeat =
   match Sys.getenv_opt "SIM_DEBUG" with Some "1" -> true | _ -> false
+  [@@gcsim.allow "env-gated debug flag (SIM_DEBUG), read once at module init"]
 
 let run ?until t =
   let limit = match until with Some u -> u | None -> max_int in
@@ -431,7 +432,7 @@ let run ?until t =
        && t.live_nondaemon > 0
        && t.clock < limit
      do
-       (if debug_heartbeat then begin
+       ((if debug_heartbeat then begin
           incr rounds;
           if !rounds land 0x3FFF = 0 then begin
             Printf.eprintf "[sim] clock=%.3fs runnable=%d sleepers=%d\n%!"
@@ -449,7 +450,8 @@ let run ?until t =
                     | Finished -> "finished"))
               t.all_threads
           end
-        end);
+        end)
+       [@gcsim.allow "debug heartbeat on stderr, dead unless SIM_DEBUG=1"]);
        wake_due_sleepers t;
        if Queue.is_empty t.runq then begin
          let w = next_wake_ns t in

@@ -6,9 +6,33 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== purity lint (simulator core must stay deterministic) =="
-bash scripts/lint_purity.sh
+echo "== lint-ast (simulator core must stay deterministic) =="
+# Build the analyzer, prove it still catches planted violations of each
+# rule, then hold the real tree to it (R1-R4, see DESIGN.md §10).
+dune build tools/gcsim_lint/main.exe
 bash scripts/lint_purity.sh --self-test
+bash scripts/lint_purity.sh
+
+echo "== lint-ast adversarial probe (a planted violation must fail) =="
+# The self-test runs on fixtures; this plants a real violation in the
+# real tree — an aliased module hiding host randomness — and asserts the
+# lint rejects it.  Guards against the analyzer silently linting the
+# wrong directories or losing its alias resolution.
+probe=lib/sim/ci_probe_deleteme.ml
+printf 'module R = Random\nlet x = R.int 3\n' > "$probe"
+if bash scripts/lint_purity.sh > /tmp/ci_lint_probe.txt 2>&1; then
+  rm -f "$probe"
+  echo "lint-ast probe FAILED: planted R1 violation was not caught" >&2
+  cat /tmp/ci_lint_probe.txt >&2
+  exit 1
+fi
+rm -f "$probe"
+grep -q 'ci_probe_deleteme.*R1' /tmp/ci_lint_probe.txt || {
+  echo "lint-ast probe FAILED: rejection did not name the probe/R1" >&2
+  cat /tmp/ci_lint_probe.txt >&2
+  exit 1
+}
+echo "lint-ast probe OK (planted violation rejected)"
 
 echo "== dune build =="
 dune build

@@ -9,181 +9,40 @@
 # with test output — silently breaks that contract, so new uses fail CI
 # here rather than surfacing as an unreproducible replay much later.
 #
-# Two rules:
+# This script is a thin wrapper over the AST-grounded analyzer in
+# tools/gcsim_lint (built on compiler-libs), which replaced the old
+# regex scan.  Rules (see DESIGN.md §10):
 #
-#   1. Forbidden host-facing calls (Unix.*, Sys.time, Random.*, print*,
-#      ...) anywhere in the linted directories.
-#   2. No toplevel mutable cell (ref / Hashtbl.create / Atomic.make /
-#      Buffer.create / Queue.create / Array.make / Bytes.*) outside
-#      Domain.DLS.new_key.  Cross-run state that lives in a module-level
-#      cell leaks between runs sharing a process and, worse, between
-#      domains when the explorer or a table sweep fans out (-j N); the
-#      only sanctioned homes for mutable simulator state are a value
-#      threaded through the run (e.g. a field of Rt.t) or a
-#      domain-local slot (Domain.DLS).  The same rule covers toplevel
-#      caching of the Access.hooks handle: the handle is a ref into one
-#      domain's DLS slot, so a module-level "let h = Access.hooks ()"
-#      would alias the linting domain's detector into every other
-#      domain's runs — cache it in run-threaded state only (see
-#      lib/heap/access.ml).
+#   R1  forbidden host-effect primitives (Unix.*, Random.*, Sys.time /
+#       getenv, print*, Hashtbl.hash, Format.std_formatter, ...), seen
+#       through module aliases, opens and functor arguments;
+#   R2  toplevel mutable cells (ref / Hashtbl.create / Atomic.make /
+#       Array.make / ...) outside Domain.DLS.new_key — including cells
+#       built in toplevel "let () = ..." initializers and lazy blocks;
+#   R3  transitive effect taint: a lib/util helper that touches a
+#       forbidden primitive taints every simulator-core caller, and the
+#       full call chain is printed;
+#   R4  DLS-handle caching discipline: Access.hooks () / Gobj.uid_source
+#       () results may only be bound inside function bodies or
+#       run-threaded records, never at module toplevel.
 #
-# Known-benign uses (env-gated stderr debug heartbeats) live in
-# scripts/purity_allowlist.txt as "<file> <pattern>" lines; rule 2 hits
-# use the pseudo-pattern "mutable-cell".
+# Deliberate exemptions are annotated in-source with
+#   [@gcsim.allow "reason"]   (expressions)
+#   [@@gcsim.allow "reason"]  (toplevel bindings)
+# and stale annotations — ones that no longer suppress anything — fail
+# the lint, so paid-off debt is retired automatically.
 #
-# --self-test exercises the lint against a synthetic tree containing a
-# violation of each rule and exits nonzero if either slips through.
+# Usage:
+#   scripts/lint_purity.sh               lint the real simulator core
+#   scripts/lint_purity.sh --self-test   run the analyzer's fixture tree
+#   scripts/lint_purity.sh --json        machine-readable diagnostics
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-DIRS="lib/sim lib/core lib/heap lib/collectors"
-PATTERNS='Unix\.|Sys\.time|Sys\.getenv|Random\.|Hashtbl\.hash|Printf\.printf|Printf\.eprintf|print_endline|print_string|print_newline'
-ALLOW=scripts/purity_allowlist.txt
+LINTED="lib/sim lib/core lib/heap lib/collectors"
+AUX="--aux lib/util --aux lib/runtime --aux lib/experiments"
 
-# Toplevel mutable-cell scan (rule 2).  Joins "let x ... =" with its
-# continuation line so wrapped definitions are still seen; skips
-# Domain.DLS.new_key initialisers (the ref there is domain-local).
-# Matches only name-then-optional-type-annotation bindings: "let f x =
-# ref ..." is a function allocating per call, not a toplevel cell.
-scan_mutable_cells() {
-  # shellcheck disable=SC2086
-  for f in $(find $1 -name '*.ml' | sort); do
-    awk -v FILE="$f" '
-      function check(text, ln) {
-        if (text ~ /^let [a-z_][A-Za-z0-9_'\'']*([ \t]*:[^=]*)?[ \t]*=[ \t]*(ref([ \t(]|$)|Hashtbl\.create|Queue\.create|Stack\.create|Buffer\.create|Atomic\.make|Array\.(make|create|init)|Bytes\.(make|create)|([A-Za-z0-9_.]*\.)?(Access\.)?hooks[ \t]*\(\))/ \
-            && text !~ /Domain\.DLS\.new_key/) {
-          printf "%s\t%d\t%s\n", FILE, ln, text
-        }
-      }
-      {
-        if (pending != "") { check(pending " " $0, pline); pending = "" }
-        if ($0 ~ /^let /) {
-          if ($0 ~ /=[ \t]*$/) { pending = $0; pline = NR } else check($0, NR)
-        }
-      }
-    ' "$f"
-  done
-}
+dune build tools/gcsim_lint/main.exe 2>&1
 
-run_lint() {
-  local dirs=$1 allow=$2
-  local fail_marker seen_pairs
-  seen_pairs=$(mktemp)
-  fail_marker="$seen_pairs.fail"
-  # shellcheck disable=SC2064
-  trap "rm -f '$seen_pairs' '$fail_marker'" RETURN
-
-  # Rule 1: forbidden host-facing calls.
-  # shellcheck disable=SC2086
-  grep -rnE "$PATTERNS" $dirs --include='*.ml' --include='*.mli' |
-    while IFS= read -r hit; do
-      file=${hit%%:*}
-      rest=${hit#*:}
-      line=${rest%%:*}
-      text=${rest#*:}
-      # A line may match several patterns; check each one.
-      printf '%s\n' "$text" | grep -oE "$PATTERNS" | sort -u |
-        while IFS= read -r pattern; do
-          if grep -qF -- "$file $pattern" "$allow"; then
-            printf '%s %s\n' "$file" "$pattern" >>"$seen_pairs"
-          else
-            printf 'purity: %s:%s: disallowed %s\n  %s\n' \
-              "$file" "$line" "$pattern" "$text" >&2
-            touch "$fail_marker"
-          fi
-        done
-    done
-
-  # Rule 2: toplevel mutable cells outside Domain.DLS.
-  while IFS=$'\t' read -r file line text; do
-    [ -n "$file" ] || continue
-    if grep -qF -- "$file mutable-cell" "$allow"; then
-      printf '%s mutable-cell\n' "$file" >>"$seen_pairs"
-    else
-      printf 'purity: %s:%s: toplevel mutable cell outside Domain.DLS\n  %s\n' \
-        "$file" "$line" "$text" >&2
-      touch "$fail_marker"
-    fi
-  done < <(scan_mutable_cells "$dirs")
-
-  if [ -e "$fail_marker" ]; then
-    echo "purity lint FAILED: host nondeterminism in the simulator core." >&2
-    echo "If this is env-gated debug output, add '<file> <pattern>' to $allow;" >&2
-    echo "mutable state belongs in Rt.t or a Domain.DLS slot, not a toplevel cell." >&2
-    return 1
-  fi
-
-  # Stale allowlist entries mean the debt was paid off: retire them.
-  local stale=0
-  while IFS= read -r entry; do
-    case $entry in ''|'#'*) continue ;; esac
-    if ! grep -qxF -- "$entry" "$seen_pairs"; then
-      echo "purity: stale allowlist entry (no matching hit): $entry" >&2
-      stale=1
-    fi
-  done <"$allow"
-  if [ "$stale" -ne 0 ]; then
-    echo "purity lint FAILED: remove stale entries from $allow." >&2
-    return 1
-  fi
-
-  echo "purity lint OK ($(grep -cvE '^(#|$)' "$allow") allowlisted hits)"
-}
-
-self_test() {
-  local tmp rc
-  tmp=$(mktemp -d)
-  # shellcheck disable=SC2064
-  trap "rm -rf '$tmp'" RETURN
-  mkdir -p "$tmp/lib/sim"
-  : >"$tmp/allow.txt"
-
-  # A clean file must pass.
-  cat >"$tmp/lib/sim/good.ml" <<'EOF'
-let key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
-let bump () = incr (Domain.DLS.get key)
-let make_counter () = ref 0
-EOF
-  if ! run_lint "$tmp/lib/sim" "$tmp/allow.txt" >/dev/null 2>&1; then
-    echo "purity self-test FAILED: clean tree rejected" >&2
-    return 1
-  fi
-
-  # Each planted violation must be caught on its own.
-  local i=0
-  while IFS= read -r bad; do
-    i=$((i + 1))
-    printf '%s\n' "$bad" >"$tmp/lib/sim/bad.ml"
-    if run_lint "$tmp/lib/sim" "$tmp/allow.txt" >/dev/null 2>&1; then
-      echo "purity self-test FAILED: violation not caught: $bad" >&2
-      rm -f "$tmp/lib/sim/bad.ml"
-      return 1
-    fi
-    rm -f "$tmp/lib/sim/bad.ml"
-  done <<'EOF'
-let () = Random.self_init ()
-let seed = Random.int 1000
-let counter = ref 0
-let table = Hashtbl.create 16
-let slots = Atomic.make 0
-let now () = Unix.gettimeofday ()
-let hook_cache : (int -> unit) option ref = ref None
-let cached = Heap.Access.hooks ()
-EOF
-
-  # The allowlist must still work for rule 2's pseudo-pattern.
-  printf 'let counter = ref 0\n' >"$tmp/lib/sim/bad.ml"
-  printf '%s/lib/sim/bad.ml mutable-cell\n' "$tmp" >"$tmp/allow.txt"
-  if ! run_lint "$tmp/lib/sim" "$tmp/allow.txt" >/dev/null 2>&1; then
-    echo "purity self-test FAILED: allowlisted mutable cell rejected" >&2
-    return 1
-  fi
-
-  echo "purity self-test OK ($i violations caught)"
-}
-
-if [ "${1:-}" = "--self-test" ]; then
-  self_test
-else
-  run_lint "$DIRS" "$ALLOW"
-fi
+# shellcheck disable=SC2086
+exec dune exec --no-build tools/gcsim_lint/main.exe -- "$@" $LINTED $AUX

@@ -1,0 +1,242 @@
+(* The AST lint is itself part of the determinism story: it is what keeps
+   toplevel mutable cells, ambient randomness and smuggled host effects
+   out of the simulator core now that exploration fans out over domains.
+   These tests drive [Lint_core] in-process (no child dune invocation —
+   nested [dune exec] under [dune runtest] deadlocks on the build lock):
+
+   - each rule R1-R4 fires on a minimal synthetic source;
+   - the tricky negatives (aliased modules, shadowed [Random], DLS-wrapped
+     cells, allow attributes) stay silent;
+   - the planted-violation fixture tree under tools/gcsim_lint passes the
+     analyzer's own self-test;
+   - diagnostics round-trip through the JSON encoding CI consumes;
+   - and the real lib/{sim,core,heap,collectors} tree lints clean — the
+     fence that keeps future sessions honest. *)
+
+let src ?(file = "synth/sim/probe.ml") ?(modpath = [ "Sim"; "Probe" ])
+    ?(linted = true) text =
+  Lint_core.{ src_file = file; src_text = text; src_modpath = modpath;
+              src_linted = linted }
+
+let rules diags =
+  List.map (fun d -> Lint_core.rule_to_string d.Lint_core.rule) diags
+  |> List.sort_uniq compare
+
+let check_rules name expected text =
+  Alcotest.(check (list string)) name expected (rules (Lint_core.run [ src text ]))
+
+(* ------------------------------------------------------------------ *)
+(* R1: forbidden host-effect primitives, through every disguise. *)
+
+let test_r1_direct () =
+  check_rules "direct Random.int" [ "R1" ] "let f () = Random.int 3\n"
+
+let test_r1_alias () =
+  (* The acceptance-criteria probe: an aliased module must not hide the
+     primitive from the lint. *)
+  check_rules "module alias" [ "R1" ]
+    "module R = Random\nlet x = R.int 3\n"
+
+let test_r1_open () =
+  check_rules "open Unix" [ "R1" ]
+    "open Unix\nlet f () = gettimeofday ()\n"
+
+let test_r1_forbidden_value () =
+  check_rules "Sys.getenv" [ "R1" ] "let f () = Sys.getenv \"HOME\"\n";
+  check_rules "Hashtbl.hash" [ "R1" ] "let f x = Hashtbl.hash x\n";
+  check_rules "print_endline" [ "R1" ] "let f () = print_endline \"hi\"\n"
+
+let test_r1_stdlib_prefix () =
+  check_rules "Stdlib.Random" [ "R1" ] "let f () = Stdlib.Random.bits ()\n"
+
+(* Negatives: a locally-defined [Random] shadows the forbidden one, and
+   sprintf is pure. *)
+let test_r1_shadowed () =
+  check_rules "shadowed Random" []
+    "module Random = struct let int _ = 0 end\nlet x = Random.int 3\n";
+  check_rules "Printf.sprintf is pure" []
+    "let f n = Printf.sprintf \"%d\" n\n"
+
+let test_r1_allow () =
+  check_rules "allow suppresses" []
+    "let f () = (print_endline \"hi\") [@gcsim.allow \"test exemption\"]\n"
+
+let test_stale_allow () =
+  check_rules "stale allow reported" [ "allow" ]
+    "let f x = (x + 1) [@gcsim.allow \"nothing here\"]\n"
+
+(* ------------------------------------------------------------------ *)
+(* R2: toplevel mutable cells. *)
+
+let test_r2_ref () =
+  check_rules "toplevel ref" [ "R2" ] "let cell = ref 0\n"
+
+let test_r2_creators () =
+  check_rules "toplevel Hashtbl" [ "R2" ] "let h = Hashtbl.create 16\n";
+  check_rules "toplevel Atomic" [ "R2" ] "let a = Atomic.make 0\n";
+  check_rules "toplevel Buffer" [ "R2" ] "let b = Buffer.create 64\n"
+
+let test_r2_let_unit () =
+  (* Cells born inside toplevel [let () = ...] initializers still
+     evaluate at module init. *)
+  check_rules "cell in let ()" [ "R2" ]
+    "let tbl = [||]\nlet () = ignore tbl; ignore (ref 1)\n"
+
+let test_r2_lazy () =
+  (* [lazy] delays evaluation but the cell still outlives any run once
+     forced; the lint treats lazy blocks as toplevel. *)
+  check_rules "cell under lazy" [ "R2" ] "let l = lazy (ref 0)\n"
+
+let test_r2_negatives () =
+  check_rules "DLS-wrapped cell" []
+    "let k = Domain.DLS.new_key (fun () -> ref 0)\n";
+  check_rules "cell inside function" [] "let f () = ref 0\n";
+  check_rules "immutable toplevel" [] "let x = 42\nlet l = [ 1; 2 ]\n"
+
+(* ------------------------------------------------------------------ *)
+(* R3: transitive effect taint across files, with the chain printed. *)
+
+let test_r3_chain () =
+  let util =
+    src ~file:"synth/util/leak.ml" ~modpath:[ "Util"; "Leak" ] ~linted:false
+      "let entropy () = Random.bits ()\n"
+  in
+  let caller =
+    src ~file:"synth/sim/uses.ml" ~modpath:[ "Sim"; "Uses" ]
+      "let jitter () = Util.Leak.entropy () land 7\n"
+  in
+  let diags = Lint_core.run [ util; caller ] in
+  let r3 =
+    List.filter (fun d -> d.Lint_core.rule = Lint_core.R3) diags
+  in
+  Alcotest.(check int) "one R3 diagnostic" 1 (List.length r3);
+  let d = List.hd r3 in
+  Alcotest.(check string) "flagged in the linted caller" "synth/sim/uses.ml"
+    d.Lint_core.file;
+  Alcotest.(check bool) "chain ends at the primitive" true
+    (match List.rev d.Lint_core.chain with
+    | last :: _ -> last = "Random.bits"
+    | [] -> false)
+
+let test_r3_clean_helper () =
+  let util =
+    src ~file:"synth/util/pure.ml" ~modpath:[ "Util"; "Pure" ] ~linted:false
+      "let double x = x * 2\n"
+  in
+  let caller =
+    src ~file:"synth/sim/uses.ml" ~modpath:[ "Sim"; "Uses" ]
+      "let f x = Util.Pure.double x\n"
+  in
+  Alcotest.(check (list string)) "pure helper stays clean" []
+    (rules (Lint_core.run [ util; caller ]))
+
+(* ------------------------------------------------------------------ *)
+(* R4: DLS handle caching discipline. *)
+
+let test_r4_toplevel_handle () =
+  check_rules "toplevel Access.hooks ()" [ "R4" ]
+    "let h = Access.hooks ()\n";
+  check_rules "toplevel Gobj.uid_source ()" [ "R4" ]
+    "let u = Gobj.uid_source ()\n"
+
+let test_r4_negatives () =
+  check_rules "handle resolved inside function" []
+    "let make () = Access.hooks ()\n";
+  check_rules "handle bound in record build" []
+    "type t = { h : int }\nlet create () = { h = 0 }\n"
+
+(* ------------------------------------------------------------------ *)
+(* JSON round-trip. *)
+
+let test_json_roundtrip () =
+  let diags =
+    Lint_core.run
+      [
+        src "let cell = ref 0\nlet f () = Random.int 3\n";
+        src ~file:"synth/sim/b.ml" ~modpath:[ "Sim"; "B" ]
+          "let h = Access.hooks ()\n";
+      ]
+  in
+  Alcotest.(check bool) "produced diagnostics" true (diags <> []);
+  let parsed = Lint_core.diags_of_json (Lint_core.diags_to_json diags) in
+  Alcotest.(check bool) "round-trips exactly" true (parsed = diags)
+
+(* ------------------------------------------------------------------ *)
+(* The fixture tree's own self-test (same entry CI uses). *)
+
+(* Under [dune runtest] the cwd is [_build/default/test]; under a direct
+   [dune exec] it is the repo root.  Probe rather than assume. *)
+let root = if Sys.file_exists "tools/gcsim_lint" then "." else ".."
+
+let fixtures_dir =
+  Filename.concat
+    (Filename.concat (Filename.concat root "tools") "gcsim_lint")
+    "fixtures"
+
+let test_fixture_self_test () =
+  match Lint_core.self_test ~fixtures_dir with
+  | Ok n ->
+      Alcotest.(check bool)
+        "fixture tree is non-trivial (>= 20 files)" true (n >= 20)
+  | Error reasons ->
+      Alcotest.fail (String.concat "\n" reasons)
+
+(* ------------------------------------------------------------------ *)
+(* Fence: the real simulator core lints clean. *)
+
+let test_real_tree_clean () =
+  let lib d = Filename.concat root (Filename.concat "lib" d) in
+  let diags, nfiles =
+    Lint_core.run_dirs
+      ~linted_dirs:[ lib "sim"; lib "core"; lib "heap"; lib "collectors" ]
+      ~aux_dirs:[ lib "util"; lib "runtime"; lib "experiments" ]
+  in
+  Alcotest.(check bool) "saw the whole tree (>= 30 files)" true (nfiles >= 30);
+  match diags with
+  | [] -> ()
+  | ds ->
+      Alcotest.fail
+        (Printf.sprintf "real tree has %d lint diagnostics:\n%s"
+           (List.length ds)
+           (String.concat "\n" (List.map Lint_core.diag_to_string ds)))
+
+let () =
+  Alcotest.run "lint-ast"
+    [
+      ( "r1-forbidden-primitives",
+        [
+          Alcotest.test_case "direct call" `Quick test_r1_direct;
+          Alcotest.test_case "module alias" `Quick test_r1_alias;
+          Alcotest.test_case "open" `Quick test_r1_open;
+          Alcotest.test_case "forbidden values" `Quick test_r1_forbidden_value;
+          Alcotest.test_case "Stdlib prefix" `Quick test_r1_stdlib_prefix;
+          Alcotest.test_case "shadowing is respected" `Quick test_r1_shadowed;
+          Alcotest.test_case "allow suppresses" `Quick test_r1_allow;
+          Alcotest.test_case "stale allow reported" `Quick test_stale_allow;
+        ] );
+      ( "r2-toplevel-cells",
+        [
+          Alcotest.test_case "ref" `Quick test_r2_ref;
+          Alcotest.test_case "other creators" `Quick test_r2_creators;
+          Alcotest.test_case "let () initializer" `Quick test_r2_let_unit;
+          Alcotest.test_case "lazy" `Quick test_r2_lazy;
+          Alcotest.test_case "negatives" `Quick test_r2_negatives;
+        ] );
+      ( "r3-taint",
+        [
+          Alcotest.test_case "cross-file chain" `Quick test_r3_chain;
+          Alcotest.test_case "pure helper clean" `Quick test_r3_clean_helper;
+        ] );
+      ( "r4-dls-handles",
+        [
+          Alcotest.test_case "toplevel handle" `Quick test_r4_toplevel_handle;
+          Alcotest.test_case "negatives" `Quick test_r4_negatives;
+        ] );
+      ( "plumbing",
+        [
+          Alcotest.test_case "JSON round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "fixture self-test" `Quick test_fixture_self_test;
+        ] );
+      ( "fence",
+        [ Alcotest.test_case "real tree clean" `Quick test_real_tree_clean ] );
+    ]

@@ -1,0 +1,6 @@
+(* expect: R1 *)
+(* The adversarial aliasing probe from the acceptance criteria: the
+   regex lint looked for "Random\." and provably missed this. *)
+module R = Random
+
+let x = R.int 3

@@ -1,0 +1,6 @@
+(* expect: R1 *)
+(* Alias of an alias, with a Stdlib spelling thrown in. *)
+module U = Stdlib.Unix
+module V = U
+
+let now () = V.gettimeofday ()

@@ -1,0 +1,3 @@
+(* expect: R1 *)
+(* Direct host-randomness call: the case even the old regex caught. *)
+let roll () = Random.int 6

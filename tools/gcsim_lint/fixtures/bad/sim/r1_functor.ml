@@ -1,0 +1,9 @@
+(* expect: R1 *)
+(* Smuggling a host-effect module through a functor argument. *)
+module type S = sig end
+
+module F (X : S) = struct
+  let go () = ()
+end
+
+module M = F (Random)

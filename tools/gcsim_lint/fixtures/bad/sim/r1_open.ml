@@ -1,0 +1,5 @@
+(* expect: R1 *)
+(* A local open erases the module prefix the regex keyed on. *)
+let f () =
+  let open Random in
+  self_init ()

@@ -1,0 +1,6 @@
+(* expect: R1 *)
+(* Printf is fine (sprintf is pure) but printf/eprintf write to host
+   std streams; an open hides the qualifier. *)
+open Printf
+
+let report x = printf "%d\n" x

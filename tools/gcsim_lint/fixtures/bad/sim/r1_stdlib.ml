@@ -1,0 +1,5 @@
+(* expect: R1 *)
+(* Stdlib-qualified spelling of a bare forbidden primitive, plus a
+   formatter identifier used without being called. *)
+let log msg = Stdlib.print_endline msg
+let fmt = Format.std_formatter

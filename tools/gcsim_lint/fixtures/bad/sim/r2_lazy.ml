@@ -1,0 +1,6 @@
+(* expect: R2 *)
+(* lazy defers the creation but the forced cell is still shared
+   process-wide state — and it leaks across domains under -j N. *)
+let table = lazy (Hashtbl.create 16)
+
+let find k = Hashtbl.find_opt (Lazy.force table) k

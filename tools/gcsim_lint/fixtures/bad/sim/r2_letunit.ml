@@ -1,0 +1,6 @@
+(* expect: R2 *)
+(* A cell minted inside a toplevel initializer is still a toplevel
+   cell, even though the binding pattern is (). *)
+let registry = Hashtbl.create 16 |> fun h -> h
+
+let () = ignore (Queue.create ())

@@ -1,0 +1,7 @@
+(* expect: R2 *)
+(* A nested module's toplevel is still module-initialization time. *)
+module Pool = struct
+  let slots = Array.make 8 0
+end
+
+let get i = Pool.slots.(i)

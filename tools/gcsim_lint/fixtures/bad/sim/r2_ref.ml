@@ -1,0 +1,6 @@
+(* expect: R2 *)
+(* The classic: module-level cell shared by every run in the process
+   (and by every domain under -j N). *)
+let counter = ref 0
+
+let bump () = incr counter

@@ -1,0 +1,8 @@
+(* expect: R3 *)
+(* Transitive effect taint: nothing here mentions Random, but the call
+   graph bottoms out in Leaky.entropy (fixtures/bad/util/leaky.ml).
+   Both the direct caller and the caller-of-the-caller are tainted; the
+   diagnostic prints the whole chain. *)
+let jitter () = Leaky.entropy () land 0xff
+
+let arrival_delay base = base + jitter ()

@@ -1,0 +1,9 @@
+(* expect: R4 *)
+(* Caching a DLS handle at module toplevel aliases the linting domain's
+   detector slot into every other domain's runs (PR 5 discipline).
+   Both the direct and the aliased spelling must be caught. *)
+let cached = Access.hooks ()
+
+module G = Gobj
+
+let uids = G.uid_source ()

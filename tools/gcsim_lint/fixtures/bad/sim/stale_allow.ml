@@ -1,0 +1,4 @@
+(* expect: allow *)
+(* An allow that suppresses nothing is paid-off debt: remove it.  This
+   mirrors the old shell lint's stale-allowlist check. *)
+let add x y = x + y [@@gcsim.allow "nothing to suppress here"]

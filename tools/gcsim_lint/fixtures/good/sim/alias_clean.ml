@@ -1,0 +1,9 @@
+(* Tricky negative: an alias of a *clean* local module whose function
+   names collide with forbidden ones (int, printf-ish helpers). *)
+module Rng = struct
+  let int n = n - 1
+end
+
+module R = Rng
+
+let x = R.int 3

@@ -1,0 +1,9 @@
+(* Tricky negative: a DLS-wrapped cell is the sanctioned home for
+   domain-local state; the ref/Hashtbl creations live inside the
+   new_key initializer closure, not at module toplevel. *)
+let counter_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+let history_key : (int, string) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+
+let bump () = incr (Domain.DLS.get counter_key)

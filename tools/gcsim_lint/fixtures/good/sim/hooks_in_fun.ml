@@ -1,0 +1,8 @@
+(* Tricky negative: resolving a DLS handle *inside* a function body and
+   threading it through run state is exactly the PR 5 discipline R4
+   exists to protect. *)
+type run = { hooks : unit -> unit }
+
+let create () =
+  let hooks = Access.hooks () in
+  { hooks }

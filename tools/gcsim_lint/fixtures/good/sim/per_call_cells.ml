@@ -1,0 +1,12 @@
+(* Tricky negative: cells minted inside function bodies are per-call
+   state, not cross-run state — including a constructor function whose
+   whole body is a creation, and a closure factory. *)
+let make_counter () = ref 0
+
+let make_table n = Hashtbl.create n
+
+let make_gen seed =
+  let state = ref seed in
+  fun () ->
+    state := (!state * 25214903917) + 11;
+    !state

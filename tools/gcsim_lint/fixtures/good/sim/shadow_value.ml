@@ -1,0 +1,5 @@
+(* Tricky negative: a toplevel value that shadows a bare forbidden
+   primitive name. *)
+let print_endline _ = ()
+
+let shout msg = print_endline msg

@@ -1,0 +1,1094 @@
+(** AST-grounded determinism & effect-discipline analyzer for the
+    simulator core (the engine behind [scripts/lint_purity.sh]).
+
+    The simulator core — [lib/{sim,core,heap,collectors}] — must be a
+    pure function of its inputs: the schedule-space explorer replays
+    runs bit-for-bit, the [-j N] fan-out runs one simulation per domain,
+    and cross-collector diffs assume byte-identical traces.  The old
+    enforcement was a grep over source text, which cannot see through
+    [module R = Random], [let open Unix in ...], or a helper in
+    [lib/util] that launders a host effect.  This analyzer walks the
+    parsetree ([compiler-libs]) with a per-file resolved-path
+    environment instead.
+
+    Rules (see DESIGN.md §10 for the full catalog):
+
+    - {b R1} — forbidden host-effect primitives ([Unix.*], [Random.*],
+      [Sys.time]/[getenv], [print*], [Printf.printf]/[eprintf],
+      [Format.std_formatter], [Hashtbl.hash], ...) reached through any
+      spelling: direct, aliased ([module R = Random]), opened ([open] /
+      [let open]), [Stdlib]-qualified, or smuggled into a functor as an
+      argument.  Locally-defined modules and toplevel values that shadow
+      a forbidden name are recognized and stay silent.
+    - {b R2} — toplevel mutable-cell creation ([ref], [Atomic.make],
+      [Hashtbl.create], [Buffer.create], [Queue.create], [Stack.create],
+      [Array.make/init], [Bytes.create], [Util.Vec.create]) outside a
+      [Domain.DLS.new_key] initializer, including cells hidden inside
+      toplevel [let () = ...] initializers, [lazy] blocks, and nested
+      modules.  A cell minted inside a function body is per-call state
+      and fine.
+    - {b R3} — transitive effect taint: a function whose body uses a
+      forbidden primitive taints every function that (transitively)
+      calls it, across files and libraries, so [lib/util] helpers cannot
+      smuggle host effects into the core.  Diagnostics print the full
+      call chain down to the primitive.
+    - {b R4} — DLS-handle-caching discipline: [Access.hooks ()] /
+      [Gobj.uid_source ()] resolve a handle into {e this domain's} DLS
+      slot and may only be bound inside function bodies (run-threaded
+      state); caching one at module toplevel aliases the linting
+      domain's slot into every other domain's runs.
+
+    Allowlisting is in-source: [[@gcsim.allow "reason"]] on an
+    expression, [[@@gcsim.allow "reason"]] on a binding or module, or
+    [[@@@gcsim.allow "reason"]] for a whole file.  An attribute that
+    suppresses nothing is itself an error ("stale allow"), mirroring the
+    old stale-allowlist check, so paid-off debt is retired.
+
+    Files are classified {e linted} (R1–R4 enforced) or {e aux} (parsed
+    only so the taint pass can see through them: [lib/util],
+    [lib/runtime], [lib/experiments]).  Diagnostics are
+    [file:line:col [rule] message], or JSON with [--json]. *)
+
+(* ------------------------------------------------------------------ *)
+(* Diagnostics.                                                        *)
+
+type rule = R1 | R2 | R3 | R4 | Parse | Allow
+
+let rule_to_string = function
+  | R1 -> "R1"
+  | R2 -> "R2"
+  | R3 -> "R3"
+  | R4 -> "R4"
+  | Parse -> "parse"
+  | Allow -> "allow"
+
+let rule_of_string = function
+  | "R1" -> Some R1
+  | "R2" -> Some R2
+  | "R3" -> Some R3
+  | "R4" -> Some R4
+  | "parse" -> Some Parse
+  | "allow" -> Some Allow
+  | _ -> None
+
+type diag = {
+  file : string;
+  line : int;
+  col : int;
+  rule : rule;
+  message : string;
+  chain : string list;
+      (** R3 only: the tainted call chain, callee first, primitive last *)
+}
+
+let diag_to_string d =
+  let chain =
+    match d.chain with
+    | [] -> ""
+    | c -> Printf.sprintf "\n  chain: %s" (String.concat " -> " c)
+  in
+  Printf.sprintf "%s:%d:%d [%s] %s%s" d.file d.line d.col
+    (rule_to_string d.rule) d.message chain
+
+(* ------------------------------------------------------------------ *)
+(* JSON (emit + parse — only the shape we emit, for CI round-trips).   *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let diag_to_json d =
+  Printf.sprintf
+    {|{"file":"%s","line":%d,"col":%d,"rule":"%s","message":"%s","chain":[%s]}|}
+    (json_escape d.file) d.line d.col (rule_to_string d.rule)
+    (json_escape d.message)
+    (String.concat "," (List.map (fun c -> "\"" ^ json_escape c ^ "\"") d.chain))
+
+let diags_to_json ds =
+  "[" ^ String.concat ",\n " (List.map diag_to_json ds) ^ "]"
+
+exception Json_error of string
+
+(* A minimal recursive-descent reader for the subset of JSON that
+   [diags_to_json] emits (strings with escapes, ints, flat arrays of
+   objects).  Exists so CI consumers and the round-trip test need no
+   external dependency. *)
+let diags_of_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let error msg = raise (Json_error (Printf.sprintf "%s at %d" msg !pos)) in
+  let peek () = if !pos < n then s.[!pos] else '\255' in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\n' | '\t' | '\r' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if peek () <> c then error (Printf.sprintf "expected %c" c);
+    incr pos
+  in
+  let string_ () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then error "unterminated string";
+      match s.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+          incr pos;
+          (match peek () with
+          | '"' -> Buffer.add_char b '"'; incr pos
+          | '\\' -> Buffer.add_char b '\\'; incr pos
+          | 'n' -> Buffer.add_char b '\n'; incr pos
+          | 't' -> Buffer.add_char b '\t'; incr pos
+          | 'u' ->
+              if !pos + 4 >= n then error "bad \\u escape";
+              let code = int_of_string ("0x" ^ String.sub s (!pos + 1) 4) in
+              Buffer.add_char b (Char.chr (code land 0xff));
+              pos := !pos + 5
+          | c -> error (Printf.sprintf "bad escape \\%c" c));
+          go ()
+      | c -> Buffer.add_char b c; incr pos; go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let int_ () =
+    skip_ws ();
+    let start = !pos in
+    if peek () = '-' then incr pos;
+    while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do incr pos done;
+    if !pos = start then error "expected int";
+    int_of_string (String.sub s start (!pos - start))
+  in
+  let rec array_of f acc =
+    skip_ws ();
+    if peek () = ']' then (incr pos; List.rev acc)
+    else
+      let v = f () in
+      skip_ws ();
+      if peek () = ',' then (incr pos; array_of f (v :: acc))
+      else (expect ']'; List.rev (v :: acc))
+  in
+  let object_ () =
+    expect '{';
+    let fields = ref [] in
+    skip_ws ();
+    if peek () = '}' then incr pos
+    else begin
+      let rec go () =
+        let k = string_ () in
+        expect ':';
+        skip_ws ();
+        let v =
+          match peek () with
+          | '"' -> `S (string_ ())
+          | '[' ->
+              incr pos;
+              `L (array_of string_ [])
+          | _ -> `I (int_ ())
+        in
+        fields := (k, v) :: !fields;
+        skip_ws ();
+        if peek () = ',' then (incr pos; skip_ws (); go ()) else expect '}'
+      in
+      go ()
+    end;
+    let str k = match List.assoc_opt k !fields with Some (`S v) -> v | _ -> error ("missing " ^ k) in
+    let int k = match List.assoc_opt k !fields with Some (`I v) -> v | _ -> error ("missing " ^ k) in
+    let lst k = match List.assoc_opt k !fields with Some (`L v) -> v | _ -> [] in
+    let rule =
+      match rule_of_string (str "rule") with
+      | Some r -> r
+      | None -> error ("unknown rule " ^ str "rule")
+    in
+    {
+      file = str "file";
+      line = int "line";
+      col = int "col";
+      rule;
+      message = str "message";
+      chain = lst "chain";
+    }
+  in
+  expect '[';
+  skip_ws ();
+  if peek () = ']' then (incr pos; [])
+  else array_of object_ []
+
+(* ------------------------------------------------------------------ *)
+(* Rule tables.                                                        *)
+
+(* Wholly-forbidden module roots: any use, alias, open or functor
+   argument of these is host nondeterminism. *)
+let forbidden_modules = [ [ "Unix" ]; [ "Random" ] ]
+
+(* Forbidden exact paths (after alias/open/Stdlib resolution). *)
+let forbidden_values =
+  [
+    [ "Sys"; "time" ];
+    [ "Sys"; "getenv" ];
+    [ "Sys"; "getenv_opt" ];
+    [ "Sys"; "command" ];
+    [ "Hashtbl"; "hash" ];
+    [ "Hashtbl"; "seeded_hash" ];
+    [ "Hashtbl"; "hash_param" ];
+    [ "Printf"; "printf" ];
+    [ "Printf"; "eprintf" ];
+    [ "Format"; "printf" ];
+    [ "Format"; "eprintf" ];
+    [ "Format"; "std_formatter" ];
+    [ "Format"; "err_formatter" ];
+    [ "print_endline" ];
+    [ "print_string" ];
+    [ "print_newline" ];
+    [ "print_int" ];
+    [ "print_char" ];
+    [ "print_float" ];
+    [ "prerr_endline" ];
+    [ "prerr_string" ];
+    [ "prerr_newline" ];
+  ]
+
+(* R2: mutable-cell constructors, matched on their last two components
+   (or bare [ref]).  Matching is on the resolved path's suffix so both
+   [Hashtbl.create] and [Stdlib.Hashtbl.create] hit, and project cells
+   ([Util.Vec.create]) are covered wherever the [Util] wrapper is
+   visible. *)
+let cell_creators =
+  [
+    [ "ref" ];
+    [ "Hashtbl"; "create" ];
+    [ "Queue"; "create" ];
+    [ "Stack"; "create" ];
+    [ "Buffer"; "create" ];
+    [ "Atomic"; "make" ];
+    [ "Array"; "make" ];
+    [ "Array"; "create" ];
+    [ "Array"; "init" ];
+    [ "Array"; "make_matrix" ];
+    [ "Bytes"; "create" ];
+    [ "Bytes"; "make" ];
+    [ "Weak"; "create" ];
+    [ "Vec"; "create" ];
+  ]
+
+(* R4: DLS-handle resolvers whose result must stay in run-threaded
+   state; matched on the last two components of the resolved path. *)
+let dls_handle_resolvers =
+  [ [ "Access"; "hooks" ]; [ "Gobj"; "uid_source" ]; [ "Gobj"; "uids" ] ]
+
+let path_to_string p = String.concat "." p
+
+let list_suffix ~suffix l =
+  let ls = List.length suffix and ll = List.length l in
+  ls <= ll
+  &&
+  let rec drop k = function x when k = 0 -> x | _ :: tl -> drop (k - 1) tl | [] -> [] in
+  drop (ll - ls) l = suffix
+
+(* ------------------------------------------------------------------ *)
+(* Per-file analysis.                                                  *)
+
+type scope = {
+  s_reason : string;
+  s_file : string;
+  s_line : int;
+  s_col : int;
+  mutable s_used : bool;
+}
+
+(* How a module head resolves in the current environment. *)
+type binding = Alias of string list | Local
+
+type call = {
+  c_exact : string list list;  (** full-path candidates (local/shadow) *)
+  c_suffix : string list list;  (** qualified candidates, suffix-matched *)
+  c_line : int;
+  c_col : int;
+  c_allow : scope option;
+}
+
+type fn = {
+  f_id : string;
+  f_file : string;
+  f_linted : bool;
+  mutable f_direct : (string * int * int) list;  (** unsuppressed prim uses *)
+  mutable f_calls : call list;
+}
+
+type source = {
+  src_file : string;
+  src_text : string;
+  src_modpath : string list;  (** e.g. [["Heap"; "Region"]] *)
+  src_linted : bool;
+}
+
+type acc = {
+  mutable diags : diag list;
+  mutable fns : fn list;
+  mutable scopes : scope list;
+}
+
+open Parsetree
+
+let pos_of (loc : Location.t) =
+  (loc.loc_start.pos_lnum, loc.loc_start.pos_cnum - loc.loc_start.pos_bol)
+
+let allow_of_attrs (acc : acc) ~file (attrs : attributes) =
+  List.fold_left
+    (fun found (a : attribute) ->
+      if a.attr_name.txt <> "gcsim.allow" then found
+      else
+        let line, col = pos_of a.attr_loc in
+        match a.attr_payload with
+        | PStr
+            [
+              {
+                pstr_desc =
+                  Pstr_eval
+                    ({ pexp_desc = Pexp_constant (Pconst_string (reason, _, _)); _ }, _);
+                _;
+              };
+            ] ->
+            let s = { s_reason = reason; s_file = file; s_line = line; s_col = col; s_used = false } in
+            acc.scopes <- s :: acc.scopes;
+            Some s
+        | _ ->
+            acc.diags <-
+              {
+                file;
+                line;
+                col;
+                rule = Allow;
+                message = "[@gcsim.allow] needs a reason string: [@gcsim.allow \"why\"]";
+                chain = [];
+              }
+              :: acc.diags;
+            found)
+    None attrs
+
+(* Analyze one parsed source file, appending into [acc]. *)
+let analyze_structure (acc : acc) (src : source) (str : structure) =
+  let file = src.src_file in
+  (* Mutable walk state.  Scoped constructs save/restore it. *)
+  let aliases : (string * binding) list ref = ref [] in
+  let opens : string list list ref = ref [] in
+  let toplevel_values : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let modpath = ref src.src_modpath in
+  let toplevel = ref true in
+  let allow_stack : scope list ref = ref [] in
+  let file_init =
+    {
+      f_id = path_to_string (src.src_modpath @ [ "(init)" ]);
+      f_file = file;
+      f_linted = src.src_linted;
+      f_direct = [];
+      f_calls = [];
+    }
+  in
+  let cur_fn = ref file_init in
+  acc.fns <- file_init :: acc.fns;
+
+  let active_allow () = match !allow_stack with s :: _ -> Some s | [] -> None in
+  let suppressed () =
+    match active_allow () with
+    | Some s ->
+        s.s_used <- true;
+        true
+    | None -> false
+  in
+  let emit loc rule message chain =
+    if not (suppressed ()) then
+      let line, col = pos_of loc in
+      if src.src_linted then
+        acc.diags <- { file; line; col; rule; message; chain } :: acc.diags
+  in
+
+  (* Resolve a module path head through aliases; returns [Local] when it
+     names a locally-defined (shadowing) module. *)
+  let resolve_module_path parts =
+    let parts = match parts with "Stdlib" :: rest when rest <> [] -> rest | p -> p in
+    match parts with
+    | [] -> Alias []
+    | head :: rest -> (
+        match List.assoc_opt head !aliases with
+        | Some Local -> Local
+        | Some (Alias target) -> (
+            match target @ rest with
+            | "Stdlib" :: r when r <> [] -> Alias r
+            | p -> Alias p)
+        | None -> Alias parts)
+  in
+
+  let forbidden_module_of parts =
+    match resolve_module_path parts with
+    | Local -> None
+    | Alias p ->
+        if List.exists (fun m -> p <> [] && List.hd p = List.hd m) forbidden_modules
+        then Some p
+        else None
+  in
+
+  (* All resolved candidates for a value path: the alias-resolved path
+     itself plus each open prefix applied to the as-written path. *)
+  let value_candidates parts =
+    match resolve_module_path parts with
+    | Local -> `Local parts
+    | Alias primary ->
+        let via_opens =
+          List.filter_map
+            (fun o ->
+              match resolve_module_path o with
+              | Local -> None
+              | Alias o -> Some (o @ parts))
+            !opens
+        in
+        `Resolved (primary :: via_opens)
+  in
+
+  let is_shadowed_value parts =
+    match parts with
+    | [ name ] -> Hashtbl.mem toplevel_values name
+    | _ -> false
+  in
+
+  (* R1 check of one value identifier. *)
+  let check_ident lid loc =
+    let parts = Longident.flatten lid in
+    if not (is_shadowed_value parts) then
+      match value_candidates parts with
+      | `Local _ -> ()
+      | `Resolved cands ->
+          let hit =
+            List.find_opt
+              (fun c ->
+                List.exists (fun m -> c <> [] && List.hd c = List.hd m) forbidden_modules
+                || List.mem c forbidden_values)
+              cands
+          in
+          (match hit with
+          | Some c ->
+              let spelled = path_to_string parts in
+              let resolved = path_to_string c in
+              let via =
+                if spelled = resolved then ""
+                else Printf.sprintf " (written %s)" spelled
+              in
+              emit loc R1
+                (Printf.sprintf "host-effect primitive %s%s" resolved via)
+                []
+          | None -> ());
+          (* Record the primitive as a taint seed even when the file is
+             aux (not linted): callers in linted code still get R3. *)
+          (match hit with
+          | Some c when active_allow () = None ->
+              let line, col = pos_of loc in
+              let f = !cur_fn in
+              f.f_direct <- (path_to_string c, line, col) :: f.f_direct
+          | Some _ -> ignore (suppressed ())
+          | None -> ())
+  in
+
+  (* Record a call candidate for the taint pass. *)
+  let record_call lid loc =
+    let parts = Longident.flatten lid in
+    let line, col = pos_of loc in
+    let f = !cur_fn in
+    let call =
+      match value_candidates parts with
+      | `Local p -> { c_exact = [ !modpath @ p ]; c_suffix = []; c_line = line; c_col = col; c_allow = active_allow () }
+      | `Resolved cands ->
+          let exact =
+            (* A bare name can only be a same-module function; a
+               qualified one might also be a sibling spelled without the
+               library wrapper. *)
+            match parts with [ _ ] -> [ !modpath @ parts ] | _ -> []
+          in
+          let suffix = List.filter (fun c -> List.length c >= 2) cands in
+          { c_exact = exact; c_suffix = suffix; c_line = line; c_col = col; c_allow = active_allow () }
+    in
+    f.f_calls <- call :: f.f_calls
+  in
+
+  (* R2/R4 check of a toplevel application head. *)
+  let check_toplevel_apply lid loc =
+    let parts = Longident.flatten lid in
+    if not (is_shadowed_value parts) then
+      match value_candidates parts with
+      | `Local _ -> ()
+      | `Resolved cands ->
+          let matches table =
+            List.exists
+              (fun c ->
+                List.exists
+                  (fun suffix ->
+                    match suffix with
+                    | [ _ ] -> c = suffix
+                    | _ -> list_suffix ~suffix c)
+                  table)
+              cands
+          in
+          if matches dls_handle_resolvers then
+            emit loc R4
+              (Printf.sprintf
+                 "DLS handle %s () cached at module toplevel — it aliases this \
+                  domain's slot into every domain's runs; bind it inside a \
+                  function and thread it through run state (e.g. Heap_impl.t)"
+                 (path_to_string parts))
+              []
+          else if matches cell_creators then
+            emit loc R2
+              (Printf.sprintf
+                 "toplevel mutable cell (%s) outside Domain.DLS.new_key — \
+                  cross-run state must live in run-threaded state or a DLS slot"
+                 (path_to_string parts))
+              []
+  in
+
+  let with_saved_env f =
+    let a = !aliases and o = !opens in
+    f ();
+    aliases := a;
+    opens := o
+  in
+  let with_allow allow f =
+    match allow with
+    | None -> f ()
+    | Some s ->
+        allow_stack := s :: !allow_stack;
+        f ();
+        allow_stack := List.tl !allow_stack
+  in
+  let with_toplevel v f =
+    let t = !toplevel in
+    toplevel := v;
+    f ();
+    toplevel := t
+  in
+
+  let rec module_expr (self : Ast_iterator.iterator) (me : module_expr) =
+    match me.pmod_desc with
+    | Pmod_apply (fn, arg) ->
+        (match arg.pmod_desc with
+        | Pmod_ident { txt; loc } -> (
+            match forbidden_module_of (Longident.flatten txt) with
+            | Some p ->
+                emit loc R1
+                  (Printf.sprintf
+                     "host-effect module %s passed as functor argument"
+                     (path_to_string p))
+                  []
+            | None -> ())
+        | _ -> ());
+        module_expr self fn;
+        module_expr self arg
+    | Pmod_structure _ ->
+        with_saved_env (fun () -> Ast_iterator.default_iterator.module_expr self me)
+    | Pmod_functor (param, body) ->
+        with_saved_env (fun () ->
+            (match param with
+            | Named ({ txt = Some name; _ }, _) -> aliases := (name, Local) :: !aliases
+            | _ -> ());
+            module_expr self body)
+    | _ -> Ast_iterator.default_iterator.module_expr self me
+  in
+
+  let handle_open (self : Ast_iterator.iterator) (od : open_declaration) =
+    match od.popen_expr.pmod_desc with
+    | Pmod_ident { txt; loc } -> (
+        let parts = Longident.flatten txt in
+        match forbidden_module_of parts with
+        | Some p ->
+            emit loc R1
+              (Printf.sprintf "open of host-effect module %s" (path_to_string p))
+              []
+        | None -> opens := parts :: !opens)
+    | _ -> module_expr self od.popen_expr
+  in
+
+  let bind_module name (me : module_expr) =
+    match name with
+    | None -> ()
+    | Some name -> (
+        let rec underlying (me : module_expr) =
+          match me.pmod_desc with
+          | Pmod_constraint (m, _) -> underlying m
+          | d -> d
+        in
+        match underlying me with
+        | Pmod_ident { txt; loc } -> (
+            let parts = Longident.flatten txt in
+            match forbidden_module_of parts with
+            | Some p ->
+                emit loc R1
+                  (Printf.sprintf "alias of host-effect module %s"
+                     (path_to_string p))
+                  [];
+                aliases := (name, Alias p) :: !aliases
+            | None -> (
+                match resolve_module_path parts with
+                | Local -> aliases := (name, Local) :: !aliases
+                | Alias p -> aliases := (name, Alias p) :: !aliases))
+        | _ ->
+            (* Locally-defined structure/functor: shadows any forbidden
+               module of the same name. *)
+            aliases := (name, Local) :: !aliases)
+  in
+
+  let rec expr (self : Ast_iterator.iterator) (e : expression) =
+    let allow = allow_of_attrs acc ~file e.pexp_attributes in
+    with_allow allow (fun () ->
+        match e.pexp_desc with
+        | Pexp_ident { txt; loc } ->
+            check_ident txt loc;
+            record_call txt loc
+        | Pexp_apply (({ pexp_desc = Pexp_ident { txt; loc }; _ } as f), args) ->
+            if !toplevel then check_toplevel_apply txt loc;
+            expr self f;
+            List.iter (fun (_, a) -> expr self a) args
+        | Pexp_fun (_, default, pat, body) ->
+            (match default with
+            | Some d -> with_toplevel false (fun () -> expr self d)
+            | None -> ());
+            self.pat self pat;
+            with_toplevel false (fun () -> expr self body)
+        | Pexp_function cases ->
+            with_toplevel false (fun () ->
+                List.iter (fun c -> self.case self c) cases)
+        | Pexp_open (od, body) ->
+            with_saved_env (fun () ->
+                handle_open self od;
+                expr self body)
+        | Pexp_letmodule ({ txt; _ }, me, body) ->
+            module_expr self me;
+            with_saved_env (fun () ->
+                bind_module txt me;
+                expr self body)
+        | _ -> Ast_iterator.default_iterator.expr self e)
+  in
+
+  let value_binding (self : Ast_iterator.iterator) (vb : value_binding) =
+    let allow = allow_of_attrs acc ~file vb.pvb_attributes in
+    with_allow allow (fun () ->
+        self.pat self vb.pvb_pat;
+        expr self vb.pvb_expr)
+  in
+
+  let structure_item (self : Ast_iterator.iterator) (si : structure_item) =
+    match si.pstr_desc with
+    | Pstr_attribute a when a.attr_name.txt = "gcsim.allow" ->
+        (* Whole-file allow: push a scope that is never popped. *)
+        (match allow_of_attrs acc ~file [ a ] with
+        | Some s -> allow_stack := s :: !allow_stack
+        | None -> ())
+    | Pstr_value (_, vbs) ->
+        (* Register names first so self/forward references resolve as
+           local, then walk each binding with the right taint target. *)
+        List.iter
+          (fun vb ->
+            match vb.pvb_pat.ppat_desc with
+            | Ppat_var { txt; _ } -> Hashtbl.replace toplevel_values txt ()
+            | _ -> ())
+          vbs;
+        List.iter
+          (fun vb ->
+            let fn_name =
+              match (vb.pvb_pat.ppat_desc, vb.pvb_expr.pexp_desc) with
+              | Ppat_var { txt; _ }, (Pexp_fun _ | Pexp_function _) -> Some txt
+              | _ -> None
+            in
+            let saved = !cur_fn in
+            (match fn_name with
+            | Some name ->
+                let f =
+                  {
+                    f_id = path_to_string (!modpath @ [ name ]);
+                    f_file = file;
+                    f_linted = src.src_linted;
+                    f_direct = [];
+                    f_calls = [];
+                  }
+                in
+                acc.fns <- f :: acc.fns;
+                cur_fn := f
+            | None -> ());
+            value_binding self vb;
+            cur_fn := saved)
+          vbs
+    | Pstr_eval (e, attrs) ->
+        let allow = allow_of_attrs acc ~file attrs in
+        with_allow allow (fun () -> expr self e)
+    | Pstr_module mb ->
+        let allow = allow_of_attrs acc ~file mb.pmb_attributes in
+        with_allow allow (fun () ->
+            (match mb.pmb_expr.pmod_desc with
+            | Pmod_structure _ | Pmod_functor _ | Pmod_constraint _ ->
+                let saved = !modpath in
+                (match mb.pmb_name.txt with
+                | Some n -> modpath := !modpath @ [ n ]
+                | None -> ());
+                module_expr self mb.pmb_expr;
+                modpath := saved
+            | _ -> module_expr self mb.pmb_expr);
+            bind_module mb.pmb_name.txt mb.pmb_expr)
+    | Pstr_recmodule mbs ->
+        List.iter
+          (fun (mb : module_binding) ->
+            (match mb.pmb_name.txt with
+            | Some n -> aliases := (n, Local) :: !aliases
+            | None -> ());
+            module_expr self mb.pmb_expr)
+          mbs
+    | Pstr_open od -> handle_open self od
+    | Pstr_include incl -> (
+        match incl.pincl_mod.pmod_desc with
+        | Pmod_ident { txt; loc } -> (
+            let parts = Longident.flatten txt in
+            match forbidden_module_of parts with
+            | Some p ->
+                emit loc R1
+                  (Printf.sprintf "include of host-effect module %s"
+                     (path_to_string p))
+                  []
+            | None -> opens := parts :: !opens)
+        | _ -> module_expr self incl.pincl_mod)
+    | _ -> Ast_iterator.default_iterator.structure_item self si
+  in
+
+  let iter =
+    {
+      Ast_iterator.default_iterator with
+      expr;
+      structure_item;
+      module_expr;
+      value_binding;
+    }
+  in
+  List.iter (fun si -> iter.structure_item iter si) str
+
+(* ------------------------------------------------------------------ *)
+(* Taint pass (R3).                                                    *)
+
+type witness = Prim of string | Callee of string
+
+let taint_pass (acc : acc) =
+  let fns = acc.fns in
+  let by_id = Hashtbl.create 64 in
+  List.iter (fun f -> Hashtbl.replace by_id f.f_id f) fns;
+  let by_name = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+      let parts = String.split_on_char '.' f.f_id in
+      match List.rev parts with
+      | name :: _ ->
+          Hashtbl.replace by_name name (f :: (try Hashtbl.find by_name name with Not_found -> []))
+      | [] -> ())
+    fns;
+  let targets_of (c : call) =
+    let exact =
+      List.filter_map
+        (fun p -> Hashtbl.find_opt by_id (path_to_string p))
+        c.c_exact
+    in
+    let suffix =
+      List.concat_map
+        (fun p ->
+          match List.rev p with
+          | name :: _ -> (
+              match Hashtbl.find_opt by_name name with
+              | Some cands ->
+                  List.filter
+                    (fun f ->
+                      list_suffix ~suffix:p (String.split_on_char '.' f.f_id))
+                    cands
+              | None -> [])
+          | [] -> [])
+        c.c_suffix
+    in
+    (* A call never taints through the function it belongs to (self
+       recursion is not a new effect). *)
+    List.sort_uniq compare (List.map (fun f -> f.f_id) (exact @ suffix))
+  in
+  (* Seed and propagate over the reverse call graph. *)
+  let tainted : (string, witness) Hashtbl.t = Hashtbl.create 16 in
+  let work = Queue.create () in
+  List.iter
+    (fun f ->
+      match f.f_direct with
+      | (prim, _, _) :: _ ->
+          Hashtbl.replace tainted f.f_id (Prim prim);
+          Queue.push f.f_id work
+      | [] -> ())
+    fns;
+  (* callers: callee id -> (caller fn, call) list *)
+  let callers : (string, (fn * call) list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun c ->
+          List.iter
+            (fun tid ->
+              if tid <> f.f_id then
+                Hashtbl.replace callers tid
+                  ((f, c) :: (try Hashtbl.find callers tid with Not_found -> [])))
+            (targets_of c))
+        f.f_calls)
+    fns;
+  while not (Queue.is_empty work) do
+    let tid = Queue.pop work in
+    List.iter
+      (fun ((f : fn), (c : call)) ->
+        if not (Hashtbl.mem tainted f.f_id) then
+          match c.c_allow with
+          | Some s -> s.s_used <- true
+          | None ->
+              Hashtbl.replace tainted f.f_id (Callee tid);
+              Queue.push f.f_id work)
+      (try Hashtbl.find callers tid with Not_found -> [])
+  done;
+  let chain_of tid =
+    let rec go id seen =
+      if List.mem id seen then [ id ]
+      else
+        match Hashtbl.find_opt tainted id with
+        | Some (Prim p) -> [ id; p ]
+        | Some (Callee next) -> id :: go next (id :: seen)
+        | None -> [ id ]
+    in
+    go tid []
+  in
+  (* Report: every call from linted code to a tainted function. *)
+  List.iter
+    (fun f ->
+      if f.f_linted then
+        List.iter
+          (fun c ->
+            let ts = List.filter (fun t -> Hashtbl.mem tainted t) (targets_of c) in
+            match ts with
+            | [] -> ()
+            | tid :: _ -> (
+                match c.c_allow with
+                | Some s -> s.s_used <- true
+                | None ->
+                    let chain = chain_of tid in
+                    acc.diags <-
+                      {
+                        file = f.f_file;
+                        line = c.c_line;
+                        col = c.c_col;
+                        rule = R3;
+                        message =
+                          Printf.sprintf
+                            "call into effect-tainted %s (taint reaches a host \
+                             primitive; see chain)"
+                            tid;
+                        chain;
+                      }
+                      :: acc.diags))
+          f.f_calls)
+    fns
+
+(* ------------------------------------------------------------------ *)
+(* Entry points.                                                       *)
+
+let parse_source (acc : acc) (src : source) =
+  let lexbuf = Lexing.from_string src.src_text in
+  Lexing.set_filename lexbuf src.src_file;
+  match Parse.implementation lexbuf with
+  | str -> Some str
+  | exception exn ->
+      let line, col, msg =
+        match exn with
+        | Syntaxerr.Error err ->
+            let loc = Syntaxerr.location_of_error err in
+            let l, c = pos_of loc in
+            (l, c, "syntax error")
+        | exn -> (1, 0, Printexc.to_string exn)
+      in
+      acc.diags <-
+        { file = src.src_file; line; col; rule = Parse; message = msg; chain = [] }
+        :: acc.diags;
+      None
+
+(** Lint a set of sources.  Linted sources get R1–R4 enforced; aux
+    sources only feed the R3 taint pass.  Diagnostics come back sorted
+    by file, line, column. *)
+let run (sources : source list) : diag list =
+  let acc = { diags = []; fns = []; scopes = [] } in
+  List.iter
+    (fun src ->
+      match parse_source acc src with
+      | Some str -> analyze_structure acc src str
+      | None -> ())
+    sources;
+  taint_pass acc;
+  (* Stale allows: an annotation that suppressed nothing is debt paid
+     off — remove it (mirrors the old stale-allowlist check). *)
+  List.iter
+    (fun s ->
+      if not s.s_used then
+        acc.diags <-
+          {
+            file = s.s_file;
+            line = s.s_line;
+            col = s.s_col;
+            rule = Allow;
+            message =
+              Printf.sprintf
+                "stale [@gcsim.allow \"%s\"]: it suppresses nothing — remove it"
+                s.s_reason;
+            chain = [];
+          }
+          :: acc.diags)
+    acc.scopes;
+  List.sort
+    (fun a b ->
+      match compare a.file b.file with
+      | 0 -> ( match compare a.line b.line with 0 -> compare a.col b.col | c -> c)
+      | c -> c)
+    acc.diags
+
+(* ------------------------------------------------------------------ *)
+(* Filesystem driver.                                                  *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Library wrapper module of a dune directory: the [(name x)] field of
+   its [dune] file, else the directory basename. *)
+let lib_module_of_dir dir =
+  let dune = Filename.concat dir "dune" in
+  let from_dune =
+    if Sys.file_exists dune then
+      let text = read_file dune in
+      let re = Str.regexp "(name[ \t\n]+\\([a-zA-Z0-9_]+\\))" in
+      try
+        ignore (Str.search_forward re text 0);
+        Some (Str.matched_group 1 text)
+      with Not_found -> None
+    else None
+  in
+  let name = match from_dune with Some n -> n | None -> Filename.basename dir in
+  String.capitalize_ascii name
+
+let module_of_file path =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename path))
+
+(** All [.ml] files directly in [dir], as lintable sources. *)
+let load_dir ~linted dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    failwith (Printf.sprintf "gcsim-lint: no such directory: %s" dir);
+  let wrapper = lib_module_of_dir dir in
+  Sys.readdir dir |> Array.to_list |> List.sort compare
+  |> List.filter (fun f -> Filename.check_suffix f ".ml")
+  |> List.map (fun f ->
+         let path = Filename.concat dir f in
+         {
+           src_file = path;
+           src_text = read_file path;
+           src_modpath = [ wrapper; module_of_file path ];
+           src_linted = linted;
+         })
+
+let run_dirs ~linted_dirs ~aux_dirs =
+  let sources =
+    List.concat_map (load_dir ~linted:true) linted_dirs
+    @ List.concat_map (load_dir ~linted:false) aux_dirs
+  in
+  (run sources, List.length sources)
+
+(* ------------------------------------------------------------------ *)
+(* Self-test over the fixture tree.                                    *)
+
+(* Fixture files declare what the linter must say about them in a
+   comment: [(* expect: R1 *)].  A file with no marker must stay
+   silent.  Directories named [util] are aux (taint-only), the rest are
+   linted, mirroring the real invocation. *)
+let expected_rules text =
+  let re = Str.regexp "expect:\\([ \tA-Za-z0-9]*\\)" in
+  try
+    ignore (Str.search_forward re text 0);
+    Str.matched_group 1 text
+    |> String.split_on_char ' '
+    |> List.filter_map (fun w ->
+           match String.trim w with "" -> None | w -> rule_of_string w)
+    |> List.sort_uniq compare
+  with Not_found -> []
+
+let load_fixture_tree root =
+  Sys.readdir root |> Array.to_list |> List.sort compare
+  |> List.filter (fun d -> Sys.is_directory (Filename.concat root d))
+  |> List.concat_map (fun d ->
+         load_dir ~linted:(d <> "util") (Filename.concat root d))
+
+(** Run the analyzer against the planted-violation fixture tree.
+    Returns [Ok n] ([n] files checked) or [Error reasons]. *)
+let self_test ~fixtures_dir =
+  let errors = ref [] in
+  let check_tree sub =
+    let root = Filename.concat fixtures_dir sub in
+    let sources = load_fixture_tree root in
+    if sources = [] then
+      errors := Printf.sprintf "no fixtures found under %s" root :: !errors;
+    let diags = run sources in
+    List.iter
+      (fun src ->
+        let expected = expected_rules src.src_text in
+        let actual =
+          List.filter (fun d -> d.file = src.src_file) diags
+          |> List.map (fun d -> d.rule)
+          |> List.sort_uniq compare
+        in
+        List.iter
+          (fun r ->
+            if not (List.mem r actual) then
+              errors :=
+                Printf.sprintf "%s: expected a %s diagnostic, got none"
+                  src.src_file (rule_to_string r)
+                :: !errors)
+          expected;
+        List.iter
+          (fun r ->
+            if not (List.mem r expected) then
+              errors :=
+                Printf.sprintf "%s: unexpected %s diagnostic:\n  %s" src.src_file
+                  (rule_to_string r)
+                  (String.concat "\n  "
+                     (List.filter_map
+                        (fun d ->
+                          if d.file = src.src_file && d.rule = r then
+                            Some (diag_to_string d)
+                          else None)
+                        diags))
+                :: !errors)
+          actual)
+      sources;
+    List.length sources
+  in
+  let n_bad = check_tree "bad" in
+  let n_good = check_tree "good" in
+  (* The JSON encoding must round-trip: CI consumes it. *)
+  let bad_diags = run (load_fixture_tree (Filename.concat fixtures_dir "bad")) in
+  (match diags_of_json (diags_to_json bad_diags) with
+  | parsed ->
+      if parsed <> bad_diags then
+        errors := "JSON round-trip mismatch on fixture diagnostics" :: !errors
+  | exception Json_error m -> errors := ("JSON round-trip failed: " ^ m) :: !errors);
+  match !errors with [] -> Ok (n_bad + n_good) | es -> Error (List.rev es)
