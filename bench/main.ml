@@ -28,6 +28,7 @@ let experiments : (string * (unit -> unit)) list =
     ("fig8", Bench_figures.fig8);
     ("ablations", Bench_ablations.all);
     ("micro", Bench_micro.all);
+    ("obs", Bench_obs.all);
     ("speed", Bench_speed.all);
   ]
 
@@ -72,6 +73,7 @@ let () =
   Bench_figures.quick := quick;
   Bench_ablations.quick := quick;
   Bench_micro.quick := quick;
+  Bench_obs.quick := quick;
   Bench_speed.quick := quick;
   (match jobs with
   | None -> ()
@@ -79,6 +81,7 @@ let () =
       let n = if n = 0 then Util.Dpool.default_jobs () else n in
       Bench_tables.jobs := n;
       Bench_figures.jobs := n;
+      Bench_obs.jobs := n;
       Bench_speed.jobs := n);
   let selected =
     List.filter (fun a -> a <> "--quick" && a <> "all") args

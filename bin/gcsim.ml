@@ -4,6 +4,7 @@
     {v
     gcsim run --collector jade --workload h2-tpcc --heap-mult 2.0
     gcsim run -c zgc -w specjbb2015 --qps 20000 --duration 1.5
+    gcsim trace -c jade -w avrora --out trace.json
     gcsim check -c jade -w avrora --requests 2000 --schedules 64 --depth 8
     gcsim check --replay failure.sched
     gcsim list
@@ -106,6 +107,79 @@ let run_cmd collectors workload heap_mult qps duration_s warmup_s cores seed
       if multi then Printf.printf "-- %s --\n" s.Harness.collector;
       max code (print_summary ~gc_report s))
     0 summaries
+
+(* -- gcsim trace: deterministic timeline + MMU/percentile summary ----- *)
+
+(* For multi-collector fan-out, each collector's file gets the collector
+   name spliced in before the extension: trace.json -> trace-jade.json. *)
+let per_collector_path path name ~multi =
+  if not multi then path
+  else
+    match Filename.extension path with
+    | "" -> path ^ "-" ^ name
+    | ext -> Filename.remove_extension path ^ "-" ^ name ^ ext
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let trace_cmd collectors workload heap_mult cores seed requests out golden
+    verify jobs =
+  let jobs = resolve_jobs jobs in
+  let entries = Registry.find_list collectors in
+  if entries = [] then begin
+    Printf.eprintf "gcsim: --collector needs at least one name\n";
+    exit 2
+  end;
+  let verify =
+    match Analysis.Sanitizer.level_of_string verify with
+    | Some level -> level
+    | None ->
+        Printf.eprintf "gcsim: --verify=%s (want off, fast or full)\n" verify;
+        exit 2
+  in
+  let app = Workload.Apps.find workload in
+  let multi = List.length entries > 1 in
+  (* The banner never mentions jobs or output paths: like run/check, the
+     simulated results are byte-identical at any -j. *)
+  Printf.printf
+    "trace collector%s=%s workload=%s heap-mult=%.2f cores=%d seed=%d \
+     requests=%d\n%!"
+    (if multi then "s" else "")
+    (String.concat "," (List.map (fun e -> e.Registry.name) entries))
+    workload heap_mult cores seed requests;
+  (* Simulations run in the pool; all file writes and printing happen
+     here afterwards, in collector order. *)
+  let results =
+    Util.Dpool.map_list ~jobs
+      (fun (e : Registry.entry) ->
+        Trace_run.run ~verify ~cores ~mult:heap_mult ~seed ~requests e app)
+      entries
+  in
+  let rows =
+    List.map2
+      (fun (e : Registry.entry) (r : Trace_run.result) ->
+        let meta = Trace_run.meta ~cores ~mult:heap_mult ~seed ~requests r in
+        (match out with
+        | Some path ->
+            let path = per_collector_path path e.Registry.name ~multi in
+            write_file path (Obs.Export.to_chrome_json ~meta r.Trace_run.trace);
+            Printf.printf "chrome trace written: %s (%d events)\n" path
+              (Obs.Trace.length r.Trace_run.trace)
+        | None -> ());
+        (match golden with
+        | Some path ->
+            let path = per_collector_path path e.Registry.name ~multi in
+            write_file path (Obs.Export.to_text ~meta r.Trace_run.trace);
+            Printf.printf "golden trace written: %s\n" path
+        | None -> ());
+        ( e.Registry.name,
+          Obs.Analyze.analyze (Obs.Trace.events r.Trace_run.trace) ))
+      entries results
+  in
+  print_endline (Obs.Export.summary_table rows);
+  0
 
 (* -- gcsim check: schedule-space exploration -------------------------- *)
 
@@ -434,6 +508,63 @@ let check_info =
        many schedules with the invariant verifier and race detector \
        attached, shrink any violating schedule, and emit a replay file."
 
+(* `trace` defaults mirror the golden-trace scenario in test/test_obs.ml:
+   lusearch (allocation-extreme, so every collector shows GC activity in
+   a short run), 4 cores, 1.5x heap, seed 42, 600 requests.  Running
+   plain `gcsim trace -c NAME --golden test/golden/NAME.trace` therefore
+   regenerates the committed golden file byte-for-byte. *)
+let trace_workload_arg =
+  Arg.(
+    value & opt string "lusearch"
+    & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Workload to trace.")
+
+let trace_heap_mult_arg =
+  Arg.(
+    value & opt float 1.5
+    & info [ "m"; "heap-mult" ] ~docv:"X"
+        ~doc:"Heap size as a multiple of the workload's minimum heap.")
+
+let trace_cores_arg =
+  Arg.(value & opt int 4 & info [ "cores" ] ~docv:"N" ~doc:"Virtual cores.")
+
+let trace_requests_arg =
+  Arg.(
+    value & opt int 600
+    & info [ "requests" ] ~docv:"N"
+        ~doc:"Fixed number of requests to run (fixed-work loop).")
+
+let trace_out_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"FILE"
+        ~doc:
+          "Write the timeline as Chrome trace_event JSON (load it in \
+           $(b,chrome://tracing) or $(b,ui.perfetto.dev)).  With several \
+           collectors, each gets $(i,FILE)$(b,-NAME)$(i,.ext).")
+
+let trace_golden_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "golden" ] ~docv:"FILE"
+        ~doc:
+          "Write the timeline in the compact line-oriented golden format \
+           used by the snapshot tests (test/golden/*.trace).  With several \
+           collectors, each gets $(i,FILE)$(b,-NAME)$(i,.ext).")
+
+let trace_term =
+  Term.(
+    const trace_cmd $ collector_arg $ trace_workload_arg $ trace_heap_mult_arg
+    $ trace_cores_arg $ seed_arg $ trace_requests_arg $ trace_out_arg
+    $ trace_golden_arg $ verify_arg $ jobs_arg)
+
+let trace_info =
+  Cmd.info "trace"
+    ~doc:
+      "Record a deterministic GC timeline (phases, pauses, regions, \
+       evacuation batches, request spans) and print pause percentiles and \
+       the MMU curve.  The event stream is byte-identical at any --jobs \
+       and across repeat runs with the same seed."
+
 let run_term =
   Term.(
     const run_cmd $ collector_arg $ workload_arg $ heap_mult_arg $ qps_arg
@@ -455,6 +586,7 @@ let () =
             (EuroSys '24)")
       [
         Cmd.v run_info run_term;
+        Cmd.v trace_info trace_term;
         Cmd.v check_info check_term;
         Cmd.v list_info Term.(const list_cmd $ const ());
       ]

@@ -301,6 +301,7 @@ module Evac = struct
   let evacuate_region d tk (region : Region.t) =
     let heap = d.rt.RtM.heap in
     let copied = ref 0 in
+    let objects = ref 0 in
     Util.Vec.iter
       (fun (o : Gobj.t) ->
         if
@@ -308,9 +309,13 @@ module Evac = struct
           && (Heap_impl.is_marked heap o || region.Region.alloc_epoch >= heap.Heap_impl.mark_epoch)
         then begin
           let _ = copy_object d tk o in
-          copied := !copied + o.Gobj.size
+          copied := !copied + o.Gobj.size;
+          incr objects
         end)
       region.Region.objects;
+    if !objects > 0 && RtM.tracing d.rt then
+      RtM.trace d.rt
+        (Runtime.Tracepoint.Evac_batch { objects = !objects; bytes = !copied });
     !copied
 end
 

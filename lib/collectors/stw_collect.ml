@@ -88,6 +88,7 @@ let collect rt ~(remsets : Region_remsets.t) ~config ~(old_cset : Region.t list)
       let dest_young = Common.Evac.make_dest rt Region.Young in
       let dest_old = Common.Evac.make_dest rt Region.Old in
       let copied = ref 0 and promoted = ref 0 and cards = ref 0 in
+      let copied_objects = ref 0 in
       (* Humongous regions observed to be referenced during this pause
          (for G1-style eager reclaim below). *)
       let humongous_reached = Hashtbl.create 8 in
@@ -112,6 +113,7 @@ let collect rt ~(remsets : Region_remsets.t) ~config ~(old_cset : Region.t list)
           let dest = if promote then dest_old else dest_young in
           let o' = Common.Evac.copy_object dest tk o in
           copied := !copied + o.Gobj.size;
+          incr copied_objects;
           if promote then promoted := !promoted + o.Gobj.size
           else survivor_bytes := !survivor_bytes + o.Gobj.size;
           Util.Vec.push scan_list o';
@@ -324,6 +326,10 @@ let collect rt ~(remsets : Region_remsets.t) ~config ~(old_cset : Region.t list)
            released; the caller must fall back to a full compaction. *)
         List.iter (fun (r : Region.t) -> r.Region.in_cset <- false) !cset;
       if not !failed then RtM.fire_phase rt Runtime.Vhook.Evac_end;
+      if !copied_objects > 0 && RtM.tracing rt then
+        RtM.trace rt
+          (Runtime.Tracepoint.Evac_batch
+             { objects = !copied_objects; bytes = !copied });
       Common.Ticker.flush tk;
       Common.check_reachability rt ~where:"stw_collect";
       Metrics.add rt.RtM.metrics "stw_collections" 1;

@@ -122,6 +122,8 @@ let scan_remset_roots t tk =
 let evacuate_young_region t tk ~dest_young ~dest_old (r : Region.t) =
   let heap = t.rt.RtM.heap in
   let costs = t.rt.RtM.costs in
+  let copied_objects = ref 0 in
+  let copied_bytes = ref 0 in
   (* Liveness is exactly the young mark: snapshot regions all predate the
      cycle, and objects born during it were allocated young-marked. *)
   ignore r.Region.alloc_epoch;
@@ -129,6 +131,8 @@ let evacuate_young_region t tk ~dest_young ~dest_old (r : Region.t) =
     (fun (o : Gobj.t) ->
       if (not (Gobj.is_forwarded o)) && Heap_impl.is_marked_young heap o
       then begin
+        incr copied_objects;
+        copied_bytes := !copied_bytes + o.Gobj.size;
         let promote =
           o.Gobj.age >= t.tenure_age || t.survivor_bytes > t.survivor_cap
         in
@@ -151,7 +155,11 @@ let evacuate_young_region t tk ~dest_young ~dest_old (r : Region.t) =
             o'
         end
       end)
-    r.Region.objects
+    r.Region.objects;
+  if !copied_objects > 0 && RtM.tracing t.rt then
+    RtM.trace t.rt
+      (Runtime.Tracepoint.Evac_batch
+         { objects = !copied_objects; bytes = !copied_bytes })
 
 (** Run one concurrent young collection.  Returns false on evacuation
     failure (caller escalates). *)

@@ -353,6 +353,7 @@ let evacuate_group t ~group (regions : Region.t list) =
           let i = !next in
           incr next;
           let r = arr.(i) in
+          let objs = ref 0 and bytes = ref 0 in
           match
             Util.Vec.iter
               (fun (o : Gobj.t) ->
@@ -360,11 +361,17 @@ let evacuate_group t ~group (regions : Region.t list) =
                   (not (Gobj.is_forwarded o)) && Heap_impl.is_marked heap o
                 then begin
                   let o' = Common.Evac.copy_object dest tk o in
+                  incr objs;
+                  bytes := !bytes + o.Gobj.size;
                   evacuate_object_fields t tk o' ~group
                 end)
               r.Region.objects
           with
-          | () -> ()
+          | () ->
+              if !objs > 0 && RtM.tracing rt then
+                RtM.trace rt
+                  (Runtime.Tracepoint.Evac_batch
+                     { objects = !objs; bytes = !bytes })
           | exception Common.Evac.Evacuation_failure -> failed := true
         end
       done);

@@ -39,6 +39,8 @@ type t = {
   mutable last_gc_end : int;
   mutable promoted_prev : int;
   mutable consecutive_starved : int;
+  mutable copied_objects : int;  (** objects evacuated this cycle (trace) *)
+  mutable copied_bytes : int;
   mutable survivor_bytes : int;  (** copied-to-young this cycle *)
   mutable survivor_cap : int;
       (** adaptive tenuring: once a cycle's survivors exceed this, the
@@ -63,6 +65,8 @@ let create ~config rt =
     last_gc_end = 0;
     promoted_prev = 0;
     consecutive_starved = 0;
+    copied_objects = 0;
+    copied_bytes = 0;
     survivor_bytes = 0;
     survivor_cap = heap.Heap_impl.cfg.heap_bytes / 16;
   }
@@ -111,6 +115,8 @@ let copy_out t (dests : Common.Evac.dest * Common.Evac.dest) tk (o : Gobj.t) =
         | _ -> None
       in
       let o' = Common.Evac.copy_object ~racy ?window dest tk o in
+      t.copied_objects <- t.copied_objects + 1;
+      t.copied_bytes <- t.copied_bytes + o.Gobj.size;
       if promote then
         Metrics.add t.rt.RtM.metrics "jade.promoted_bytes" o.Gobj.size
       else t.survivor_bytes <- t.survivor_bytes + o.Gobj.size;
@@ -210,6 +216,8 @@ let collect t ~workers =
   in
   Metrics.phase_begin metrics "jade.young" ~now:(now ());
   t.survivor_bytes <- 0;
+  t.copied_objects <- 0;
+  t.copied_bytes <- 0;
   let snapshot = ref [] in
   let failed = ref false in
   (* Tiny STW: snapshot young regions and evacuate the root targets, so
@@ -332,6 +340,10 @@ let collect t ~workers =
   in
   t.promoted_prev <- promoted;
   t.promotion_rate <- (0.7 *. t.promotion_rate) +. (0.3 *. inst);
+  if t.copied_objects > 0 && RtM.tracing rt then
+    RtM.trace rt
+      (Runtime.Tracepoint.Evac_batch
+         { objects = t.copied_objects; bytes = t.copied_bytes });
   Metrics.phase_end metrics "jade.young" ~now:(now ());
   RtM.fire_phase rt Runtime.Vhook.Cycle_end;
   not !failed

@@ -162,10 +162,14 @@ let summarize rt (app : Workload.Apps.t) ~collector
     metrics = m;
   }
 
-(** One closed-loop run: peak throughput. *)
-let run_closed ?machine ?verify ?(warmup = 300 * Util.Units.ms)
+(** One closed-loop run: peak throughput.  [attach] observes the
+    runtime after collector+sanitizer install and before any simulation
+    (observability recorders, scheduling policies); an observer that
+    raises mid-run aborts the run loudly — the exception propagates out
+    of {!Sim.Engine.run} rather than silently corrupting metrics. *)
+let run_closed ?machine ?verify ?attach ?(warmup = 300 * Util.Units.ms)
     ?(duration = 1_500 * Util.Units.ms) ~install ~collector app =
-  match prepare ?machine ?verify ~install app with
+  match prepare ?machine ?verify ?attach ~install app with
   | exception Setup_oom why -> oom_summary ~machine ~collector app why
   | rt, request ->
       let r =
@@ -176,9 +180,9 @@ let run_closed ?machine ?verify ?(warmup = 300 * Util.Units.ms)
       summarize rt app ~collector r
 
 (** One open-loop (throttled) run at a fixed QPS. *)
-let run_open ?machine ?verify ?(warmup = 300 * Util.Units.ms)
+let run_open ?machine ?verify ?attach ?(warmup = 300 * Util.Units.ms)
     ?(duration = 1_500 * Util.Units.ms) ~install ~collector ~qps app =
-  match prepare ?machine ?verify ~install app with
+  match prepare ?machine ?verify ?attach ~install app with
   | exception Setup_oom why -> oom_summary ~machine ~collector app why
   | rt, request ->
       let r =

@@ -68,6 +68,12 @@ type t = {
           so {!used_bytes} is O(1) instead of a region-array fold *)
   mutable weak_refs : (Gobj.t * (unit -> unit) option) Util.Vec.t;
       (** registered weak references: referent + optional callback *)
+  mutable on_region_event : (Region.t -> claimed:bool -> unit) option;
+      (** observability seam ([lib/obs]): fired after a claim takes
+          effect and at the start of a release (while the region's kind
+          and bump pointer are still readable).  The observer must not
+          tick or mutate the heap; with [None] (the default) each site
+          costs one load and one branch. *)
 }
 
 (* Debug aid: per-region event history, recorded when SIM_HEAP_TRACE=1. *)
@@ -132,6 +138,7 @@ let create ?(costs = Costs.default) cfg =
     bytes_allocated = 0;
     used = 0;
     weak_refs = Util.Vec.create (Region.dummy_obj, None);
+    on_region_event = None;
   }
 
 let num_regions t = Array.length t.regions
@@ -240,8 +247,13 @@ let claim_region t kind =
     r.kind <- kind;
     r.alloc_epoch <- t.mark_epoch;
     record_region_event rid ("claim:" ^ Region.kind_to_string kind);
+    (match t.on_region_event with
+    | Some f -> f r ~claimed:true
+    | None -> ());
     Some r
   end
+
+let set_region_observer t f = t.on_region_event <- f
 
 (** Release a region back to the free list; resident (non-evacuated)
     objects become garbage, the region's own cards are cleaned. *)
@@ -252,6 +264,11 @@ let release_region t (r : Region.t) =
          "Heap_impl.release_region: region %d is already free — double \
           release; history: %s"
          r.rid (dump_region_history r.rid));
+  (* Fired before the reset so the observer still sees the region's kind
+     and bump pointer (how full it was when it died). *)
+  (match t.on_region_event with
+  | Some f -> f r ~claimed:false
+  | None -> ());
   Access.log_with t.hooks Access.Release Access.Region_ctl ~key:r.rid
     ~site:"Heap_impl.release_region";
   (* Clean the region's whole card stripe word-wise.  When a detector is

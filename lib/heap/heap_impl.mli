@@ -62,6 +62,12 @@ type t = {
           so {!used_bytes} is O(1) instead of a region-array fold *)
   mutable weak_refs : (Gobj.t * (unit -> unit) option) Util.Vec.t;
       (** registered weak references: referent + optional callback *)
+  mutable on_region_event : (Region.t -> claimed:bool -> unit) option;
+      (** observability seam ([lib/obs]): fired after a claim takes
+          effect and at the start of a release (while the region's kind
+          and bump pointer are still readable).  The observer must not
+          tick or mutate the heap; with [None] (the default) each site
+          costs one load and one branch. *)
 }
 
 val create : ?costs:Costs.t -> config -> t
@@ -123,6 +129,9 @@ val claim_region : t -> Region.kind -> Region.t option
 val release_region : t -> Region.t -> unit
 (** Release a region back to the free list; resident (non-evacuated)
     objects become garbage, the region's own cards are cleaned. *)
+
+val set_region_observer : t -> (Region.t -> claimed:bool -> unit) option -> unit
+(** Install or remove the region-lifecycle observer ({!t.on_region_event}). *)
 
 val record_region_event : int -> string -> unit
 (** Append an event to a region's trace history (no-op unless

@@ -1,0 +1,252 @@
+(** Post-run trace analysis: pause-time distributions, MMU curves,
+    per-phase time attribution and heap-occupancy material.
+
+    All statistics are exact (sorted-array nearest-rank percentiles over
+    the full pause population, not bucketed approximations) and are a
+    pure function of the event stream, so two byte-identical traces
+    always analyze identically. *)
+
+module Tp = Runtime.Tracepoint
+
+type pause_stats = {
+  count : int;
+  total_ns : int;
+  p50_ns : int;
+  p95_ns : int;
+  p99_ns : int;
+  max_ns : int;
+}
+
+let empty_pause_stats =
+  { count = 0; total_ns = 0; p50_ns = 0; p95_ns = 0; p99_ns = 0; max_ns = 0 }
+
+type phase_stat = { phase : string; total_ns : int; count : int }
+
+type t = {
+  window_start : int;  (** analysis window: the recorded measurement
+                           interval when [Recording] markers are present,
+                           else the full trace span *)
+  window_end : int;
+  stw : pause_stats;  (** stop-the-world pauses inside the window *)
+  stalls : pause_stats;  (** allocation stalls (single-mutator pauses) *)
+  mmu : (int * float) list;
+      (** [(window_ns, utilization)] ascending; the monotone lower
+          envelope of raw MMU (see {!mmu_curve}) *)
+  phases : phase_stat list;  (** per-phase attribution, sorted by name *)
+  peak_regions : int;  (** peak concurrently-claimed region count *)
+  region_claims : int;
+  evac_batches : int;
+  evac_objects : int;
+  evac_bytes : int;
+  requests : int;  (** completed requests observed in the trace *)
+}
+
+(* -- percentiles ----------------------------------------------------- *)
+
+(** Exact nearest-rank percentile over a sorted population. *)
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0
+  else begin
+    let rank = int_of_float (ceil (q /. 100. *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+  end
+
+let pause_stats_of durs =
+  let durs = Array.of_list durs in
+  Array.sort compare durs;
+  let n = Array.length durs in
+  if n = 0 then empty_pause_stats
+  else
+    {
+      count = n;
+      total_ns = Array.fold_left ( + ) 0 durs;
+      p50_ns = percentile durs 50.;
+      p95_ns = percentile durs 95.;
+      p99_ns = percentile durs 99.;
+      max_ns = durs.(n - 1);
+    }
+
+(* -- MMU ------------------------------------------------------------- *)
+
+(* Merge possibly-overlapping intervals (sorted by start) into a disjoint
+   ascending list. *)
+let merge_intervals ivs =
+  let ivs = List.sort compare ivs in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (s, e) :: rest -> (
+        match acc with
+        | (s0, e0) :: acc' when s <= e0 -> go ((s0, max e0 e) :: acc') rest
+        | _ -> go ((s, e) :: acc) rest)
+  in
+  go [] ivs
+
+(* Total overlap of the merged interval list with [a, b]. *)
+let overlap_with ivs a b =
+  List.fold_left
+    (fun acc (s, e) -> acc + max 0 (min e b - max s a))
+    0 ivs
+
+(* Raw minimum mutator utilization for one window size: the worst window
+   of length [w] inside [lo, hi] given merged pause intervals.  A worst
+   window can always be shifted until an edge touches a pause boundary,
+   so evaluating windows anchored at each interval start and end is
+   exhaustive. *)
+let raw_mmu ivs ~lo ~hi w =
+  let span = hi - lo in
+  if span <= 0 || w <= 0 then 1.
+  else if w >= span then
+    let busy = overlap_with ivs lo hi in
+    max 0. (float_of_int (span - busy) /. float_of_int span)
+  else begin
+    let worst = ref (overlap_with ivs lo (lo + w)) in
+    let consider a =
+      let a = max lo (min a (hi - w)) in
+      let o = overlap_with ivs a (a + w) in
+      if o > !worst then worst := o
+    in
+    List.iter
+      (fun (s, e) ->
+        consider s;
+        consider (e - w))
+      ivs;
+    max 0. (float_of_int (w - !worst) /. float_of_int w)
+  end
+
+(* The standard window ladder, clipped to the span; the span itself is
+   always the last rung so the curve ends at whole-window utilization. *)
+let ladder span =
+  let base =
+    [
+      1_000_000; 2_000_000; 5_000_000; 10_000_000; 20_000_000; 50_000_000;
+      100_000_000; 200_000_000; 500_000_000; 1_000_000_000;
+    ]
+  in
+  let below = List.filter (fun w -> w < span) base in
+  if span > 0 then below @ [ span ] else below
+
+(** MMU curve over the ladder of window sizes, as the monotone lower
+    envelope: raw MMU is not monotone in window size (a window just
+    large enough to span two pause clusters can be worse than a smaller
+    one between them), so each reported point is the minimum raw MMU
+    over all windows {e at least} that large — the strongest guarantee
+    of the form "any window of length >= w has utilization >= u", which
+    is non-decreasing in [w] by construction. *)
+let mmu_curve ivs ~lo ~hi =
+  let ws = ladder (hi - lo) in
+  let raw = List.map (fun w -> (w, raw_mmu ivs ~lo ~hi w)) ws in
+  let rec suffix_min = function
+    | [] -> []
+    | (w, u) :: rest ->
+        let rest' = suffix_min rest in
+        let u' =
+          List.fold_left (fun acc (_, v) -> min acc v) u rest'
+        in
+        (w, u') :: rest'
+  in
+  suffix_min raw
+
+(* -- main analysis --------------------------------------------------- *)
+
+let analyze (events : Trace.event array) =
+  let n = Array.length events in
+  (* Analysis window: first Recording-on to the last Recording-off after
+     it; whole span when markers are absent or unbalanced. *)
+  let first_ts = if n = 0 then 0 else events.(0).Trace.ts in
+  let last_ts = if n = 0 then 0 else events.(n - 1).Trace.ts in
+  let w_on = ref None and w_off = ref None in
+  Array.iter
+    (fun (e : Trace.event) ->
+      match e.Trace.payload with
+      | Tp.Recording { on = true } when !w_on = None -> w_on := Some e.Trace.ts
+      | Tp.Recording { on = false } when !w_on <> None ->
+          w_off := Some e.Trace.ts
+      | _ -> ())
+    events;
+  let window_start = match !w_on with Some t -> t | None -> first_ts in
+  let window_end = match !w_off with Some t -> t | None -> last_ts in
+  let in_window ts = ts >= window_start && ts <= window_end in
+  (* Pause populations (the Pause event is emitted at the pause's end). *)
+  let stw_durs = ref [] and stall_durs = ref [] in
+  let stw_ivs = ref [] in
+  let phase_tbl : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let phase_acc : (string, int * int) Hashtbl.t = Hashtbl.create 16 in
+  let live_regions = ref 0 and peak_regions = ref 0 and claims = ref 0 in
+  let evac_batches = ref 0 and evac_objects = ref 0 and evac_bytes = ref 0 in
+  let requests = ref 0 in
+  Array.iter
+    (fun (e : Trace.event) ->
+      match e.Trace.payload with
+      | Tp.Pause { kind; start_ns; dur_ns } ->
+          if in_window e.Trace.ts then
+            if kind = "alloc-stall" then stall_durs := dur_ns :: !stall_durs
+            else begin
+              stw_durs := dur_ns :: !stw_durs;
+              stw_ivs := (start_ns, start_ns + dur_ns) :: !stw_ivs
+            end
+      | Tp.Phase_begin { name } -> Hashtbl.replace phase_tbl name e.Trace.ts
+      | Tp.Phase_end { name } -> (
+          match Hashtbl.find_opt phase_tbl name with
+          | Some t0 ->
+              Hashtbl.remove phase_tbl name;
+              let total, count =
+                match Hashtbl.find_opt phase_acc name with
+                | Some tc -> tc
+                | None -> (0, 0)
+              in
+              Hashtbl.replace phase_acc name
+                (total + (e.Trace.ts - t0), count + 1)
+          | None -> ())
+      | Tp.Region_claim _ ->
+          incr claims;
+          incr live_regions;
+          if !live_regions > !peak_regions then peak_regions := !live_regions
+      | Tp.Region_release _ -> decr live_regions
+      | Tp.Evac_batch { objects; bytes } ->
+          incr evac_batches;
+          evac_objects := !evac_objects + objects;
+          evac_bytes := !evac_bytes + bytes
+      | Tp.Request_end _ -> incr requests
+      | Tp.Request_begin | Tp.Boundary _ | Tp.Recording _ -> ())
+    events;
+  let ivs =
+    merge_intervals
+      (List.filter_map
+         (fun (s, e) ->
+           let s = max s window_start and e = min e window_end in
+           if e > s then Some (s, e) else None)
+         !stw_ivs)
+  in
+  let phases =
+    Hashtbl.fold
+      (fun phase (total_ns, count) acc -> { phase; total_ns; count } :: acc)
+      phase_acc []
+    |> List.sort (fun a b -> compare a.phase b.phase)
+  in
+  {
+    window_start;
+    window_end;
+    stw = pause_stats_of !stw_durs;
+    stalls = pause_stats_of !stall_durs;
+    mmu = mmu_curve ivs ~lo:window_start ~hi:window_end;
+    phases;
+    peak_regions = !peak_regions;
+    region_claims = !claims;
+    evac_batches = !evac_batches;
+    evac_objects = !evac_objects;
+    evac_bytes = !evac_bytes;
+    requests = !requests;
+  }
+
+let span_ns t = t.window_end - t.window_start
+
+(** Utilization guaranteed for any window at least [w] ns long: the
+    curve value at the largest ladder rung <= [w] (conservative — the
+    envelope is non-decreasing), or the first rung's value when [w] is
+    below the whole ladder. *)
+let mmu_at t w =
+  match t.mmu with
+  | [] -> 1.
+  | (_, u0) :: _ ->
+      List.fold_left (fun acc (w', u) -> if w' <= w then u else acc) u0 t.mmu

@@ -1,0 +1,228 @@
+(** Trace exporters: Chrome [trace_event] JSON, the compact golden text
+    format, a first-divergence differ for golden tests, and the
+    MMU/pause-percentile summary table.
+
+    Every exporter is a pure string producer — file IO belongs to the
+    CLI and bench layers — and every number is formatted from integers
+    (microsecond timestamps are rendered as [ns/1000 "." ns mod 1000]),
+    so output is byte-stable across hosts. *)
+
+module Tp = Runtime.Tracepoint
+
+let spf = Printf.sprintf
+
+(* -- golden text format ---------------------------------------------- *)
+
+let kind_letter = function
+  | Sim.Engine.Mutator -> "M"
+  | Sim.Engine.Gc -> "G"
+  | Sim.Engine.Aux -> "A"
+
+let event_code (p : Tp.payload) =
+  match p with
+  | Tp.Phase_begin { name } -> "PB " ^ name
+  | Tp.Phase_end { name } -> "PE " ^ name
+  | Tp.Pause { kind; start_ns; dur_ns } ->
+      spf "PAUSE %s %d %d" kind start_ns dur_ns
+  | Tp.Region_claim { rid; rkind } -> spf "RC %d %s" rid rkind
+  | Tp.Region_release { rid; rkind; used } -> spf "RR %d %s %d" rid rkind used
+  | Tp.Evac_batch { objects; bytes } -> spf "EV %d %d" objects bytes
+  | Tp.Boundary { collector; boundary } -> spf "BND %s %s" collector boundary
+  | Tp.Request_begin -> "RQB"
+  | Tp.Request_end { latency_ns; tax_ns } -> spf "RQE %d %d" latency_ns tax_ns
+  | Tp.Recording { on } -> if on then "REC on" else "REC off"
+
+(** Render a finished trace in the line-oriented golden format:
+    a version header, [# key=value] metadata in the given order, one
+    [T tid kind name] line per thread, then one [E ts tid CODE ...] line
+    per event in emission order. *)
+let to_text ?(meta = []) trace =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "# gcsim-trace v1\n";
+  List.iter (fun (k, v) -> Buffer.add_string b (spf "# %s=%s\n" k v)) meta;
+  List.iter
+    (fun (tid, name, kind) ->
+      Buffer.add_string b (spf "T %d %s %s\n" tid (kind_letter kind) name))
+    (Trace.threads trace);
+  Trace.iter
+    (fun (e : Trace.event) ->
+      Buffer.add_string b
+        (spf "E %d %d %s\n" e.Trace.ts e.Trace.tid (event_code e.Trace.payload)))
+    trace;
+  Buffer.contents b
+
+(* -- golden differ --------------------------------------------------- *)
+
+(** Compare two golden-format dumps; [None] when identical, otherwise a
+    report naming the first divergent line (1-based) with both versions
+    — the [dune runtest] failure mode for golden traces. *)
+let diff_text ~expected ~actual =
+  if String.equal expected actual then None
+  else begin
+    let el = String.split_on_char '\n' expected in
+    let al = String.split_on_char '\n' actual in
+    let rec first_diff i = function
+      | [], [] -> (i, "<end of file>", "<end of file>")
+      | e :: _, [] -> (i, e, "<end of file>")
+      | [], a :: _ -> (i, "<end of file>", a)
+      | e :: es, a :: as_ ->
+          if String.equal e a then first_diff (i + 1) (es, as_)
+          else (i, e, a)
+    in
+    let line, e, a = first_diff 1 (el, al) in
+    Some
+      (spf
+         "golden trace mismatch at line %d\n  expected: %s\n  actual:   %s\n\
+          (expected %d lines, actual %d lines)"
+         line e a (List.length el) (List.length al))
+  end
+
+(* -- Chrome trace_event JSON ------------------------------------------ *)
+
+(* Engine timestamps are virtual ns; Chrome wants microseconds.  Format
+   as a fixed-point decimal from the integer ns value — no float ever
+   touches a timestamp. *)
+let us ns = spf "%d.%03d" (ns / 1000) (ns mod 1000)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (spf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Chrome rejects negative tids; events emitted outside the engine
+   (tid -1, harness code) land on a synthetic "host" track. *)
+let host_tid = 1_000_000
+
+let chrome_tid tid = if tid < 0 then host_tid else tid
+
+(** Render a finished trace as Chrome [trace_event] JSON (load via
+    chrome://tracing or https://ui.perfetto.dev).  Spans become B/E
+    pairs, pauses complete X slices placed at their true start, region
+    claims/releases drive a [regions_in_use] counter track, and
+    everything else is an instant. *)
+let to_chrome_json ?(meta = []) trace =
+  let b = Buffer.create 16384 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  let first = ref true in
+  let ev s =
+    if !first then first := false else Buffer.add_string b ",\n";
+    Buffer.add_string b s
+  in
+  ev "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"gcsim\"}}";
+  List.iter
+    (fun (tid, name, kind) ->
+      ev
+        (spf
+           "{\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"%s (%s)\"}}"
+           (chrome_tid tid) (json_escape name) (kind_letter kind)))
+    (Trace.threads trace);
+  ev
+    (spf
+       "{\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"host\"}}"
+       host_tid);
+  let regions = ref 0 in
+  Trace.iter
+    (fun (e : Trace.event) ->
+      let tid = chrome_tid e.Trace.tid in
+      let ts = us e.Trace.ts in
+      match e.Trace.payload with
+      | Tp.Phase_begin { name } ->
+          ev
+            (spf
+               "{\"ph\":\"B\",\"pid\":0,\"tid\":%d,\"ts\":%s,\"cat\":\"phase\",\"name\":\"%s\"}"
+               tid ts (json_escape name))
+      | Tp.Phase_end { name } ->
+          ev
+            (spf
+               "{\"ph\":\"E\",\"pid\":0,\"tid\":%d,\"ts\":%s,\"cat\":\"phase\",\"name\":\"%s\"}"
+               tid ts (json_escape name))
+      | Tp.Pause { kind; start_ns; dur_ns } ->
+          ev
+            (spf
+               "{\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%s,\"dur\":%s,\"cat\":\"pause\",\"name\":\"pause:%s\"}"
+               tid (us start_ns) (us dur_ns) (json_escape kind))
+      | Tp.Region_claim _ ->
+          incr regions;
+          ev
+            (spf
+               "{\"ph\":\"C\",\"pid\":0,\"ts\":%s,\"name\":\"regions_in_use\",\"args\":{\"regions\":%d}}"
+               ts !regions)
+      | Tp.Region_release _ ->
+          decr regions;
+          ev
+            (spf
+               "{\"ph\":\"C\",\"pid\":0,\"ts\":%s,\"name\":\"regions_in_use\",\"args\":{\"regions\":%d}}"
+               ts !regions)
+      | Tp.Evac_batch { objects; bytes } ->
+          ev
+            (spf
+               "{\"ph\":\"i\",\"pid\":0,\"tid\":%d,\"ts\":%s,\"s\":\"t\",\"cat\":\"evac\",\"name\":\"evac\",\"args\":{\"objects\":%d,\"bytes\":%d}}"
+               tid ts objects bytes)
+      | Tp.Boundary { collector; boundary } ->
+          ev
+            (spf
+               "{\"ph\":\"i\",\"pid\":0,\"tid\":%d,\"ts\":%s,\"s\":\"t\",\"cat\":\"boundary\",\"name\":\"bnd:%s\",\"args\":{\"collector\":\"%s\"}}"
+               tid ts (json_escape boundary) (json_escape collector))
+      | Tp.Request_begin ->
+          ev
+            (spf
+               "{\"ph\":\"B\",\"pid\":0,\"tid\":%d,\"ts\":%s,\"cat\":\"request\",\"name\":\"request\"}"
+               tid ts)
+      | Tp.Request_end { latency_ns; tax_ns } ->
+          ev
+            (spf
+               "{\"ph\":\"E\",\"pid\":0,\"tid\":%d,\"ts\":%s,\"cat\":\"request\",\"name\":\"request\",\"args\":{\"latency_ns\":%d,\"tax_ns\":%d}}"
+               tid ts latency_ns tax_ns)
+      | Tp.Recording { on } ->
+          ev
+            (spf
+               "{\"ph\":\"i\",\"pid\":0,\"tid\":%d,\"ts\":%s,\"s\":\"g\",\"name\":\"recording-%s\"}"
+               tid ts
+               (if on then "on" else "off")))
+    trace;
+  Buffer.add_string b "],\n\"displayTimeUnit\":\"ms\",\n\"otherData\":{";
+  let first_m = ref true in
+  List.iter
+    (fun (k, v) ->
+      if !first_m then first_m := false else Buffer.add_char b ',';
+      Buffer.add_string b
+        (spf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+    meta;
+  Buffer.add_string b "}}\n";
+  Buffer.contents b
+
+(* -- summary table ---------------------------------------------------- *)
+
+let pct u = spf "%5.1f%%" (100. *. u)
+
+(** One collector's MMU / pause-percentile line. *)
+let summary_row ~collector (a : Analyze.t) =
+  spf "%-10s %6d %9s %9s %9s %9s  %s %s %s  %7d %9s" collector
+    a.Analyze.stw.Analyze.count
+    (Util.Units.pp_time_ns a.Analyze.stw.Analyze.p50_ns)
+    (Util.Units.pp_time_ns a.Analyze.stw.Analyze.p95_ns)
+    (Util.Units.pp_time_ns a.Analyze.stw.Analyze.p99_ns)
+    (Util.Units.pp_time_ns a.Analyze.stw.Analyze.max_ns)
+    (pct (Analyze.mmu_at a 1_000_000))
+    (pct (Analyze.mmu_at a 10_000_000))
+    (pct (Analyze.mmu_at a 100_000_000))
+    a.Analyze.evac_batches
+    (Util.Units.pp_bytes a.Analyze.evac_bytes)
+
+let summary_header =
+  spf "%-10s %6s %9s %9s %9s %9s  %6s %6s %6s  %7s %9s" "collector" "pauses"
+    "p50" "p95" "p99" "max" "mmu1ms" "mmu10" "mmu100" "batches" "evacuated"
+
+(** The MMU/pause-percentile table for a list of analyzed runs. *)
+let summary_table rows =
+  String.concat "\n"
+    (summary_header
+    :: List.map (fun (collector, a) -> summary_row ~collector a) rows)

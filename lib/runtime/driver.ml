@@ -25,11 +25,30 @@ let spawn_mutator rt ~name body =
         raise e);
       Mutator.finish m)
 
+(* Run one request, bracketed by trace events when a tracer is on.
+   [lat_from] is the instant latency is measured from — service start
+   for closed/fixed loops, arrival for the open loop (queueing counts).
+   Returns the measured latency. *)
+let traced_request rt ~lat_from ~request m =
+  let traced = Rt.tracing rt in
+  if traced then begin
+    (* Reset the tax meter so Request_end carries this request's delta
+       (tax accrued between requests is nobody's). *)
+    ignore (Mutator.take_tax m);
+    Rt.trace rt Tracepoint.Request_begin
+  end;
+  request m;
+  let lat = Mutator.now m - lat_from in
+  if traced then
+    Rt.trace rt
+      (Tracepoint.Request_end { latency_ns = lat; tax_ns = Mutator.take_tax m });
+  lat
+
 let closed_loop rt ~request m =
   while not rt.Rt.stop_flag do
     let t0 = Mutator.now m in
-    request m;
-    Metrics.record_latency rt.Rt.metrics (Mutator.now m - t0)
+    Metrics.record_latency rt.Rt.metrics
+      (traced_request rt ~lat_from:t0 ~request m)
   done
 
 let open_loop rt ~request ~mean_interarrival_ns m =
@@ -47,8 +66,8 @@ let open_loop rt ~request ~mean_interarrival_ns m =
     if not rt.Rt.stop_flag then begin
       let arrival = !next_arrival in
       advance ();
-      request m;
-      Metrics.record_latency rt.Rt.metrics (Mutator.now m - arrival)
+      Metrics.record_latency rt.Rt.metrics
+        (traced_request rt ~lat_from:arrival ~request m)
     end
   done
 
@@ -59,8 +78,8 @@ let fixed_loop rt ~request ~remaining m =
     else begin
       decr remaining;
       let t0 = Mutator.now m in
-      request m;
-      Metrics.record_latency rt.Rt.metrics (Mutator.now m - t0)
+      Metrics.record_latency rt.Rt.metrics
+        (traced_request rt ~lat_from:t0 ~request m)
     end
   done
 

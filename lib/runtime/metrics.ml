@@ -38,6 +38,11 @@ type phase = {
 
 type t = {
   mutable recording : bool;
+  mutable tracer : Tracepoint.sink option;
+      (** observability sink ([lib/obs]); [None] (the default) keeps
+          every emission site down to one load and one branch, and no
+          payload is allocated.  Emissions never tick the engine, so a
+          tracer cannot perturb simulated time. *)
   mutable window_start : int;
   mutable window_end : int;
   mutable busy_window_start : int;  (** engine busy-ns when recording began *)
@@ -54,6 +59,7 @@ type t = {
 let create () =
   {
     recording = true;
+    tracer = None;
     window_start = 0;
     window_end = 0;
     busy_window_start = 0;
@@ -67,7 +73,12 @@ let create () =
     requests_completed = 0;
   }
 
+let set_tracer t sink = t.tracer <- sink
+
 let set_recording ?(busy = 0) t ~now on =
+  (match t.tracer with
+  | Some f -> f (Tracepoint.Recording { on })
+  | None -> ());
   t.recording <- on;
   if on then begin
     t.window_start <- now;
@@ -95,6 +106,15 @@ let record_latency t ns =
 (** Pauses affect every mutator; stalls hit one mutator but have the same
     effect on its latency (§2.2), so both feed pause statistics. *)
 let record_pause t ~at ~dur kind =
+  (* The trace sees every pause, warmup included: the Recording markers
+     delimit the measurement window, so the analyzer can filter while
+     the raw timeline stays complete. *)
+  (match t.tracer with
+  | Some f ->
+      f
+        (Tracepoint.Pause
+           { kind = pause_kind_to_string kind; start_ns = at; dur_ns = dur })
+  | None -> ());
   if t.recording then begin
     Util.Vec.push t.pauses { at; dur; kind };
     Util.Histogram.record t.pause_hist dur;
@@ -121,6 +141,9 @@ let phase_begin t name ~now =
             re-begun at %dns without phase_end)"
            name t0 now)
   | None -> ());
+  (match t.tracer with
+  | Some f -> f (Tracepoint.Phase_begin { name })
+  | None -> ());
   p.started_at <- Some now
 
 let phase_end t name ~now =
@@ -128,6 +151,9 @@ let phase_end t name ~now =
   match p.started_at with
   | None -> invalid_arg ("Metrics.phase_end without begin: " ^ name)
   | Some t0 ->
+      (match t.tracer with
+      | Some f -> f (Tracepoint.Phase_end { name })
+      | None -> ());
       p.started_at <- None;
       if t.recording then begin
         p.total_ns <- p.total_ns + (now - t0);

@@ -20,6 +20,9 @@ type t = {
   mutable tlab : Heap.Region.t option;
   mutable ops : int;  (** ops since the last safepoint poll *)
   mutable pending_ns : int;  (** accumulated unflushed CPU cost *)
+  mutable tax_ns : int;
+      (** cumulative mutator-tax surcharge ({!taxed}); the request driver
+          reads deltas per request for the trace ({!take_tax}) *)
 }
 
 let poll_interval = 24
@@ -40,6 +43,7 @@ let create rt =
       tlab = None;
       ops = 0;
       pending_ns = 0;
+      tax_ns = 0;
     }
   in
   Safepoint.register rt.Rt.safepoint;
@@ -75,7 +79,19 @@ let maybe_check m =
    The common case is a zero tax; skip the mul/div every op then. *)
 let taxed m ns =
   let pct = m.rt.Rt.collector.mutator_tax_pct in
-  if pct = 0 then ns else ns + (ns * pct / 100)
+  if pct = 0 then ns
+  else begin
+    let extra = ns * pct / 100 in
+    m.tax_ns <- m.tax_ns + extra;
+    ns + extra
+  end
+
+(** Tax charged since the last call (the per-request delta the driver
+    attaches to [Request_end] trace events). *)
+let take_tax m =
+  let t = m.tax_ns in
+  m.tax_ns <- 0;
+  t
 
 let tick m ns = m.pending_ns <- m.pending_ns + taxed m ns
 

@@ -21,6 +21,8 @@ type t = {
   mutable tlab : Heap.Region.t option;
   mutable ops : int;
   mutable pending_ns : int;
+  mutable tax_ns : int;
+      (** cumulative mutator-tax surcharge; {!take_tax} reads deltas *)
 }
 
 val create : Rt.t -> t
@@ -33,6 +35,10 @@ val finish : t -> unit
 
 val now : t -> int
 (** Virtual time (flushes the batched cost accumulator first). *)
+
+val take_tax : t -> int
+(** Mutator-tax ns accrued since the last call (and reset the meter);
+    the request driver attaches this to [Request_end] trace events. *)
 
 val work : t -> int -> unit
 (** Burn application CPU, polling safepoints every few microseconds. *)

@@ -107,10 +107,28 @@ let create ~seed ~engine ~heap () =
 
 let install_collector t c = t.collector <- c
 
+(** Emit an observability event ([lib/obs]); one load and one branch
+    when no tracer is installed.  Callers must build the payload inside
+    their own tracer check when allocation in the disabled case matters
+    — this helper is for sites that pass a preconstructed payload. *)
+let trace t payload =
+  match t.metrics.Metrics.tracer with None -> () | Some f -> f payload
+
+let tracing t = t.metrics.Metrics.tracer <> None
+
 (** Announce a collector phase boundary to an installed sanitizer.  The
     hook runs synchronously in the calling fiber and must not tick, so a
     disabled sanitizer leaves simulated traces bit-identical. *)
 let fire_phase ?collector t phase =
+  (match t.metrics.Metrics.tracer with
+  | Some f ->
+      let collector =
+        match collector with Some c -> c | None -> t.collector.cname
+      in
+      f
+        (Tracepoint.Boundary
+           { collector; boundary = Vhook.phase_to_string phase })
+  | None -> ());
   match t.phase_hook with
   | None -> ()
   | Some f ->

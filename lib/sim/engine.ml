@@ -159,6 +159,11 @@ let cond name = { cname = name; waiters = Queue.create () }
     host code outside {!run}) is executing. *)
 let current_tid t = t.current.tid
 
+(** Every thread ever spawned, ascending tid — the observability
+    exporters ([lib/obs]) name trace timelines from this. *)
+let thread_info t =
+  List.rev_map (fun th -> (th.tid, th.name, th.kind)) t.all_threads
+
 (** Install (or remove) the scheduling-event tracer.  [None] — the
     default — keeps every event site down to one branch. *)
 let set_tracer t f = t.tracer <- f

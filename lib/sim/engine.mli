@@ -172,3 +172,9 @@ val choice_points : t -> int
 val current_tid : t -> int
 (** Tid of the thread the engine is driving right now; [-1] when called
     from outside {!run} (setup code, the scheduler itself). *)
+
+val thread_info : t -> (int * string * kind) list
+(** Every thread ever spawned, as [(tid, name, kind)] in ascending tid
+    order (spawn order).  Thread values outlive their coroutines, so
+    this is valid after {!run} returns — the observability exporters
+    label trace timelines from it. *)

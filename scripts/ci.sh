@@ -69,6 +69,50 @@ dune exec bin/gcsim.exe -- check -c jade -w avrora \
 diff -u /tmp/ci_check_j1.txt /tmp/ci_check_j2.txt
 echo "check -j 2 output identical to -j 1"
 
+echo "== lint-ast obs probe (lib/obs is part of the linted tree) =="
+# Same adversarial probe as above, planted in the observability library:
+# the tracing/analysis layer runs host-side but must stay deterministic
+# (its output is golden-tested byte-for-byte), so it is linted too.
+probe=lib/obs/ci_probe_deleteme.ml
+printf 'module R = Random\nlet x = R.int 3\n' > "$probe"
+if bash scripts/lint_purity.sh > /tmp/ci_lint_obs_probe.txt 2>&1; then
+  rm -f "$probe"
+  echo "lint-ast obs probe FAILED: planted R1 violation was not caught" >&2
+  cat /tmp/ci_lint_obs_probe.txt >&2
+  exit 1
+fi
+rm -f "$probe"
+grep -q 'ci_probe_deleteme.*R1' /tmp/ci_lint_obs_probe.txt || {
+  echo "lint-ast obs probe FAILED: rejection did not name the probe/R1" >&2
+  cat /tmp/ci_lint_obs_probe.txt >&2
+  exit 1
+}
+echo "lint-ast obs probe OK (planted violation rejected)"
+
+echo "== golden-trace fence (gcsim trace reproduces committed goldens) =="
+# `gcsim trace` defaults are the golden scenario (lusearch, 4 cores,
+# 1.5x heap, seed 42, 600 requests) — the same streams dune runtest
+# snapshot-tests for all eight collectors.  Re-deriving two of them
+# through the CLI path proves the CLI, the harness seam and the test
+# harness agree byte-for-byte, and leaves a Chrome-JSON artifact
+# (/tmp/ci_trace_jade.json, viewable in chrome://tracing or
+# ui.perfetto.dev) behind for inspection.
+for c in jade g1; do
+  dune exec bin/gcsim.exe -- trace -c "$c" \
+    --golden "/tmp/ci_trace_$c.trace" --out "/tmp/ci_trace_$c.json" \
+    > /dev/null
+  diff -u "test/golden/$c.trace" "/tmp/ci_trace_$c.trace"
+done
+echo "golden traces reproduced via the CLI (jade, g1)"
+
+echo "== zero-perturbation fence (tracing must not move simulated time) =="
+# Attaching the tracer must not move a single simulated number, the
+# stream must be byte-identical at -j1 and -j4, and same-seed runs must
+# match byte-for-byte.  These fences live in the obs suite's
+# determinism group; run it explicitly so a CI log names it even when
+# someone trims dune runtest.
+dune exec test/test_obs.exe -- test determinism
+
 echo "== bench smoke (quick micro) =="
 dune exec bench/main.exe -- --quick micro
 

@@ -39,7 +39,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-LINTED="lib/sim lib/core lib/heap lib/collectors"
+LINTED="lib/sim lib/core lib/heap lib/collectors lib/obs"
 AUX="--aux lib/util --aux lib/runtime --aux lib/experiments"
 
 dune build tools/gcsim_lint/main.exe 2>&1

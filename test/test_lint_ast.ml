@@ -188,7 +188,8 @@ let test_real_tree_clean () =
   let lib d = Filename.concat root (Filename.concat "lib" d) in
   let diags, nfiles =
     Lint_core.run_dirs
-      ~linted_dirs:[ lib "sim"; lib "core"; lib "heap"; lib "collectors" ]
+      ~linted_dirs:
+        [ lib "sim"; lib "core"; lib "heap"; lib "collectors"; lib "obs" ]
       ~aux_dirs:[ lib "util"; lib "runtime"; lib "experiments" ]
   in
   Alcotest.(check bool) "saw the whole tree (>= 30 files)" true (nfiles >= 30);
