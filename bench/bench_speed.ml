@@ -28,6 +28,16 @@ let baseline : string option ref = ref None
    regression of any sim_ns_per_host_s row). *)
 let fail_under : float option ref = ref None
 
+(* [--fail-alloc-over R]: exit nonzero when a closed-loop row's host
+   allocation rate (minor words per simulated ns) exceeds R times the
+   baseline's.  The rate has a fixed startup component, so it only
+   compares between runs of the same duration: quick runs gate against
+   the committed BENCH_speed_quick.json, full runs against
+   BENCH_speed.json.  scripts/ci.sh passes 1.10: a >10% allocation
+   regression on the heap hot path fails CI.  Unlike wall-clock, the
+   meter is deterministic for a fixed seed, so the gate can be tight. *)
+let fail_alloc_over : float option ref = ref None
+
 let ms = Util.Units.ms
 
 module Engine = Sim.Engine
@@ -105,9 +115,11 @@ let card_sweep ~sweeps () =
      the sweep has a sim-time interpretation. *)
   !hits * Heap.Costs.default.Heap.Costs.card_scan
 
-(* End-to-end: a closed-loop harness run of jade on h2-tpcc. *)
-let closed_loop ~duration () =
-  let entry = Experiments.Registry.jade in
+(* End-to-end: a closed-loop harness run of [entry] on h2-tpcc.  Three
+   rows (jade, zgc, lxr) cover the three barrier/healing styles, so the
+   allocation meter watches every flavor of the heap hot path, not just
+   the collector the paper champions. *)
+let closed_loop ~entry ~duration () =
   let app = Workload.Apps.h2_tpcc in
   let s =
     Experiments.Harness.run_closed
@@ -205,10 +217,13 @@ let write_json ~path ~quick (speeds : Experiments.Harness.speed list) =
     (fun i (s : Experiments.Harness.speed) ->
       Printf.fprintf oc
         "    {\"name\": \"%s\", \"host_s\": %.6f, \"sim_ns\": %d, \
-         \"sim_ns_per_host_s\": %.1f}%s\n"
+         \"sim_ns_per_host_s\": %.1f, \"minor_words_per_run\": %.0f, \
+         \"promoted_words_per_run\": %.0f}%s\n"
         (json_escape s.Experiments.Harness.label)
         s.Experiments.Harness.host_s s.Experiments.Harness.sim_ns
         s.Experiments.Harness.sim_ns_per_host_s
+        s.Experiments.Harness.minor_words
+        s.Experiments.Harness.promoted_words
         (if i = List.length speeds - 1 then "" else ","))
     speeds;
   Printf.fprintf oc "  ]\n}\n";
@@ -231,9 +246,19 @@ let until line start stops =
   let rec go i = if i >= n || List.mem line.[i] stops then i else go (i + 1) in
   String.sub line start (go start - start)
 
-(* Parse the run rows of a BENCH_speed.json this binary wrote:
-   name -> (host_s, sim_ns_per_host_s).  Tolerant by construction — a
-   line that is not a run row contributes nothing. *)
+(* One parsed baseline row.  [alloc_rate] is minor words per simulated
+   ns (absent from baselines written before the meter existed, or rows
+   with no sim time); comparable only between runs of the same
+   duration — see [fail_alloc_over]. *)
+type base_row = {
+  b_host_s : float;
+  b_rate : float;
+  b_alloc_rate : float option;
+}
+
+(* Parse the run rows of a BENCH_speed.json this binary wrote.
+   Tolerant by construction — a line that is not a run row contributes
+   nothing, and pre-meter baselines simply lack allocation columns. *)
 let parse_baseline path =
   let rows = ref [] in
   (try
@@ -251,7 +276,15 @@ let parse_baseline path =
                 | Some j -> float_of_string_opt (until line j [ ','; '}' ])
               in
               match (field "host_s", field "sim_ns_per_host_s") with
-              | Some h, Some r -> rows := (name, (h, r)) :: !rows
+              | Some h, Some r ->
+                  let alloc_rate =
+                    match (field "minor_words_per_run", field "sim_ns") with
+                    | Some mw, Some sn when sn > 0. -> Some (mw /. sn)
+                    | _ -> None
+                  in
+                  rows :=
+                    (name, { b_host_s = h; b_rate = r; b_alloc_rate = alloc_rate })
+                    :: !rows
               | _ -> ())
         done
       with End_of_file -> ());
@@ -275,9 +308,10 @@ let diff_against_baseline ~path (speeds : Experiments.Harness.speed list) =
         let label = s.Experiments.Harness.label in
         match List.assoc_opt label base with
         | None -> Printf.printf "    %-28s (not in baseline)\n" label
-        | Some (bh, br) ->
-            if s.Experiments.Harness.sim_ns_per_host_s > 0. && br > 0. then begin
-              let speedup = s.Experiments.Harness.sim_ns_per_host_s /. br in
+        | Some b ->
+            if s.Experiments.Harness.sim_ns_per_host_s > 0. && b.b_rate > 0.
+            then begin
+              let speedup = s.Experiments.Harness.sim_ns_per_host_s /. b.b_rate in
               let flag =
                 match !fail_under with
                 | Some thr when speedup < thr ->
@@ -286,16 +320,44 @@ let diff_against_baseline ~path (speeds : Experiments.Harness.speed list) =
                 | _ -> ""
               in
               Printf.printf "    %-28s %5.2fx  (%.1f -> %.1f sim-us/host-ms)%s\n"
-                label speedup (br /. 1e6)
+                label speedup (b.b_rate /. 1e6)
                 (s.Experiments.Harness.sim_ns_per_host_s /. 1e6)
-                flag
+                flag;
+              (* Allocation gate: compare minor words per simulated ns
+                 against a same-duration baseline (quick vs quick, full
+                 vs full — the rate's startup component doesn't scale
+                 with duration).  Only the closed-loop rows run the
+                 heap hot path this meter guards; engine micro-rows
+                 churn host memory by design. *)
+              match (b.b_alloc_rate, !fail_alloc_over) with
+              | Some ba, _
+                when ba > 0. && s.Experiments.Harness.sim_ns > 0
+                     && String.length label >= 11
+                     && String.sub label 0 11 = "closed-loop" ->
+                  let cur =
+                    s.Experiments.Harness.minor_words
+                    /. float_of_int s.Experiments.Harness.sim_ns
+                  in
+                  let ratio = cur /. ba in
+                  let flag =
+                    match !fail_alloc_over with
+                    | Some thr when ratio > thr ->
+                        ok := false;
+                        "  ALLOC REGRESSED"
+                    | _ -> ""
+                  in
+                  (* words/sim-ns numerically equals mwords/sim-ms. *)
+                  Printf.printf
+                    "    %-28s %5.2fx  alloc (%.1f -> %.1f mwords/sim-ms)%s\n"
+                    "" ratio ba cur flag
+              | _ -> ()
             end
-            else if bh > 0. then
+            else if b.b_host_s > 0. then
               (* No sim rate (micro suites): host time ratio, informational
                  only — not gated. *)
               Printf.printf "    %-28s %5.2fx  (host %.3fs -> %.3fs)\n" label
-                (bh /. s.Experiments.Harness.host_s)
-                bh s.Experiments.Harness.host_s)
+                (b.b_host_s /. s.Experiments.Harness.host_s)
+                b.b_host_s s.Experiments.Harness.host_s)
       speeds;
     Printf.printf "%!";
     !ok
@@ -316,7 +378,14 @@ let all () =
         (idle_jump ~virtual_ns:(scale (40_000 * ms)));
       measure ~label:"card-sweep" (card_sweep ~sweeps:(scale 2_000));
       measure ~label:"closed-loop-jade-h2"
-        (closed_loop ~duration:(scale (400 * ms)));
+        (closed_loop ~entry:Experiments.Registry.jade
+           ~duration:(scale (400 * ms)));
+      measure ~label:"closed-loop-zgc-h2"
+        (closed_loop ~entry:Experiments.Registry.zgc
+           ~duration:(scale (400 * ms)));
+      measure ~label:"closed-loop-lxr-h2"
+        (closed_loop ~entry:Experiments.Registry.lxr
+           ~duration:(scale (400 * ms)));
       (let schedules = if q then 32 else 128 in
        measure
          ~label:(Printf.sprintf "check-rand-%d-j1" schedules)
@@ -346,8 +415,14 @@ let all () =
         "  !! check-rand sim_ns differs between -j1 and -j%d (determinism bug)\n%!"
         !jobs
   | _ -> ());
-  write_json ~path:"BENCH_speed.json" ~quick:q speeds;
-  print_endline "  -> BENCH_speed.json";
+  (* Quick and full runs write separate artifacts: the allocation meter
+     has a fixed startup component (heap + workload construction), so
+     per-sim-ns rates only compare between runs of the same duration.
+     CI's quick smoke gates against the committed quick baseline; the
+     full file is the cross-PR trajectory. *)
+  let json_path = if q then "BENCH_speed_quick.json" else "BENCH_speed.json" in
+  write_json ~path:json_path ~quick:q speeds;
+  print_endline ("  -> " ^ json_path);
   match !baseline with
   | None -> ()
   | Some path ->

@@ -65,6 +65,15 @@ let () =
               failwith
                 (Printf.sprintf "--fail-under %s: want a positive ratio" v))
       | [ "--fail-under" ] -> failwith "--fail-under needs a value"
+      | "--fail-alloc-over" :: v :: rest -> (
+          match float_of_string_opt v with
+          | Some r when r > 0. ->
+              Bench_speed.fail_alloc_over := Some r;
+              go acc rest
+          | _ ->
+              failwith
+                (Printf.sprintf "--fail-alloc-over %s: want a positive ratio" v))
+      | [ "--fail-alloc-over" ] -> failwith "--fail-alloc-over needs a value"
       | a :: rest -> go (a :: acc) rest
     in
     go [] args

@@ -80,9 +80,9 @@ let emit t ~invariant ?region ?object_id fmt =
 (** Follow a forwarding chain with a cycle guard; [None] on runaway. *)
 let chase o =
   let rec go (o : Gobj.t) n =
-    match o.Gobj.forward with
-    | None -> Some o
-    | Some o' -> if n = 0 then None else go o' (n - 1)
+    if not (Gobj.is_forwarded o) then Some o
+    else if n = 0 then None
+    else go o.Gobj.forward (n - 1)
   in
   go o 64
 
@@ -204,9 +204,8 @@ let check_reachability t =
       else stack := o :: !stack
     end
   in
-  RtM.iter_roots t.rt (function
-    | Some o -> visit ~from:"a root slot" o
-    | None -> ());
+  RtM.iter_roots t.rt (fun o ->
+      if o != Gobj.null then visit ~from:"a root slot" o);
   let continue_ = ref true in
   while !continue_ do
     match !stack with

@@ -80,9 +80,11 @@ let make_claimer limit =
     cost to the calling fiber (used under STW or at init-mark). *)
 let scan_roots rt (tk : Ticker.t) f =
   let costs = rt.RtM.costs in
-  RtM.iter_roots rt (fun slot ->
+  RtM.iter_roots rt (fun o ->
+      (* Empty slots (the null sentinel) still bill a root-scan tick:
+         the stack scan touches every slot either way. *)
       Ticker.tick tk costs.Costs.root_scan;
-      match slot with None -> () | Some o -> f (Gobj.resolve o))
+      if o != Gobj.null then f (Gobj.resolve o))
 
 (* ------------------------------------------------------------------ *)
 (* SATB concurrent marking.                                             *)
@@ -117,8 +119,8 @@ module Marker = struct
       remap;
       atomic_cost;
       crdt;
-      satb = Util.Vec.create Region.dummy_obj;
-      stack = Util.Vec.create Region.dummy_obj;
+      satb = Util.Vec.create Gobj.null;
+      stack = Util.Vec.create Gobj.null;
       active = false;
       objects_marked = 0;
       epoch = 0;
@@ -158,22 +160,22 @@ module Marker = struct
     for i = 0 to nf - 1 do
       Ticker.tick tk costs.Costs.mark_ref;
       if t.atomic_cost then Ticker.tick tk costs.Costs.mark_atomic;
-      match Gobj.get_field o i with
-      | None -> ()
-      | Some child ->
-          let child' = Gobj.resolve child in
-          if t.remap && child' != child then begin
-            Ticker.tick tk costs.Costs.heal;
-            Gobj.set_field o i (Some child')
-          end;
-          (match t.crdt with
-          | Some crdt when child'.region <> o.region ->
-              Ticker.tick tk costs.Costs.crdt_record;
-              Crdt.record crdt ~card:(Heap_impl.card_of_field heap o i)
-                ~rid:child'.region
-          | _ -> ());
-          if in_scope t child' && mark t heap child' then
-            Util.Vec.push t.stack child'
+      let child = Gobj.get_field o i in
+      if child != Gobj.null then begin
+        let child' = Gobj.resolve child in
+        if t.remap && child' != child then begin
+          Ticker.tick tk costs.Costs.heal;
+          Gobj.set_field o i child'
+        end;
+        (match t.crdt with
+        | Some crdt when child'.region <> o.region ->
+            Ticker.tick tk costs.Costs.crdt_record;
+            Crdt.record crdt ~card:(Heap_impl.card_of_field heap o i)
+              ~rid:child'.region
+        | _ -> ());
+        if in_scope t child' && mark t heap child' then
+          Util.Vec.push t.stack child'
+      end
     done
 
   (* Gray an object discovered from roots or SATB. *)
@@ -252,9 +254,8 @@ module Evac = struct
       (sanitizer regression tests only): after seeing the slot empty the
       worker suspends, so a second worker can relocate the same object. *)
   let copy_object ?(racy = false) ?window d (tk : Ticker.t) (o : Gobj.t) =
-    match o.Gobj.forward with
-    | Some o' -> Gobj.resolve o'
-    | None ->
+    if Gobj.is_forwarded o then Gobj.resolve o
+    else begin
         if racy then begin
           Ticker.flush tk;
           Sim.Engine.yield ()
@@ -270,21 +271,11 @@ module Evac = struct
             Sim.Engine.tick w
         | None -> ());
         let costs = d.rt.RtM.costs in
+        let heap = d.rt.RtM.heap in
         let r = dest_region d ~size:o.Gobj.size in
-        let copy : Gobj.t =
-          {
-            id = o.Gobj.id;
-            uid = Gobj.mint d.rt.RtM.heap.Heap_impl.uids;
-            size = o.Gobj.size;
-            fields = o.Gobj.fields; (* one logical set of slots *)
-            region = r.Region.rid;
-            offset = r.Region.top;
-            forward = None;
-            mark = o.Gobj.mark;
-            ymark = o.Gobj.ymark;
-            age = o.Gobj.age + 1;
-            flags = o.Gobj.flags;
-          }
+        let copy =
+          Gobj.remake ~pool:heap.Heap_impl.pool ~uids:heap.Heap_impl.uids o
+            ~age:(o.Gobj.age + 1) ~region:r.Region.rid ~offset:r.Region.top
         in
         Heap_impl.push_relocated d.rt.RtM.heap r copy;
         Gobj.set_forward_with ~hooks:d.rt.RtM.heap.Heap_impl.hooks
@@ -294,6 +285,7 @@ module Evac = struct
           d.rt.RtM.heap.Heap_impl.bytes_allocated + o.Gobj.size;
         d.on_copied copy;
         copy
+    end
 
   (** Evacuate every live (marked) object of [region]; returns copied
       bytes.  Liveness comes from the region's live bitmap (current mark
@@ -337,11 +329,11 @@ let update_refs_in_region rt (tk : Ticker.t) (region : Region.t) =
           (costs.Costs.mark_obj + Costs.mark_size_cost costs o.Gobj.size);
         for i = 0 to Gobj.num_fields o - 1 do
           Ticker.tick tk costs.Costs.mark_ref;
-          match Gobj.get_field o i with
-          | Some child when Gobj.is_forwarded child ->
-              Ticker.tick tk costs.Costs.heal;
-              Gobj.set_field o i (Some (Gobj.resolve child))
-          | _ -> ()
+          let child = Gobj.get_field o i in
+          if Gobj.is_forwarded child then begin
+            Ticker.tick tk costs.Costs.heal;
+            Gobj.set_field o i (Gobj.resolve child)
+          end
         done
       end)
     region.Region.objects
@@ -353,11 +345,11 @@ let update_refs_in_card rt (tk : Ticker.t) card =
   let costs = rt.RtM.costs in
   Ticker.tick tk costs.Costs.card_scan;
   Heap_impl.scan_card heap card ~f:(fun o i ->
-      match Gobj.get_field o i with
-      | Some child when Gobj.is_forwarded child ->
-          Ticker.tick tk costs.Costs.heal;
-          Gobj.set_field o i (Some (Gobj.resolve child))
-      | _ -> ())
+      let child = Gobj.get_field o i in
+      if Gobj.is_forwarded child then begin
+        Ticker.tick tk costs.Costs.heal;
+        Gobj.set_field o i (Gobj.resolve child)
+      end)
 
 (* ------------------------------------------------------------------ *)
 (* Paranoid validation (SIM_PARANOID=1): after a collection, walk the
@@ -385,8 +377,10 @@ let check_reachability rt ~where =
     in
     let rec visit path (o : Gobj.t) =
       let o = Gobj.resolve o in
-      if not (Hashtbl.mem seen (Obj.repr o)) then begin
-        Hashtbl.replace seen (Obj.repr o) ();
+      (* Key on uid, not the record: records are cyclic through the null
+         knot, so structural hashing of the value itself is off-limits. *)
+      if not (Hashtbl.mem seen o.Gobj.uid) then begin
+        Hashtbl.replace seen o.Gobj.uid ();
         if Gobj.is_freed o then
           raise
             (Lost_object
@@ -401,7 +395,7 @@ let check_reachability rt ~where =
         Gobj.iter_fields (fun _ c -> visit (o :: path) c) o
       end
     in
-    RtM.iter_roots rt (function Some o -> visit [] o | None -> ())
+    RtM.iter_roots rt (fun o -> if o != Gobj.null then visit [] o)
   end
 
 (** Release humongous regions whose object died per the just-completed
@@ -506,20 +500,10 @@ let stw_full_compact ?(on_live_ref = fun _ _ _ -> ()) rt =
         match pick () with
         | None -> false
         | Some d ->
-            let copy : Gobj.t =
-              {
-                id = o.Gobj.id;
-                uid = Gobj.mint heap.Heap_impl.uids;
-                size = o.Gobj.size;
-                fields = o.Gobj.fields;
-                region = d.Region.rid;
-                offset = d.Region.top;
-                forward = None;
-                mark = o.Gobj.mark;
-                ymark = o.Gobj.ymark;
-                age = o.Gobj.age + 1;
-                flags = o.Gobj.flags;
-              }
+            let copy =
+              Gobj.remake ~pool:heap.Heap_impl.pool ~uids:heap.Heap_impl.uids
+                o ~age:(o.Gobj.age + 1) ~region:d.Region.rid
+                ~offset:d.Region.top
             in
             Heap_impl.push_relocated heap d copy;
             Gobj.set_forward_with ~hooks:heap.Heap_impl.hooks
@@ -557,20 +541,10 @@ let stw_full_compact ?(on_live_ref = fun _ _ _ -> ()) rt =
             Region.clear_objects r;
             List.iter
               (fun (o : Gobj.t) ->
-                let copy : Gobj.t =
-                  {
-                    id = o.Gobj.id;
-                    uid = Gobj.mint heap.Heap_impl.uids;
-                    size = o.Gobj.size;
-                    fields = o.Gobj.fields;
-                    region = r.Region.rid;
-                    offset = r.Region.top;
-                    forward = None;
-                    mark = o.Gobj.mark;
-                    ymark = o.Gobj.ymark;
-                    age = o.Gobj.age + 1;
-                    flags = o.Gobj.flags;
-                  }
+                let copy =
+                  Gobj.remake ~pool:heap.Heap_impl.pool
+                    ~uids:heap.Heap_impl.uids o ~age:(o.Gobj.age + 1)
+                    ~region:r.Region.rid ~offset:r.Region.top
                 in
                 Heap_impl.push_relocated heap r copy;
                 Gobj.set_forward_with ~hooks:heap.Heap_impl.hooks

@@ -238,14 +238,16 @@ let run_mark_cycle t =
         let holder_r = Heap_impl.region heap holder_rid in
         if remset_rebuild_wanted holder_r then
           Heap_impl.scan_card heap card ~f:(fun o i ->
-              match Gobj.get_field o i with
-              | Some child when (Gobj.resolve child).Gobj.region <> o.Gobj.region
-                ->
-                  Common.Ticker.tick tk rt.RtM.costs.Costs.remset_insert;
-                  Region_remsets.add t.remsets
-                    ~target_rid:(Gobj.resolve child).Gobj.region
-                    ~card
-              | _ -> ());
+              let child = Gobj.get_field o i in
+              if
+                child != Gobj.null
+                && (Gobj.resolve child).Gobj.region <> o.Gobj.region
+              then begin
+                Common.Ticker.tick tk rt.RtM.costs.Costs.remset_insert;
+                Region_remsets.add t.remsets
+                  ~target_rid:(Gobj.resolve child).Gobj.region
+                  ~card
+              end);
         Heap_impl.clean_card heap card
       done);
   Metrics.phase_end metrics "g1.remset_build" ~now:(Sim.Engine.now rt.RtM.engine);
@@ -375,18 +377,15 @@ let install ?(config = default_config) rt =
   let store_barrier ~src ~field ~old_v ~new_v =
     if t.marker.Common.Marker.active then begin
       Sim.Engine.tick costs.Costs.satb_barrier;
-      match old_v with
-      | Some o -> Common.Marker.satb_enqueue t.marker o
-      | None -> ()
+      if old_v != Gobj.null then Common.Marker.satb_enqueue t.marker old_v
     end;
-    match new_v with
-    | Some child when child.Gobj.region <> src.Gobj.region ->
-        (* Post-write barrier: dirty the card; refinement inserts the
-           remembered-set entry inline. *)
-        Sim.Engine.tick costs.Costs.card_barrier;
-        Heap_impl.dirty_card heap (Heap_impl.card_of_field heap src field);
-        Stw_collect.barrier_insert rt t.remsets ~src ~field ~child
-    | _ -> ()
+    if new_v != Gobj.null && new_v.Gobj.region <> src.Gobj.region then begin
+      (* Post-write barrier: dirty the card; refinement inserts the
+         remembered-set entry inline. *)
+      Sim.Engine.tick costs.Costs.card_barrier;
+      Heap_impl.dirty_card heap (Heap_impl.card_of_field heap src field);
+      Stw_collect.barrier_insert rt t.remsets ~src ~field ~child:new_v
+    end
   in
   let alloc_failure () =
     t.urgent <- true;

@@ -130,13 +130,12 @@ let install ?(config = default_config) rt =
       || t.young.Young_gen.marker.Common.Marker.active
     then begin
       Sim.Engine.tick costs.Costs.satb_barrier;
-      (match old_v with
-      | Some o ->
-          if shen.Shenandoah.marker.Common.Marker.active then
-            Common.Marker.satb_enqueue shen.Shenandoah.marker o;
-          if t.young.Young_gen.marker.Common.Marker.active then
-            Common.Marker.satb_enqueue t.young.Young_gen.marker o
-      | None -> ())
+      if old_v != Gobj.null then begin
+        if shen.Shenandoah.marker.Common.Marker.active then
+          Common.Marker.satb_enqueue shen.Shenandoah.marker old_v;
+        if t.young.Young_gen.marker.Common.Marker.active then
+          Common.Marker.satb_enqueue t.young.Young_gen.marker old_v
+      end
     end;
     Young_gen.barrier t.young ~src ~field ~new_v
   in

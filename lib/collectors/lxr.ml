@@ -196,14 +196,10 @@ let install ?(config = default_config) rt =
     (* Field-logging RC barrier on every reference store. *)
     Sim.Engine.tick costs.Costs.rc_barrier;
     t.rc_log <- t.rc_log + 1;
-    if t.marker.Common.Marker.active then (
-      match old_v with
-      | Some o -> Common.Marker.satb_enqueue t.marker o
-      | None -> ());
-    match new_v with
-    | Some child when child.Gobj.region <> src.Gobj.region ->
-        Stw_collect.barrier_insert rt t.remsets ~src ~field ~child
-    | _ -> ()
+    if t.marker.Common.Marker.active && old_v != Gobj.null then
+      Common.Marker.satb_enqueue t.marker old_v;
+    if new_v != Gobj.null && new_v.Gobj.region <> src.Gobj.region then
+      Stw_collect.barrier_insert rt t.remsets ~src ~field ~child:new_v
   in
   let alloc_failure () =
     t.urgent <- true;

@@ -304,9 +304,7 @@ let install ?(config = default_config) rt =
     ignore new_v;
     if t.marker.Common.Marker.active then begin
       Sim.Engine.tick costs.Costs.satb_barrier;
-      match old_v with
-      | Some o -> Common.Marker.satb_enqueue t.marker o
-      | None -> ()
+      if old_v != Gobj.null then Common.Marker.satb_enqueue t.marker old_v
     end
   in
   let alloc_failure () =

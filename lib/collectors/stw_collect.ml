@@ -98,7 +98,7 @@ let collect rt ~(remsets : Region_remsets.t) ~config ~(old_cset : Region.t list)
       in
       let survivor_bytes = ref 0 in
       let survivor_cap = heap.Heap_impl.cfg.heap_bytes / 16 in
-      let scan_list = Util.Vec.create Region.dummy_obj in
+      let scan_list = Util.Vec.create Gobj.null in
       (* Copy a cset object (idempotent) and queue its copy for scanning.
          Survivor overflow promotes directly (HotSpot-style adaptive
          tenuring). *)
@@ -123,22 +123,22 @@ let collect rt ~(remsets : Region_remsets.t) ~config ~(old_cset : Region.t list)
       (* Fix one slot: copy cset children, heal staleness, and insert the
          remembered-set entries the new topology needs. *)
       let fix_slot (holder : Gobj.t) i =
-        match Gobj.get_field holder i with
-        | None -> ()
-        | Some child ->
-            Common.Ticker.tick tk costs.Costs.mark_ref;
-            let child = Gobj.resolve child in
-            note_humongous child;
-            let child = if in_cset child then copy_out child else child in
-            Gobj.set_field holder i (Some child);
-            if
-              child.Gobj.region <> holder.Gobj.region
-              && remember_from (Heap_impl.region heap holder.Gobj.region)
-            then begin
-              Common.Ticker.tick tk costs.Costs.remset_insert;
-              Region_remsets.add remsets ~target_rid:child.Gobj.region
-                ~card:(Heap_impl.card_of_field heap holder i)
-            end
+        let slot = Gobj.get_field holder i in
+        if slot != Gobj.null then begin
+          Common.Ticker.tick tk costs.Costs.mark_ref;
+          let child = Gobj.resolve slot in
+          note_humongous child;
+          let child = if in_cset child then copy_out child else child in
+          Gobj.set_field holder i child;
+          if
+            child.Gobj.region <> holder.Gobj.region
+            && remember_from (Heap_impl.region heap holder.Gobj.region)
+          then begin
+            Common.Ticker.tick tk costs.Costs.remset_insert;
+            Region_remsets.add remsets ~target_rid:child.Gobj.region
+              ~card:(Heap_impl.card_of_field heap holder i)
+          end
+        end
       in
       ((if Common.paranoid then
           Array.iter
@@ -190,44 +190,44 @@ let collect rt ~(remsets : Region_remsets.t) ~config ~(old_cset : Region.t list)
                        Common.Ticker.tick tk costs.Costs.card_scan;
                        Heap_impl.scan_card heap card ~f:(fun o i ->
                            Common.Ticker.tick tk costs.Costs.mark_ref;
-                           match Gobj.get_field o i with
-                           | Some stored ->
-                               let child = Gobj.resolve stored in
-                               (* Dead holders on this card can hold
-                                  dangling references into regions
-                                  reclaimed by earlier pauses; the target
-                                  region id may since have been recycled
-                                  into this cset, so the membership test
-                                  alone would resurrect freed garbage. *)
-                               if Gobj.is_freed child then ()
-                               else if in_cset child then begin
-                                 let child' = copy_out child in
-                                 Gobj.set_field o i (Some child');
-                                 (* The holder stays outside the cset: its
-                                    entry for the survivor's new region. *)
-                                 Common.Ticker.tick tk costs.Costs.remset_insert;
+                           let stored = Gobj.get_field o i in
+                           if stored != Gobj.null then begin
+                             let child = Gobj.resolve stored in
+                             (* Dead holders on this card can hold
+                                dangling references into regions
+                                reclaimed by earlier pauses; the target
+                                region id may since have been recycled
+                                into this cset, so the membership test
+                                alone would resurrect freed garbage. *)
+                             if Gobj.is_freed child then ()
+                             else if in_cset child then begin
+                               let child' = copy_out child in
+                               Gobj.set_field o i child';
+                               (* The holder stays outside the cset: its
+                                  entry for the survivor's new region. *)
+                               Common.Ticker.tick tk costs.Costs.remset_insert;
+                               Region_remsets.add remsets
+                                 ~target_rid:child'.Gobj.region
+                                 ~card:
+                                   (Heap_impl.card_of_field heap o i)
+                             end
+                             else if child != stored then begin
+                               (* Already evacuated via another path this
+                                  pause: healing alone would lose the
+                                  edge when the cset region's remembered
+                                  set is cleared on release — the new
+                                  location needs this holder card too. *)
+                               Gobj.set_field o i child;
+                               if child.Gobj.region <> o.Gobj.region
+                               then begin
+                                 Common.Ticker.tick tk
+                                   costs.Costs.remset_insert;
                                  Region_remsets.add remsets
-                                   ~target_rid:child'.Gobj.region
-                                   ~card:
-                                     (Heap_impl.card_of_field heap o i)
+                                   ~target_rid:child.Gobj.region
+                                   ~card:(Heap_impl.card_of_field heap o i)
                                end
-                               else if child != stored then begin
-                                 (* Already evacuated via another path this
-                                    pause: healing alone would lose the
-                                    edge when the cset region's remembered
-                                    set is cleared on release — the new
-                                    location needs this holder card too. *)
-                                 Gobj.set_field o i (Some child);
-                                 if child.Gobj.region <> o.Gobj.region
-                                 then begin
-                                   Common.Ticker.tick tk
-                                     costs.Costs.remset_insert;
-                                   Region_remsets.add remsets
-                                     ~target_rid:child.Gobj.region
-                                     ~card:(Heap_impl.card_of_field heap o i)
-                                 end
-                               end
-                           | None -> ())
+                             end
+                           end)
                      end)
                    rs)
            !cset;
@@ -268,7 +268,7 @@ let collect rt ~(remsets : Region_remsets.t) ~config ~(old_cset : Region.t list)
              Gobj.iter_fields (fun _ c -> visit (o :: path) c) o
            end
          in
-         RtM.iter_roots rt (function Some o -> visit [] o | None -> ())
+         RtM.iter_roots rt (fun o -> if o != Gobj.null then visit [] o)
        end);
       let reclaimed = ref 0 in
       if not !failed then begin
@@ -301,14 +301,16 @@ let collect rt ~(remsets : Region_remsets.t) ~config ~(old_cset : Region.t list)
                       (fun card ->
                         Common.Ticker.tick tk costs.Costs.card_scan;
                         Heap_impl.scan_card heap card ~f:(fun o i ->
-                            match Gobj.get_field o i with
-                            | Some child
-                              when (Gobj.resolve child).Gobj.region
-                                   = r.Region.rid ->
-                                ignore o;
-                                ignore i;
-                                referenced := true
-                            | _ -> ()))
+                            let child = Gobj.get_field o i in
+                            if
+                              child != Gobj.null
+                              && (Gobj.resolve child).Gobj.region
+                                 = r.Region.rid
+                            then begin
+                              ignore o;
+                              ignore i;
+                              referenced := true
+                            end))
                       rs);
               if not !referenced then begin
                 Region_remsets.clear remsets r.Region.rid;

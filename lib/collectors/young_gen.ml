@@ -74,14 +74,14 @@ let is_old heap (o : Gobj.t) =
 (** Write-barrier hook: remember old-to-young stores; during a young
     cycle also gray the stored value so concurrently created references
     are not lost. *)
-let barrier t ~(src : Gobj.t) ~field ~(new_v : Gobj.t option) =
+let barrier t ~(src : Gobj.t) ~field ~(new_v : Gobj.t) =
   let heap = t.rt.RtM.heap in
-  match new_v with
-  | Some child when is_old heap src && is_young heap child ->
-      Sim.Engine.tick t.rt.RtM.costs.Costs.card_barrier;
-      ignore (Remset.add t.remset (Heap_impl.card_of_field heap src field));
-      if t.young_cycle_active then Util.Vec.push t.marker.Common.Marker.satb child
-  | _ -> ()
+  (* Null first: the sentinel's region id (-1) must never be looked up. *)
+  if new_v != Gobj.null && is_old heap src && is_young heap new_v then begin
+    Sim.Engine.tick t.rt.RtM.costs.Costs.card_barrier;
+    ignore (Remset.add t.remset (Heap_impl.card_of_field heap src field));
+    if t.young_cycle_active then Util.Vec.push t.marker.Common.Marker.satb new_v
+  end
 
 let young_regions t =
   let heap = t.rt.RtM.heap in
@@ -103,14 +103,14 @@ let scan_remset_roots t tk =
       else begin
         let found = ref false in
         Heap_impl.scan_card heap card ~f:(fun o i ->
-            match Gobj.get_field o i with
-            | Some child ->
-                let child = Gobj.resolve child in
-                if is_young heap child then begin
-                  found := true;
-                  Common.Marker.gray t.marker child
-                end
-            | None -> ());
+            let slot = Gobj.get_field o i in
+            if slot != Gobj.null then begin
+              let child = Gobj.resolve slot in
+              if is_young heap child then begin
+                found := true;
+                Common.Marker.gray t.marker child
+              end
+            end);
         if not !found then prune := card :: !prune
       end)
     t.remset;

@@ -125,9 +125,9 @@ let run_cycle t =
           | _copied ->
               Util.Vec.iter
                 (fun (o : Gobj.t) ->
-                  match o.Gobj.forward with
-                  | Some o' -> Forwarding.add fwd ~old_offset:o.Gobj.offset o'
-                  | None -> ())
+                  if Gobj.is_forwarded o then
+                    Forwarding.add fwd ~old_offset:o.Gobj.offset
+                      o.Gobj.forward)
                 r.Region.objects;
               t.forwarding <- fwd :: t.forwarding;
               Metrics.add rt.RtM.metrics "zgc.reclaimed_bytes" r.Region.top;
@@ -193,9 +193,7 @@ let install ?(config = default_config) rt =
     ignore new_v;
     if t.marker.Common.Marker.active then begin
       Sim.Engine.tick costs.Costs.satb_barrier;
-      match old_v with
-      | Some o -> Common.Marker.satb_enqueue t.marker o
-      | None -> ()
+      if old_v != Gobj.null then Common.Marker.satb_enqueue t.marker old_v
     end
   in
   let alloc_failure () =

@@ -188,9 +188,8 @@ let install ?(config = Jade_config.default) rt =
   let store_barrier ~src ~field ~old_v ~new_v =
     if t.old_gc.Old.marker.Common.Marker.active then begin
       Sim.Engine.tick costs.Costs.satb_barrier;
-      match old_v with
-      | Some o -> Common.Marker.satb_enqueue t.old_gc.Old.marker o
-      | None -> ()
+      if old_v != Gobj.null then
+        Common.Marker.satb_enqueue t.old_gc.Old.marker old_v
     end;
     Young.barrier t.young ~src ~field ~new_v;
     Old.barrier t.old_gc ~src ~field ~new_v

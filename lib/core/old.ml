@@ -65,31 +65,32 @@ let create ~config ~young rt =
     create references into a still-pending group must reach that group's
     remembered set (§3.3); everything cross-region dirties its card for
     the next cycle's remset build. *)
-let barrier t ~(src : Gobj.t) ~field ~(new_v : Gobj.t option) =
+let barrier t ~(src : Gobj.t) ~field ~(new_v : Gobj.t) =
   let heap = t.rt.RtM.heap in
-  match new_v with
-  | Some child when child.Gobj.region <> src.Gobj.region ->
-      Sim.Engine.tick t.rt.RtM.costs.Costs.card_barrier;
-      let card = Heap_impl.card_of_field heap src field in
-      let child_is_young =
-        (Heap_impl.region heap child.Gobj.region).Region.kind = Region.Young
-      in
-      (* The planted bug must also drop the card dirtying for old→young
-         stores — otherwise the dirty bit masks the missing remset insert
-         and the sanitizer regression test proves nothing. *)
-      if
-        not
-          (child_is_young
-          && t.config.Jade_config.planted_bug = Jade_config.Skip_remset_insert)
-      then Heap_impl.dirty_card heap card;
-      if t.current_group >= 0 then begin
-        let g = (Heap_impl.region heap child.Gobj.region).Region.group in
-        if g >= t.current_group then begin
-          Sim.Engine.tick t.rt.RtM.costs.Costs.remset_barrier;
-          ignore (Remset.add t.group_remsets.(g) card)
-        end
+  (* Null first: the sentinel's region id (-1) must never be looked up. *)
+  if new_v != Gobj.null && new_v.Gobj.region <> src.Gobj.region then begin
+    let child = new_v in
+    Sim.Engine.tick t.rt.RtM.costs.Costs.card_barrier;
+    let card = Heap_impl.card_of_field heap src field in
+    let child_is_young =
+      (Heap_impl.region heap child.Gobj.region).Region.kind = Region.Young
+    in
+    (* The planted bug must also drop the card dirtying for old→young
+       stores — otherwise the dirty bit masks the missing remset insert
+       and the sanitizer regression test proves nothing. *)
+    if
+      not
+        (child_is_young
+        && t.config.Jade_config.planted_bug = Jade_config.Skip_remset_insert)
+    then Heap_impl.dirty_card heap card;
+    if t.current_group >= 0 then begin
+      let g = (Heap_impl.region heap child.Gobj.region).Region.group in
+      if g >= t.current_group then begin
+        Sim.Engine.tick t.rt.RtM.costs.Costs.remset_barrier;
+        ignore (Remset.add t.group_remsets.(g) card)
       end
-  | _ -> ()
+    end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Marking.                                                             *)
@@ -221,9 +222,9 @@ let build_remsets t (plan : Grouping.plan) =
     incr scanned;
     Common.Ticker.tick tk costs.Costs.card_scan;
     Heap_impl.scan_card heap card ~f:(fun o i ->
-        match Gobj.get_field o i with
-        | Some child ->
-            let child = Gobj.resolve child in
+        let slot = Gobj.get_field o i in
+        if slot != Gobj.null then begin
+            let child = Gobj.resolve slot in
             (* A dead holder's dangling reference into a reclaimed region
                must not mint remset entries for whatever region id now
                occupies that slot. *)
@@ -244,7 +245,7 @@ let build_remsets t (plan : Grouping.plan) =
                then ignore (Remset.add t.young.Young.remset card));
               insert_for_target tk ~card ~target_rid:child.Gobj.region
             end
-        | None -> ())
+        end)
   in
   (* Work list: cards known to the CRDT (live cross-region refs found by
      marking) plus cards dirtied by mutators that the CRDT knows nothing
@@ -299,31 +300,31 @@ let evacuate_object_fields t tk (o' : Gobj.t) ~group =
   let heap = t.rt.RtM.heap in
   let costs = t.rt.RtM.costs in
   for i = 0 to Gobj.num_fields o' - 1 do
-    match Gobj.get_field o' i with
-    | None -> ()
-    | Some child -> (
-        let child_r = Heap_impl.region heap child.Gobj.region in
-        match child_r.Region.kind with
-        | Region.Young ->
+    let child = Gobj.get_field o' i in
+    if child != Gobj.null then begin
+      let child_r = Heap_impl.region heap child.Gobj.region in
+      match child_r.Region.kind with
+      | Region.Young ->
+          Common.Ticker.tick tk costs.Costs.remset_insert;
+          ignore
+            (Remset.add t.young.Young.remset
+               (Heap_impl.card_of_field heap o' i))
+      | _ ->
+          let g = child_r.Region.group in
+          if g >= group then begin
+            (* Hand-over-hand: the new location's reference into a
+               pending (or this) group goes to that group's remset. *)
             Common.Ticker.tick tk costs.Costs.remset_insert;
             ignore
-              (Remset.add t.young.Young.remset
+              (Remset.add t.group_remsets.(g)
                  (Heap_impl.card_of_field heap o' i))
-        | _ ->
-            let g = child_r.Region.group in
-            if g >= group then begin
-              (* Hand-over-hand: the new location's reference into a
-                 pending (or this) group goes to that group's remset. *)
-              Common.Ticker.tick tk costs.Costs.remset_insert;
-              ignore
-                (Remset.add t.group_remsets.(g)
-                   (Heap_impl.card_of_field heap o' i))
-            end
-            else if Gobj.is_forwarded child then begin
-              (* Earlier group, already moved: heal on the spot. *)
-              Common.Ticker.tick tk costs.Costs.heal;
-              Gobj.set_field o' i (Some (Gobj.resolve child))
-            end)
+          end
+          else if Gobj.is_forwarded child then begin
+            (* Earlier group, already moved: heal on the spot. *)
+            Common.Ticker.tick tk costs.Costs.heal;
+            Gobj.set_field o' i (Gobj.resolve child)
+          end
+    end
   done
 
 let evacuate_group t ~group (regions : Region.t list) =

@@ -55,8 +55,8 @@ let create ~config rt =
     remset =
       Remset.create ~name:"jade-old2young"
         ~total_cards:(Heap_impl.total_cards heap);
-    pending = Util.Vec.create Region.dummy_obj;
-    scan_stack = Util.Vec.create Region.dummy_obj;
+    pending = Util.Vec.create Gobj.null;
+    scan_stack = Util.Vec.create Gobj.null;
     active = false;
     old_marker = None;
     old_cycle_running = (fun () -> false);
@@ -82,24 +82,23 @@ let is_old heap (o : Gobj.t) =
 
 (** Write-barrier hook (young half): remember old-to-young stores and
     keep concurrently created young references alive during a cycle. *)
-let barrier t ~(src : Gobj.t) ~field ~(new_v : Gobj.t option) =
+let barrier t ~(src : Gobj.t) ~field ~(new_v : Gobj.t) =
   let heap = t.rt.RtM.heap in
-  match new_v with
-  | Some child when is_young heap child ->
-      if is_old heap src then begin
-        Sim.Engine.tick t.rt.RtM.costs.Costs.card_barrier;
-        if t.config.planted_bug <> Jade_config.Skip_remset_insert then
-          ignore (Remset.add t.remset (Heap_impl.card_of_field heap src field))
-      end;
-      if t.active && in_snapshot heap child then Util.Vec.push t.pending child
-  | _ -> ()
+  (* The null test must come first: the sentinel's region id is -1. *)
+  if new_v != Gobj.null && is_young heap new_v then begin
+    if is_old heap src then begin
+      Sim.Engine.tick t.rt.RtM.costs.Costs.card_barrier;
+      if t.config.planted_bug <> Jade_config.Skip_remset_insert then
+        ignore (Remset.add t.remset (Heap_impl.card_of_field heap src field))
+    end;
+    if t.active && in_snapshot heap new_v then Util.Vec.push t.pending new_v
+  end
 
 (* Copy one snapshot object (idempotent via the forwarding CAS), feed its
    copy to the scan stack, and return the copy. *)
 let copy_out t (dests : Common.Evac.dest * Common.Evac.dest) tk (o : Gobj.t) =
-  match o.Gobj.forward with
-  | Some o' -> Gobj.resolve o'
-  | None ->
+  if Gobj.is_forwarded o then Gobj.resolve o
+  else begin
       let dest_young, dest_old = dests in
       Common.Ticker.tick tk t.rt.RtM.costs.Costs.mark_atomic;
       let promote =
@@ -122,6 +121,7 @@ let copy_out t (dests : Common.Evac.dest * Common.Evac.dest) tk (o : Gobj.t) =
       else t.survivor_bytes <- t.survivor_bytes + o.Gobj.size;
       Util.Vec.push t.scan_stack o';
       o'
+  end
 
 (* Single-phase field scan of a fresh copy: copy snapshot children, fix
    the slot in place, maintain remembered sets, help the old marker. *)
@@ -131,28 +131,28 @@ let scan_copy t dests tk (o' : Gobj.t) =
   Common.Ticker.tick tk costs.Costs.mark_obj;
   for i = 0 to Gobj.num_fields o' - 1 do
     Common.Ticker.tick tk costs.Costs.mark_ref;
-    match Gobj.get_field o' i with
-    | None -> ()
-    | Some child ->
-        let child = Gobj.resolve child in
-        let child =
-          if in_snapshot heap child then copy_out t dests tk child else child
-        in
-        Gobj.set_field o' i (Some child);
-        if is_old heap o' && is_young heap child then begin
-          Common.Ticker.tick tk costs.Costs.remset_insert;
-          ignore (Remset.add t.remset (Heap_impl.card_of_field heap o' i))
-        end;
-        (* Young-to-old references feed a co-running old mark (§5.6). *)
-        if is_old heap child then begin
-          (match t.old_marker with
-          | Some m when m.Common.Marker.active -> Common.Marker.gray m child
-          | _ -> ());
-          if is_old heap o' && o'.Gobj.region <> child.Gobj.region then
-            match t.promoted_old_ref with
-            | Some f -> f o' i child
-            | None -> ()
-        end
+    let slot = Gobj.get_field o' i in
+    if slot != Gobj.null then begin
+      let child = Gobj.resolve slot in
+      let child =
+        if in_snapshot heap child then copy_out t dests tk child else child
+      in
+      Gobj.set_field o' i child;
+      if is_old heap o' && is_young heap child then begin
+        Common.Ticker.tick tk costs.Costs.remset_insert;
+        ignore (Remset.add t.remset (Heap_impl.card_of_field heap o' i))
+      end;
+      (* Young-to-old references feed a co-running old mark (§5.6). *)
+      if is_old heap child then begin
+        (match t.old_marker with
+        | Some m when m.Common.Marker.active -> Common.Marker.gray m child
+        | _ -> ());
+        if is_old heap o' && o'.Gobj.region <> child.Gobj.region then
+          match t.promoted_old_ref with
+          | Some f -> f o' i child
+          | None -> ()
+      end
+    end
   done
 
 let drain t dests tk =
@@ -183,23 +183,23 @@ let scan_remset_card t dests tk card =
   else begin
     let keep = ref false in
     Heap_impl.scan_card heap card ~f:(fun o i ->
-        match Gobj.get_field o i with
-        | None -> ()
-        | Some child ->
-            let child = Gobj.resolve child in
-            (* A dead holder on this card can carry a dangling reference
-               to an object reclaimed cycles ago.  Its region id may have
-               been recycled into the current snapshot, so the membership
-               test alone would resurrect freed garbage — a dangling edge
-               is never copied or healed. *)
-            if not (Gobj.is_freed child) then begin
-              let child =
-                if in_snapshot heap child then copy_out t dests tk child
-                else child
-              in
-              Gobj.set_field o i (Some child);
-              if is_young heap child then keep := true
-            end);
+        let slot = Gobj.get_field o i in
+        if slot != Gobj.null then begin
+          let child = Gobj.resolve slot in
+          (* A dead holder on this card can carry a dangling reference
+             to an object reclaimed cycles ago.  Its region id may have
+             been recycled into the current snapshot, so the membership
+             test alone would resurrect freed garbage — a dangling edge
+             is never copied or healed. *)
+          if not (Gobj.is_freed child) then begin
+            let child =
+              if in_snapshot heap child then copy_out t dests tk child
+              else child
+            in
+            Gobj.set_field o i child;
+            if is_young heap child then keep := true
+          end
+        end);
     !keep
   end
 

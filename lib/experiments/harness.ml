@@ -10,6 +10,9 @@ type machine = {
   region_bytes : int;
   quantum : int;
   seed : int;
+  pooling : bool;
+      (** recycle dead records/field arrays ({!Heap.Heap_impl.config});
+          off only for pooled-vs-unpooled equivalence fences *)
 }
 
 let default_machine =
@@ -19,6 +22,7 @@ let default_machine =
     region_bytes = 512 * Util.Units.kib;
     quantum = 20 * Util.Units.us;
     seed = 42;
+    pooling = true;
   }
 
 type summary = {
@@ -82,7 +86,8 @@ let prepare ?(machine = default_machine) ?verify
   in
   let engine = Sim.Engine.create ~cores:machine.cores ~quantum:machine.quantum () in
   let cfg =
-    Heap.Heap_impl.config ~heap_bytes ~region_bytes:machine.region_bytes ()
+    Heap.Heap_impl.config ~heap_bytes ~region_bytes:machine.region_bytes
+      ~pooling:machine.pooling ()
   in
   let heap = Heap.Heap_impl.create cfg in
   let rt = RtM.create ~seed:machine.seed ~engine ~heap () in
@@ -251,30 +256,50 @@ type speed = {
   host_s : float;  (** host wall-clock spent *)
   sim_ns : int;  (** virtual ns the run advanced *)
   sim_ns_per_host_s : float;
+  minor_words : float;
+      (** host minor-heap words allocated by the run — the deterministic
+          allocation meter ([Gc.minor_words] delta; repeatable for a
+          fixed seed, unlike wall-clock) *)
+  promoted_words : float;  (** host words promoted to the major heap *)
 }
 
 (** [measure_speed ~label f] times [f] on the host clock; [f] returns
-    the virtual ns its simulation advanced. *)
+    the virtual ns its simulation advanced.  Besides wall-clock it
+    records the host allocation meter: minor and promoted words are a
+    deterministic proxy for allocation pressure, so per-run deltas are
+    comparable across hosts and gateable in CI where timing is not. *)
 let measure_speed ~label f =
+  (* Row isolation: pay off the previous row's host garbage before the
+     clock starts, so a major slice inherited from a heavy neighbor
+     cannot land inside a sub-millisecond row (idle-jump measured 14x
+     slow purely from sleeper-wheel's promotions without this), and so
+     the promotion meter counts this row's own promotions only. *)
+  Gc.full_major ();
+  let s0 = Gc.quick_stat () in
   let t0 = Unix.gettimeofday () in
   let sim_ns = f () in
   let host_s = Unix.gettimeofday () -. t0 in
+  let s1 = Gc.quick_stat () in
   {
     label;
     host_s;
     sim_ns;
     sim_ns_per_host_s =
       (if host_s > 0. then float_of_int sim_ns /. host_s else 0.);
+    minor_words = s1.Gc.minor_words -. s0.Gc.minor_words;
+    promoted_words = s1.Gc.promoted_words -. s0.Gc.promoted_words;
   }
   [@@gcsim.allow
     "host-side harness: wall-clock timing of the simulator itself, never \
      feeds back into simulated time"]
 
 let pp_speed (s : speed) =
-  Printf.sprintf "%-28s %8.3fs host  %12s sim  %10.1f sim-us/host-ms" s.label
-    s.host_s
+  Printf.sprintf
+    "%-28s %8.3fs host  %12s sim  %10.1f sim-us/host-ms  %8.1fM mwords"
+    s.label s.host_s
     (Util.Units.pp_time_ns s.sim_ns)
     (s.sim_ns_per_host_s /. 1e6)
+    (s.minor_words /. 1e6)
 
 (* ------------------------------------------------------------------ *)
 (* Reporting.                                                           *)

@@ -9,8 +9,14 @@
 type t
 
 val create : rid:int -> expected:int -> t
+
 val add : t -> old_offset:int -> Gobj.t -> unit
-val find : t -> old_offset:int -> Gobj.t option
+(** Record a mapping.  Marks the copy {!Gobj.flag_in_fwd_table} so the
+    pool never recycles a record an off-heap table still names. *)
+
+val find : t -> old_offset:int -> Gobj.t
+(** The copy recorded for [old_offset], or {!Gobj.null}. *)
+
 val entries : t -> int
 
 val iter : (old_offset:int -> Gobj.t -> unit) -> t -> unit

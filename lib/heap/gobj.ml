@@ -1,41 +1,105 @@
-(** Simulated heap objects.
+(** Simulated heap objects: unboxed reference slots around a null
+    sentinel, with pooled records and field arrays.
 
     An object is a record holding real reference slots ([fields]) to other
     objects, so marking genuinely traverses the graph and evacuation
-    genuinely copies.  Relocation creates a fresh record for the new copy
-    and installs it in the old copy's [forward] slot: references elsewhere
-    in the heap keep pointing at the old record, which is exactly a stale
-    reference in a concurrent copying collector, and healing replaces them
-    with {!resolve}.  The new copy shares the [fields] array (the payload
-    moved; there is one logical set of slots). *)
+    genuinely copies.  Reference slots are *unboxed*: an empty slot holds
+    the distinguished {!null} sentinel instead of [None], so barrier
+    reads, reference stores, mark-stack pushes and evacuation copies never
+    box a reference in an [option] block — the host minor heap stays
+    quiet on the per-reference fast path ([tools/gcsim_lint] rule R5
+    keeps [t option] out of the heap and collector trees).
+
+    Relocation creates a copy record for the new location and installs it
+    in the old copy's [forward] slot ({!null} = not relocated): references
+    elsewhere in the heap keep pointing at the old record, which is
+    exactly a stale reference in a concurrent copying collector, and
+    healing replaces them with {!resolve}.  The new copy shares the
+    [fields] array (the payload moved; there is one logical set of slots).
+
+    Record and array ownership (pooling): {!Heap_impl.release_region}
+    recycles the storage of dead residents through a {!Pool} owned by the
+    heap.  The rules are
+
+    - a record may be recycled only when nothing can reach it again: it
+      is unforwarded (forwarded records anchor resolve chains and share
+      their [fields] array with the live copy), its [inrefs] count of
+      incoming heap edges is zero (a dangling stale edge must keep
+      finding the record [freed], never conflated with a new identity),
+      and it is neither a registered weak referent nor held by an
+      off-heap forwarding table;
+    - a [fields] array may be recycled from any dead unforwarded
+      resident: dead holders are unreachable, and every guard on
+      dangling edges ([is_freed]) fires before a field read;
+    - [inrefs] is maintained at the {!set_field} choke point (install /
+      overwrite) plus one decrement pass over dying holders at region
+      release, so each logical edge is counted exactly once no matter
+      how often healing rewrites it between records of one identity.
+
+    Recycling never touches simulated state: a pooled record is
+    reinitialized exactly like a fresh one and mints its uid from the
+    same counter, so uids, traces and metrics are bit-identical with
+    pooling on or off. *)
 
 type t = {
-  id : int;  (** logical identity, preserved across copies *)
-  uid : int;  (** physical identity of this record — unique per copy,
-                  never reused; keys forwarding-install race checks *)
-  size : int;  (** bytes, header included *)
-  fields : t option array;
+  mutable id : int;  (** logical identity, preserved across copies *)
+  mutable uid : int;  (** physical identity of this record — unique per
+                          copy, never reused (pooled records mint a fresh
+                          one); keys forwarding-install race checks *)
+  mutable size : int;  (** bytes, header included *)
+  mutable fields : t array;  (** reference slots; {!null} = empty *)
   mutable region : int;
   mutable offset : int;  (** byte offset of the header inside the region *)
-  mutable forward : t option;  (** newer copy, if relocated *)
+  mutable forward : t;  (** newer copy; {!null} = not relocated *)
   mutable mark : int;  (** epoch of the last old/full marking that reached it *)
   mutable ymark : int;
       (** epoch of the last *young* marking that reached it — young and
           old cycles co-run, so their mark state must not alias *)
   mutable age : int;  (** young collections survived *)
   mutable flags : int;
+  mutable inrefs : int;
+      (** heap reference slots currently holding this record.  Roots are
+          deliberately not counted: a root-reachable object is marked and
+          hence forwarded before its region is ever released, so the
+          zero-inrefs recycling test never sees it. *)
 }
 
 let header_bytes = 16
 let slot_bytes = 8
-let slot_shift = 3  (* log2 slot_bytes: card scans shift, not divide *)
+let slot_shift = 3 (* log2 slot_bytes: card scans shift, not divide *)
 
 (* Flag bits *)
 let flag_weak_referent = 1
 let flag_humongous = 2
 let flag_freed = 4
 
-let no_fields : t option array = [||]
+let flag_in_fwd_table = 8
+(* set when an off-heap forwarding table (ZGC-style) takes a reference
+   to the record; never cleared, so such records are conservatively
+   excluded from recycling for the rest of the run. *)
+
+let no_fields : t array = [||]
+
+(* The null sentinel: one distinguished record, compared physically.
+   [forward] ties the knot so [resolve null] is [null] and the
+   not-forwarded test is a single physical comparison. *)
+let rec null =
+  {
+    id = -1;
+    uid = -1;
+    size = 0;
+    fields = no_fields;
+    region = -1;
+    offset = 0;
+    forward = null;
+    mark = 0;
+    ymark = 0;
+    age = 0;
+    flags = 0;
+    inrefs = 0;
+  }
+
+let[@inline] is_null t = t == null
 
 (* Physical identities are minted from one per-domain counter: region
    ids and offsets are both recycled, so only the record itself names
@@ -87,14 +151,15 @@ let make_with ~uids ~id ~size ~nrefs ~region ~offset =
     id;
     uid = mint uids;
     size;
-    fields = (if nrefs = 0 then no_fields else Array.make nrefs None);
+    fields = (if nrefs = 0 then no_fields else Array.make nrefs null);
     region;
     offset;
-    forward = None;
+    forward = null;
     mark = 0;
     ymark = 0;
     age = 0;
     flags = 0;
+    inrefs = 0;
   }
 
 let make ~id ~size ~nrefs ~region ~offset =
@@ -102,14 +167,15 @@ let make ~id ~size ~nrefs ~region ~offset =
     id;
     uid = fresh_uid ();
     size;
-    fields = (if nrefs = 0 then no_fields else Array.make nrefs None);
+    fields = (if nrefs = 0 then no_fields else Array.make nrefs null);
     region;
     offset;
-    forward = None;
+    forward = null;
     mark = 0;
     ymark = 0;
     age = 0;
     flags = 0;
+    inrefs = 0;
   }
 
 let has_flag t f = t.flags land f <> 0
@@ -120,11 +186,10 @@ let is_weak_referent t = has_flag t flag_weak_referent
 let is_humongous t = has_flag t flag_humongous
 let is_freed t = has_flag t flag_freed
 
-(* A match, not [<> None]: polymorphic compare is an out-of-line C call
-   (this build has no flambda to specialize it), and this test guards
-   every mutator load/store and root access. *)
-let[@inline] is_forwarded t =
-  match t.forward with None -> false | Some _ -> true
+(* Physical comparison against the sentinel: one load and one pointer
+   compare, no C call — this test guards every mutator load/store and
+   root access. *)
+let[@inline] is_forwarded t = t.forward != null
 
 (** Install the forwarding pointer of [t].  All relocation paths go
     through here so the race detector sees every install as a [Write] on
@@ -136,21 +201,24 @@ let set_forward ?hooks ?(site = "Gobj.set_forward") t copy =
   (match hooks with
   | Some h -> Access.log_with h Access.Write Access.Forward ~key:t.uid ~site
   | None -> Access.log Access.Write Access.Forward ~key:t.uid ~site);
-  t.forward <- Some copy
+  t.forward <- copy
 
 (** [set_forward] for evacuation loops: the hooks handle is a plain
     labeled argument, so the per-copy call does not box it in an option
     the way [?hooks] would. *)
 let set_forward_with ~hooks ~site t copy =
   Access.log_with hooks Access.Write Access.Forward ~key:t.uid ~site;
-  t.forward <- Some copy
+  t.forward <- copy
 
-(** Newest copy of an object (identity: follows the forwarding chain). *)
-let rec resolve t = match t.forward with None -> t | Some t' -> resolve t'
+(** Newest copy of an object (identity: follows the forwarding chain).
+    [resolve null] is [null]: the sentinel's knotted [forward] makes the
+    empty slot a fixpoint, so callers can resolve a field value without
+    testing it first. *)
+let rec resolve t = if t.forward == null then t else resolve t.forward
 
 (** Length of the forwarding chain, for tests and cost accounting. *)
 let forward_depth t =
-  let rec go t n = match t.forward with None -> n | Some t' -> go t' (n + 1) in
+  let rec go t n = if t.forward == null then n else go t.forward (n + 1) in
   go t 0
 
 let num_fields t = Array.length t.fields
@@ -158,14 +226,187 @@ let num_fields t = Array.length t.fields
 (** Byte offset of field slot [i] inside the object's region. *)
 let field_offset t i = t.offset + header_bytes + (i * slot_bytes)
 
-let get_field t i = t.fields.(i)
-let set_field t i v = t.fields.(i) <- v
+(* Reads past the end of [fields] return the sentinel instead of
+   raising: a region release can detach a dead resident's field array
+   into the pool while a card scan of that object is still walking a
+   field window captured before the release (the scan then observes an
+   empty object and stops finding children, which is exactly what the
+   freed object holds). *)
+let get_field t i =
+  let fs = t.fields in
+  if i < Array.length fs then Array.unsafe_get fs i else null
+
+(* The single choke point for edge accounting: every reference install
+   and overwrite (mutator stores, healing rewrites, evacuation scans)
+   lands here, so [inrefs] counts each live slot exactly once.  The
+   sentinel is never counted — its [inrefs] stays 0 forever. *)
+let set_field t i v =
+  let fs = t.fields in
+  (* Same detached-array tolerance as [get_field]: a heal racing a
+     region release would otherwise write into a recycled array. *)
+  if i < Array.length fs then begin
+    let old = Array.unsafe_get fs i in
+    if old != v then begin
+      if old != null then old.inrefs <- old.inrefs - 1;
+      if v != null then v.inrefs <- v.inrefs + 1;
+      Array.unsafe_set fs i v
+    end
+  end
 
 let iter_fields f t =
   for i = 0 to Array.length t.fields - 1 do
-    match t.fields.(i) with Some o -> f i o | None -> ()
+    let o = Array.unsafe_get t.fields i in
+    if o != null then f i o
   done
 
 let pp fmt t =
-  Format.fprintf fmt "#%d(%dB r%d+%d%s)" t.id t.size t.region t.offset
-    (if is_forwarded t then " fwd" else "")
+  if is_null t then Format.fprintf fmt "<null>"
+  else
+    Format.fprintf fmt "#%d(%dB r%d+%d%s)" t.id t.size t.region t.offset
+      (if is_forwarded t then " fwd" else "")
+
+(* ------------------------------------------------------------------ *)
+(* Pooling.                                                             *)
+
+(** Freelists for dead records and their field arrays, owned by
+    run-threaded heap state ({!Heap_impl.t}) — no DLS on the hot path.
+    [take_*] misses fall back to fresh host allocation, so a pool is
+    only ever an allocation cache, never a semantic dependency. *)
+module Pool = struct
+  type obj = t
+
+  (* Field arrays are bucketed by exact length; longer ones are left to
+     the host GC (rare: directory/segment fan-out objects). *)
+  let max_bucketed_nrefs = 128
+
+  type t = {
+    records : obj Util.Vec.t;
+    arrays : obj array Util.Vec.t array;  (** index = exact array length *)
+    mutable records_reused : int;
+    mutable arrays_reused : int;
+    mutable records_pooled : int;
+    mutable arrays_pooled : int;
+  }
+
+  let create () =
+    {
+      records = Util.Vec.create null;
+      arrays = Array.init (max_bucketed_nrefs + 1) (fun _ -> Util.Vec.create no_fields);
+      records_reused = 0;
+      arrays_reused = 0;
+      records_pooled = 0;
+      arrays_pooled = 0;
+    }
+
+  (** Detach [a] into its size bucket.  Cleared to {!null} here, at the
+      cold end (region release), so [take_array] hands back ready slots
+      and the pool retains no dead references. *)
+  let put_array p (a : obj array) =
+    let n = Array.length a in
+    if n > 0 && n <= max_bucketed_nrefs then begin
+      Array.fill a 0 n null;
+      Util.Vec.push p.arrays.(n) a;
+      p.arrays_pooled <- p.arrays_pooled + 1
+    end
+
+  (** An all-{!null} array of exactly [n] slots: recycled when the
+      bucket has one, freshly allocated otherwise. *)
+  let take_array p n =
+    if n = 0 then no_fields
+    else if n <= max_bucketed_nrefs && not (Util.Vec.is_empty p.arrays.(n))
+    then begin
+      p.arrays_reused <- p.arrays_reused + 1;
+      Util.Vec.pop_last p.arrays.(n)
+    end
+    else Array.make n null
+
+  let put_record p (o : obj) =
+    Util.Vec.push p.records o;
+    p.records_pooled <- p.records_pooled + 1
+
+  (** A record to reinitialize, or {!null} when the pool is empty. *)
+  let take_record p =
+    if Util.Vec.is_empty p.records then null
+    else begin
+      p.records_reused <- p.records_reused + 1;
+      Util.Vec.pop_last p.records
+    end
+
+  let stats p =
+    (p.records_reused, p.arrays_reused, p.records_pooled, p.arrays_pooled)
+end
+
+(** Pool-aware {!make_with}: the allocation fast path.  A recycled
+    record is reinitialized field-for-field like a literal and mints its
+    uid from the same handle, so the simulated state cannot tell a
+    pooled object from a fresh one. *)
+let alloc_with ~pool ~uids ~id ~size ~nrefs ~region ~offset =
+  let fields = Pool.take_array pool nrefs in
+  let c = Pool.take_record pool in
+  if c == null then
+    {
+      id;
+      uid = mint uids;
+      size;
+      fields;
+      region;
+      offset;
+      forward = null;
+      mark = 0;
+      ymark = 0;
+      age = 0;
+      flags = 0;
+      inrefs = 0;
+    }
+  else begin
+    c.id <- id;
+    c.uid <- mint uids;
+    c.size <- size;
+    c.fields <- fields;
+    c.region <- region;
+    c.offset <- offset;
+    c.forward <- null;
+    c.mark <- 0;
+    c.ymark <- 0;
+    c.age <- 0;
+    c.flags <- 0;
+    c.inrefs <- 0;
+    c
+  end
+
+(** Pool-aware copy record for relocation: logical identity, size, mark
+    state and flags carry over; the [fields] array is *shared* with [o]
+    (one logical set of slots); [inrefs] starts at 0 — healing migrates
+    each incoming edge from the old record through {!set_field}. *)
+let remake ~pool ~uids (o : t) ~age ~region ~offset =
+  let c = Pool.take_record pool in
+  if c == null then
+    {
+      id = o.id;
+      uid = mint uids;
+      size = o.size;
+      fields = o.fields;
+      region;
+      offset;
+      forward = null;
+      mark = o.mark;
+      ymark = o.ymark;
+      age;
+      flags = o.flags;
+      inrefs = 0;
+    }
+  else begin
+    c.id <- o.id;
+    c.uid <- mint uids;
+    c.size <- o.size;
+    c.fields <- o.fields;
+    c.region <- region;
+    c.offset <- offset;
+    c.forward <- null;
+    c.mark <- o.mark;
+    c.ymark <- o.ymark;
+    c.age <- age;
+    c.flags <- o.flags;
+    c.inrefs <- 0;
+    c
+  end

@@ -1,38 +1,68 @@
-(** Simulated heap objects.
+(** Simulated heap objects: unboxed reference slots around a null
+    sentinel, with pooled records and field arrays.
 
     An object is a record holding real reference slots ([fields]) to other
     objects, so marking genuinely traverses the graph and evacuation
-    genuinely copies.  Relocation creates a fresh record for the new copy
-    and installs it in the old copy's [forward] slot: references elsewhere
-    in the heap keep pointing at the old record, which is exactly a stale
-    reference in a concurrent copying collector, and healing replaces them
-    with {!resolve}.  The new copy shares the [fields] array (the payload
-    moved; there is one logical set of slots).
+    genuinely copies.  Reference slots are *unboxed*: an empty slot holds
+    the distinguished {!null} sentinel instead of [None], so barrier
+    reads, reference stores, mark-stack pushes and evacuation copies never
+    box a reference in an [option] block ([tools/gcsim_lint] rule R5
+    keeps [t option] out of the heap and collector trees).
 
-    The record is concrete: collectors and the verifier read and mutate
-    fields directly on their hot paths. *)
+    Relocation creates a copy record for the new location and installs it
+    in the old copy's [forward] slot ({!null} = not relocated): references
+    elsewhere in the heap keep pointing at the old record, which is
+    exactly a stale reference in a concurrent copying collector, and
+    healing replaces them with {!resolve}.  The new copy shares the
+    [fields] array (the payload moved; there is one logical set of slots).
+
+    Dead records and field arrays are recycled through a {!Pool} owned by
+    {!Heap_impl.t} — see the ownership rules there and on {!Pool}.  The
+    record is concrete: collectors and the verifier read and mutate
+    fields directly on their hot paths (every field is [mutable] so
+    pooled records can be reinitialized in place). *)
 
 type t = {
-  id : int;  (** logical identity, preserved across copies *)
-  uid : int;  (** physical identity of this record — unique per copy,
-                  never reused; keys forwarding-install race checks *)
-  size : int;  (** bytes, header included *)
-  fields : t option array;
+  mutable id : int;  (** logical identity, preserved across copies *)
+  mutable uid : int;  (** physical identity of this record — unique per
+                          copy, never reused (pooled records mint a fresh
+                          one); keys forwarding-install race checks *)
+  mutable size : int;  (** bytes, header included *)
+  mutable fields : t array;  (** reference slots; {!null} = empty *)
   mutable region : int;
   mutable offset : int;  (** byte offset of the header inside the region *)
-  mutable forward : t option;  (** newer copy, if relocated *)
+  mutable forward : t;  (** newer copy; {!null} = not relocated *)
   mutable mark : int;  (** epoch of the last old/full marking that reached it *)
   mutable ymark : int;
       (** epoch of the last *young* marking that reached it — young and
           old cycles co-run, so their mark state must not alias *)
   mutable age : int;  (** young collections survived *)
   mutable flags : int;
+  mutable inrefs : int;
+      (** heap reference slots currently holding this record, maintained
+          at the {!set_field} choke point plus a decrement pass over
+          dying holders at region release.  Roots are deliberately not
+          counted: a root-reachable object is marked and hence forwarded
+          before its region is released, so the zero-[inrefs] recycling
+          test never sees it.  Gates record recycling only — never a
+          liveness source for the simulated collectors. *)
 }
+
+(** {2 The null sentinel} *)
+
+val null : t
+(** The distinguished empty-slot / not-forwarded sentinel.  Compared
+    physically ([==]); never resident in a region, never marked,
+    forwarded, enqueued or counted — its [forward] is itself, so
+    {!resolve} is the identity on it. *)
+
+val is_null : t -> bool
 
 (** {2 Layout constants} *)
 
 val header_bytes : int
 val slot_bytes : int
+
 val slot_shift : int
 (** log2 [slot_bytes]: card scans shift, not divide. *)
 
@@ -42,7 +72,12 @@ val flag_weak_referent : int
 val flag_humongous : int
 val flag_freed : int
 
-val no_fields : t option array
+val flag_in_fwd_table : int
+(** Set when an off-heap forwarding table (ZGC-style) takes a reference
+    to the record; never cleared, so such records are conservatively
+    excluded from recycling for the rest of the run. *)
+
+val no_fields : t array
 (** The shared empty field array (reference-free objects allocate none). *)
 
 (** {2 Physical identity (uids)}
@@ -86,7 +121,7 @@ val reset_uids : unit -> unit
 
 val make_with :
   uids:uids -> id:int -> size:int -> nrefs:int -> region:int -> offset:int -> t
-(** [make] with a cached uid handle — the allocation fast path. *)
+(** [make] with a cached uid handle; allocates fresh storage. *)
 
 val make : id:int -> size:int -> nrefs:int -> region:int -> offset:int -> t
 (** Like {!make_with} but pays the DLS lookup; for cold paths and tests. *)
@@ -103,6 +138,8 @@ val is_freed : t -> bool
 (** {2 Forwarding} *)
 
 val is_forwarded : t -> bool
+(** One physical comparison against {!null} — no option match, no C
+    call; this test guards every mutator load/store and root access. *)
 
 val set_forward : ?hooks:Access.hooks -> ?site:string -> t -> t -> unit
 (** Install the forwarding pointer of [t].  All relocation paths go
@@ -118,7 +155,9 @@ val set_forward_with : hooks:Access.hooks -> site:string -> t -> t -> unit
     the way [?hooks] would. *)
 
 val resolve : t -> t
-(** Newest copy of an object (identity: follows the forwarding chain). *)
+(** Newest copy of an object (identity: follows the forwarding chain).
+    [resolve null] is [null], so field values resolve without a
+    preceding emptiness test. *)
 
 val forward_depth : t -> int
 (** Length of the forwarding chain, for tests and cost accounting. *)
@@ -130,10 +169,73 @@ val num_fields : t -> int
 val field_offset : t -> int -> int
 (** Byte offset of field slot [i] inside the object's region. *)
 
-val get_field : t -> int -> t option
-val set_field : t -> int -> t option -> unit
+val get_field : t -> int -> t
+(** The raw slot value: {!null} when empty, possibly a stale (forwarded)
+    record otherwise — callers resolve as needed.  Out-of-range indices
+    return {!null} rather than raising: pooling may detach a freed
+    object's field array mid card-scan, and the scan's remaining window
+    then reads an empty object. *)
+
+val set_field : t -> int -> t -> unit
+(** Store [v] ({!null} clears the slot).  The single choke point for
+    edge accounting: maintains the old and new referents' [inrefs] so
+    each live slot is counted exactly once.  Out-of-range stores are
+    dropped (same detached-array tolerance as {!get_field}). *)
 
 val iter_fields : (int -> t -> unit) -> t -> unit
-(** Apply to each non-[None] field (index, referent). *)
+(** Apply to each non-{!null} field (index, referent). *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {2 Pooling} *)
+
+(** Freelists for dead records and their field arrays, owned by
+    run-threaded heap state ({!Heap_impl.t}) — no DLS on the hot path.
+    [take_*] misses fall back to fresh host allocation, so a pool is
+    only ever an allocation cache, never a semantic dependency.
+    Recycling is invisible to the simulated level: reinitialization
+    matches a fresh literal and uids mint from the same counter. *)
+module Pool : sig
+  type obj = t
+
+  type t
+
+  val max_bucketed_nrefs : int
+  (** Field arrays longer than this are left to the host GC. *)
+
+  val create : unit -> t
+
+  val put_array : t -> obj array -> unit
+  (** Detach a dead holder's array into its exact-length bucket,
+      clearing it to {!null} (no dead references retained). *)
+
+  val take_array : t -> int -> obj array
+  (** An all-{!null} array of exactly [n] slots: recycled when the
+      bucket has one, freshly allocated otherwise. *)
+
+  val put_record : t -> obj -> unit
+
+  val take_record : t -> obj
+  (** A record to reinitialize, or {!null} when the pool is empty. *)
+
+  val stats : t -> int * int * int * int
+  (** [(records_reused, arrays_reused, records_pooled, arrays_pooled)] *)
+end
+
+val alloc_with :
+  pool:Pool.t ->
+  uids:uids ->
+  id:int ->
+  size:int ->
+  nrefs:int ->
+  region:int ->
+  offset:int ->
+  t
+(** Pool-aware {!make_with} — the allocation fast path. *)
+
+val remake : pool:Pool.t -> uids:uids -> t -> age:int -> region:int -> offset:int -> t
+(** Pool-aware copy record for relocation: logical identity, size, mark
+    state and flags carry over; the [fields] array is shared with the
+    source (one logical set of slots); [inrefs] starts at 0 — healing
+    migrates each incoming edge from the old record through
+    {!set_field}. *)

@@ -13,6 +13,10 @@ type config = {
   region_bytes : int;
   card_bytes : int;
   tlab_bytes : int;
+  pooling : bool;
+      (** recycle dead records and field arrays through the heap's
+          {!Gobj.Pool} (host-side only; simulated state is identical
+          either way — the flag exists for A/B allocation measurements) *)
 }
 
 let default_config =
@@ -21,17 +25,19 @@ let default_config =
     region_bytes = 512 * Util.Units.kib;
     card_bytes = 512;
     tlab_bytes = 32 * Util.Units.kib;
+    pooling = true;
   }
 
 let config ?(heap_bytes = default_config.heap_bytes)
     ?(region_bytes = default_config.region_bytes)
     ?(card_bytes = default_config.card_bytes)
-    ?(tlab_bytes = default_config.tlab_bytes) () =
+    ?(tlab_bytes = default_config.tlab_bytes)
+    ?(pooling = default_config.pooling) () =
   if heap_bytes mod region_bytes <> 0 then
     invalid_arg "Heap.config: heap_bytes must be a multiple of region_bytes";
   if region_bytes mod card_bytes <> 0 then
     invalid_arg "Heap.config: region_bytes must be a multiple of card_bytes";
-  { heap_bytes; region_bytes; card_bytes; tlab_bytes }
+  { heap_bytes; region_bytes; card_bytes; tlab_bytes; pooling }
 
 type t = {
   cfg : config;
@@ -66,6 +72,11 @@ type t = {
   mutable used : int;
       (** sum of non-free regions' bump pointers, maintained incrementally
           so {!used_bytes} is O(1) instead of a region-array fold *)
+  pool : Gobj.Pool.t;
+      (** freelists of dead records and field arrays, harvested at
+          {!release_region} and drained by {!alloc_in} / evacuation
+          copies — run-threaded like [uids] and [hooks], so the hot
+          path never touches DLS *)
   mutable weak_refs : (Gobj.t * (unit -> unit) option) Util.Vec.t;
       (** registered weak references: referent + optional callback *)
   mutable on_region_event : (Region.t -> claimed:bool -> unit) option;
@@ -137,7 +148,8 @@ let create ?(costs = Costs.default) cfg =
     allocate_live_young = false;
     bytes_allocated = 0;
     used = 0;
-    weak_refs = Util.Vec.create (Region.dummy_obj, None);
+    pool = Gobj.Pool.create ();
+    weak_refs = Util.Vec.create (Gobj.null, None);
     on_region_event = None;
   }
 
@@ -285,6 +297,46 @@ let release_region t (r : Region.t) =
         ~site:"Heap_impl.clean_card"
     done;
   Util.Bitset.clear_range t.card_dirty ~lo:c0 ~hi:(c0 + cpr);
+  (* Harvest dead residents into the pool.  Unforwarded residents at
+     release time are exactly the dead ones: every live (marked or
+     born-during-cycle) object was copied out before its region is
+     released, so it carries a forwarding pointer.  Two passes keep the
+     edge accounting exactly-once: first retire each dying holder's
+     outgoing edges (forwarded holders are skipped — their shared
+     [fields] array belongs to the live copy now), then recycle storage.
+     Field arrays of dead holders are always safe to take (dangling-edge
+     guards test [is_freed] before any field read); records only when no
+     stale edge, weak registration or off-heap forwarding table can
+     still name them.  Skipped while any marking runs: SATB queues and
+     mark stacks may hold bare references that bypass [inrefs].
+     Host-side only — no events, no ticks, no simulated state. *)
+  if t.cfg.pooling && (not t.allocate_live) && not t.allocate_live_young
+  then begin
+    let pool = t.pool in
+    Util.Vec.iter
+      (fun (o : Gobj.t) ->
+        if not (Gobj.is_forwarded o) then begin
+          let fs = o.Gobj.fields in
+          for i = 0 to Array.length fs - 1 do
+            let c = Array.unsafe_get fs i in
+            if c != Gobj.null then c.Gobj.inrefs <- c.Gobj.inrefs - 1
+          done
+        end)
+      r.Region.objects;
+    Util.Vec.iter
+      (fun (o : Gobj.t) ->
+        if not (Gobj.is_forwarded o) then begin
+          Gobj.Pool.put_array pool o.Gobj.fields;
+          o.Gobj.fields <- Gobj.no_fields;
+          if
+            o.Gobj.inrefs = 0
+            && not
+                 (Gobj.has_flag o
+                    (Gobj.flag_weak_referent lor Gobj.flag_in_fwd_table))
+          then Gobj.Pool.put_record pool o
+        end)
+      r.Region.objects
+  end;
   t.used <- t.used - r.top;
   Region.reset r;
   record_region_event r.rid "release";
@@ -313,7 +365,10 @@ let alloc_in t (r : Region.t) ?id ~size ~nrefs () =
          (Region.kind_to_string r.kind)
          r.top r.size);
   let id = match id with Some id -> id | None -> fresh_obj_id t in
-  let o = Gobj.make_with ~uids:t.uids ~id ~size ~nrefs ~region:r.rid ~offset:r.top in
+  let o =
+    Gobj.alloc_with ~pool:t.pool ~uids:t.uids ~id ~size ~nrefs ~region:r.rid
+      ~offset:r.top
+  in
   if t.allocate_live then o.mark <- t.mark_epoch;
   if t.allocate_live_young then o.ymark <- t.young_epoch;
   Region.push_obj r o;
@@ -410,7 +465,7 @@ let register_weak t (o : Gobj.t) ~callback =
     collectors pass a mark test; young-only collections pass a
     freed-region test.  Returns (survivors, cleared). *)
 let process_weak_refs t ~alive =
-  let survivors = Util.Vec.create (Region.dummy_obj, None) in
+  let survivors = Util.Vec.create (Gobj.null, None) in
   let cleared = ref 0 in
   Util.Vec.iter
     (fun (o, cb) ->

@@ -13,6 +13,10 @@ type config = {
   region_bytes : int;
   card_bytes : int;
   tlab_bytes : int;
+  pooling : bool;
+      (** recycle dead records and field arrays through the heap's
+          {!Gobj.Pool} (host-side only; simulated state is identical
+          either way — the flag exists for A/B allocation measurements) *)
 }
 
 val default_config : config
@@ -22,10 +26,13 @@ val config :
   ?region_bytes:int ->
   ?card_bytes:int ->
   ?tlab_bytes:int ->
+  ?pooling:bool ->
   unit ->
   config
 (** Validated constructor: [heap_bytes] must be a multiple of
-    [region_bytes], which must be a multiple of [card_bytes]. *)
+    [region_bytes], which must be a multiple of [card_bytes].
+    [pooling] (default on) recycles dead records/arrays at region
+    release — host allocation behavior only, never simulated state. *)
 
 type t = {
   cfg : config;
@@ -60,6 +67,11 @@ type t = {
   mutable used : int;
       (** sum of non-free regions' bump pointers, maintained incrementally
           so {!used_bytes} is O(1) instead of a region-array fold *)
+  pool : Gobj.Pool.t;
+      (** freelists of dead records and field arrays, harvested at
+          {!release_region} and drained by {!alloc_in} / evacuation
+          copies — run-threaded like [uids] and [hooks], so the hot
+          path never touches DLS *)
   mutable weak_refs : (Gobj.t * (unit -> unit) option) Util.Vec.t;
       (** registered weak references: referent + optional callback *)
   mutable on_region_event : (Region.t -> claimed:bool -> unit) option;
@@ -128,7 +140,11 @@ val claim_region : t -> Region.kind -> Region.t option
 
 val release_region : t -> Region.t -> unit
 (** Release a region back to the free list; resident (non-evacuated)
-    objects become garbage, the region's own cards are cleaned. *)
+    objects become garbage, the region's own cards are cleaned.  With
+    [cfg.pooling], dead residents' records and field arrays are
+    harvested into the heap's pool (see {!Gobj.Pool} for the ownership
+    rules) — skipped while any marking co-runs, since SATB queues and
+    mark stacks hold bare references that bypass the edge counts. *)
 
 val set_region_observer : t -> (Region.t -> claimed:bool -> unit) option -> unit
 (** Install or remove the region-lifecycle observer ({!t.on_region_event}). *)

@@ -42,8 +42,6 @@ type t = {
   mutable humongous : bool;
 }
 
-let dummy_obj = Gobj.make ~id:(-1) ~size:0 ~nrefs:0 ~region:(-1) ~offset:0
-
 let make ?(card_bytes = 512) ~rid ~size () =
   if card_bytes < 1 then invalid_arg "Region.make: card_bytes";
   let card_shift =
@@ -59,7 +57,7 @@ let make ?(card_bytes = 512) ~rid ~size () =
     card_shift;
     kind = Free;
     top = 0;
-    objects = Util.Vec.create ~capacity:64 dummy_obj;
+    objects = Util.Vec.create ~capacity:64 Gobj.null;
     bot = Array.make ((size + card_bytes - 1) / card_bytes) (-1);
     bot_filled = 0;
     live_bytes = 0;

@@ -45,9 +45,6 @@ type t = {
   mutable humongous : bool;
 }
 
-val dummy_obj : Gobj.t
-(** Placeholder element for [Util.Vec] containers of objects. *)
-
 val make : ?card_bytes:int -> rid:int -> size:int -> unit -> t
 
 (** {2 Occupancy} *)

@@ -16,7 +16,8 @@ type t = {
   mid : int;
   rt : Rt.t;
   prng : Util.Prng.t;
-  roots : Heap.Gobj.t option Util.Vec.t;  (** simulated stack slots *)
+  roots : Heap.Gobj.t Util.Vec.t;
+      (** simulated stack slots; {!Heap.Gobj.null} marks an empty slot *)
   mutable tlab : Heap.Region.t option;
   mutable ops : int;  (** ops since the last safepoint poll *)
   mutable pending_ns : int;  (** accumulated unflushed CPU cost *)
@@ -39,7 +40,7 @@ let create rt =
       mid;
       rt;
       prng = Util.Prng.split rt.Rt.prng;
-      roots = Util.Vec.create None;
+      roots = Util.Vec.create Heap.Gobj.null;
       tlab = None;
       ops = 0;
       pending_ns = 0;
@@ -193,7 +194,7 @@ let heal_load m (holder : Heap.Gobj.t) i (v : Heap.Gobj.t) =
   if Heap.Gobj.is_forwarded v then begin
     tick m m.rt.Rt.costs.heal;
     let v' = Heap.Gobj.resolve v in
-    Heap.Gobj.set_field holder i (Some v');
+    Heap.Gobj.set_field holder i v';
     v'
   end
   else v
@@ -205,13 +206,11 @@ let read m (o : Heap.Gobj.t) i =
   let rt = m.rt in
   tick m (rt.Rt.costs.load_barrier + rt.Rt.collector.load_extra_cost);
   let o = Heap.Gobj.resolve o in
-  match Heap.Gobj.get_field o i with
-  | None -> None
-  | Some v as slot ->
-      (* Reuse the slot's own option when no healing happened: loads are
-         the single hottest mutator operation and a fresh [Some] per
-         read is pure garbage. *)
-      if Heap.Gobj.is_forwarded v then Some (heal_load m o i v) else slot
+  (* The slot value flows straight through: empty slots hold the null
+     sentinel (never forwarded), so the hot path is one load, one
+     header test, and no wrapper allocation at all. *)
+  let v = Heap.Gobj.get_field o i in
+  if Heap.Gobj.is_forwarded v then heal_load m o i v else v
 
 (** Store [v] into field [i] of [o], running the collector's write
     barrier (SATB / card dirtying / remembered sets / RC logging). *)
@@ -219,12 +218,9 @@ let write m (o : Heap.Gobj.t) i v =
   maybe_check m;
   let rt = m.rt in
   let o = Heap.Gobj.resolve o in
-  (* Re-wrap only when resolution moved the target. *)
-  let v =
-    match v with
-    | Some x when Heap.Gobj.is_forwarded x -> Some (Heap.Gobj.resolve x)
-    | _ -> v
-  in
+  (* [null] is never forwarded, so storing an empty slot skips the
+     resolve without a separate test. *)
+  let v = if Heap.Gobj.is_forwarded v then Heap.Gobj.resolve v else v in
   let old_v = Heap.Gobj.get_field o i in
   rt.Rt.collector.store_barrier ~src:o ~field:i ~old_v ~new_v:v;
   Heap.Gobj.set_field o i v
@@ -233,22 +229,19 @@ let write m (o : Heap.Gobj.t) i v =
 (* Stack-root management for workloads.                                 *)
 
 let push_root m o =
-  Util.Vec.push m.roots (Some o);
+  Util.Vec.push m.roots o;
   Util.Vec.length m.roots - 1
 
 let set_root m i o = Util.Vec.set m.roots i o
 
 let get_root m i =
-  match Util.Vec.get m.roots i with
-  | None -> None
-  | Some o as slot ->
-      if Heap.Gobj.is_forwarded o then begin
-        let o' = Heap.Gobj.resolve o in
-        let slot' = Some o' in
-        Util.Vec.set m.roots i slot';
-        slot'
-      end
-      else slot
+  let o = Util.Vec.get m.roots i in
+  if Heap.Gobj.is_forwarded o then begin
+    let o' = Heap.Gobj.resolve o in
+    Util.Vec.set m.roots i o';
+    o'
+  end
+  else o
 
 (** Drop stack roots above index [n] (end-of-request cleanup). *)
 let truncate_roots m n =

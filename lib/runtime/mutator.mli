@@ -17,7 +17,8 @@ type t = {
   mid : int;  (** mutator id (workloads key per-thread state on it) *)
   rt : Rt.t;
   prng : Util.Prng.t;  (** this thread's deterministic random stream *)
-  roots : Heap.Gobj.t option Util.Vec.t;  (** simulated stack slots *)
+  roots : Heap.Gobj.t Util.Vec.t;
+      (** simulated stack slots; {!Heap.Gobj.null} marks an empty slot *)
   mutable tlab : Heap.Region.t option;
   mutable ops : int;
   mutable pending_ns : int;
@@ -51,21 +52,27 @@ val alloc : t -> data_bytes:int -> nrefs:int -> Heap.Gobj.t
     progress); raises {!Rt.Out_of_memory} when even a full collection
     cannot free memory. *)
 
-val read : t -> Heap.Gobj.t -> int -> Heap.Gobj.t option
+val read : t -> Heap.Gobj.t -> int -> Heap.Gobj.t
 (** Load field [i]: resolves a stale holder, heals a stale slot in place
-    (loaded-value barrier), and returns the newest copy. *)
+    (loaded-value barrier), and returns the newest copy.  Empty slots
+    return {!Heap.Gobj.null} — test with {!Heap.Gobj.is_null}. *)
 
-val write : t -> Heap.Gobj.t -> int -> Heap.Gobj.t option -> unit
-(** Store into field [i], running the collector's write barrier (SATB /
-    card dirtying / remembered sets / RC logging). *)
+val write : t -> Heap.Gobj.t -> int -> Heap.Gobj.t -> unit
+(** Store [v] (or {!Heap.Gobj.null} to clear) into field [i], running
+    the collector's write barrier (SATB / card dirtying / remembered
+    sets / RC logging). *)
 
 (** {2 Stack roots} *)
 
 val push_root : t -> Heap.Gobj.t -> int
 (** Append a root slot; returns its stable index. *)
 
-val set_root : t -> int -> Heap.Gobj.t option -> unit
-val get_root : t -> int -> Heap.Gobj.t option
+val set_root : t -> int -> Heap.Gobj.t -> unit
+(** Overwrite a root slot ({!Heap.Gobj.null} clears it). *)
+
+val get_root : t -> int -> Heap.Gobj.t
+(** Read a root slot, healing a stale reference in place; returns
+    {!Heap.Gobj.null} for an empty slot. *)
 
 val truncate_roots : t -> int -> unit
 (** Drop root slots at index [n] and above (end-of-request cleanup). *)

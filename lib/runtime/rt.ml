@@ -9,12 +9,10 @@
 type collector = {
   cname : string;
   store_barrier :
-    src:Heap.Gobj.t ->
-    field:int ->
-    old_v:Heap.Gobj.t option ->
-    new_v:Heap.Gobj.t option ->
-    unit;
-      (** write barrier, runs in the storing mutator's fiber (may tick) *)
+    src:Heap.Gobj.t -> field:int -> old_v:Heap.Gobj.t -> new_v:Heap.Gobj.t -> unit;
+      (** write barrier, runs in the storing mutator's fiber (may tick);
+          [old_v]/[new_v] are raw slot values — {!Heap.Gobj.null} for an
+          empty slot, never boxed *)
   load_extra_cost : int;  (** per-reference-load surcharge beyond LVB base *)
   mutator_tax_pct : int;
       (** % slowdown of all mutator work (compressed-oops-disabled tax) *)
@@ -33,8 +31,9 @@ type t = {
   metrics : Metrics.t;
   safepoint : Safepoint.t;
   mem_freed : Sim.Engine.cond;  (** broadcast whenever regions are released *)
-  globals : Heap.Gobj.t option Util.Vec.t;  (** global root slots *)
-  mutable root_sets : Heap.Gobj.t option Util.Vec.t list;
+  globals : Heap.Gobj.t Util.Vec.t;
+      (** global root slots; {!Heap.Gobj.null} = empty *)
+  mutable root_sets : Heap.Gobj.t Util.Vec.t list;
       (** all root vectors: globals plus each mutator's stack *)
   mutable collector : collector;
   mutable retire_tlab_hooks : (unit -> unit) list;
@@ -81,7 +80,7 @@ let null_collector : collector =
 let create ~seed ~engine ~heap () =
   let costs = heap.Heap.Heap_impl.costs in
   let metrics = Metrics.create () in
-  let globals = Util.Vec.create None in
+  let globals = Util.Vec.create Heap.Gobj.null in
   {
     engine;
     heap;
@@ -160,11 +159,9 @@ let update_roots t =
   List.iter
     (fun v ->
       Util.Vec.iteri
-        (fun i slot ->
-          match slot with
-          | Some o when Heap.Gobj.is_forwarded o ->
-              Util.Vec.set v i (Some (Heap.Gobj.resolve o))
-          | _ -> ())
+        (fun i o ->
+          if Heap.Gobj.is_forwarded o then
+            Util.Vec.set v i (Heap.Gobj.resolve o))
         v)
     t.root_sets
 
@@ -198,7 +195,7 @@ let claim_humongous_region t =
       Some r
 
 let add_global t o =
-  Util.Vec.push t.globals (Some o);
+  Util.Vec.push t.globals o;
   Util.Vec.length t.globals - 1
 
 let set_global t i o = Util.Vec.set t.globals i o

@@ -71,9 +71,9 @@ type state = {
 }
 
 let dir rt st =
-  match Runtime.Rt.get_global rt st.dir_root with
-  | Some d -> Heap.Gobj.resolve d
-  | None -> invalid_arg "store directory root was cleared"
+  let d = Runtime.Rt.get_global rt st.dir_root in
+  if Heap.Gobj.is_null d then invalid_arg "store directory root was cleared"
+  else Heap.Gobj.resolve d
 
 (* Allocate one chain of [n] nodes, newest-first, leaving the head
    anchored in stack-root slot [anchor].
@@ -85,19 +85,20 @@ let dir rt st =
    chain head lives in [anchor] and the in-flight node in [aux] at every
    polling point. *)
 let alloc_chain (m : Runtime.Mutator.t) spec n ~anchor ~aux =
-  Runtime.Mutator.set_root m anchor None;
+  Runtime.Mutator.set_root m anchor Heap.Gobj.null;
   for _ = 1 to n do
     (* Poll inside alloc: the head so far is anchored. *)
     let node =
       Runtime.Mutator.alloc m ~data_bytes:spec.node_data ~nrefs:node_refs
     in
-    Runtime.Mutator.set_root m aux (Some node);
-    (* Poll inside write: both node (aux) and head (anchor) are rooted. *)
-    (match Runtime.Mutator.get_root m anchor with
-    | Some head -> Runtime.Mutator.write m node 0 (Some head)
-    | None -> ());
-    Runtime.Mutator.set_root m anchor (Some node);
-    Runtime.Mutator.set_root m aux None
+    Runtime.Mutator.set_root m aux node;
+    (* Poll inside write: both node (aux) and head (anchor) are rooted.
+       An empty anchor skips the write entirely (the write barrier would
+       tick), exactly as the option-based code did. *)
+    let head = Runtime.Mutator.get_root m anchor in
+    if not (Heap.Gobj.is_null head) then Runtime.Mutator.write m node 0 head;
+    Runtime.Mutator.set_root m anchor node;
+    Runtime.Mutator.set_root m aux Heap.Gobj.null
   done;
   Runtime.Mutator.get_root m anchor
 
@@ -122,19 +123,20 @@ let setup spec rt (m : Runtime.Mutator.t) =
   let aux = Runtime.Mutator.push_root m d in
   for s = 0 to dir_fanout - 1 do
     let seg = Runtime.Mutator.alloc m ~data_bytes:0 ~nrefs:segf in
-    Runtime.Mutator.set_root m seg_slot (Some seg);
-    Runtime.Mutator.write m d s (Some seg);
+    Runtime.Mutator.set_root m seg_slot seg;
+    Runtime.Mutator.write m d s seg;
     for i = 0 to segf - 1 do
       let slot = (s * segf) + i in
-      if slot < slots then
-        match alloc_chain m spec spec.chain_len ~anchor ~aux with
-        | Some head -> (
-            (* The segment handle may be stale after a collection: go
-               through the rooted slot. *)
-            match Runtime.Mutator.get_root m seg_slot with
-            | Some seg -> Runtime.Mutator.write m seg i (Some head)
-            | None -> ())
-        | None -> ()
+      if slot < slots then begin
+        let head = alloc_chain m spec spec.chain_len ~anchor ~aux in
+        if not (Heap.Gobj.is_null head) then begin
+          (* The segment handle may be stale after a collection: go
+             through the rooted slot. *)
+          let seg = Runtime.Mutator.get_root m seg_slot in
+          if not (Heap.Gobj.is_null seg) then
+            Runtime.Mutator.write m seg i head
+        end
+      end
     done
   done;
   Runtime.Mutator.truncate_roots m seg_slot;
@@ -144,10 +146,9 @@ let setup spec rt (m : Runtime.Mutator.t) =
    lives at a stable index of the mutator's root set. *)
 let pool_of st (m : Runtime.Mutator.t) =
   match Hashtbl.find_opt st.pools m.Runtime.Mutator.mid with
-  | Some idx -> (
-      match Runtime.Mutator.get_root m idx with
-      | Some p -> p
-      | None -> invalid_arg "pool root was cleared")
+  | Some idx ->
+      let p = Runtime.Mutator.get_root m idx in
+      if Heap.Gobj.is_null p then invalid_arg "pool root was cleared" else p
   | None ->
       let p = Runtime.Mutator.alloc m ~data_bytes:0 ~nrefs:st.spec.pool_slots in
       let idx = Runtime.Mutator.push_root m p in
@@ -158,27 +159,23 @@ let pool_of st (m : Runtime.Mutator.t) =
 let read_slot st rt (m : Runtime.Mutator.t) slot =
   let d = dir rt st in
   let s = slot / st.seg_fanout and i = slot mod st.seg_fanout in
-  match Runtime.Mutator.read m d s with
-  | None -> ()
-  | Some seg ->
-      let cursor = ref (Runtime.Mutator.read m seg i) in
-      let continue_ = ref true in
-      while !continue_ do
-        match !cursor with
-        | None -> continue_ := false
-        | Some node -> cursor := Runtime.Mutator.read m node 0
-      done
+  let seg = Runtime.Mutator.read m d s in
+  if not (Heap.Gobj.is_null seg) then begin
+    let cursor = ref (Runtime.Mutator.read m seg i) in
+    while not (Heap.Gobj.is_null !cursor) do
+      cursor := Runtime.Mutator.read m !cursor 0
+    done
+  end
 
 let replace_slot st rt (m : Runtime.Mutator.t) slot ~anchor ~aux =
   let s = slot / st.seg_fanout and i = slot mod st.seg_fanout in
-  match alloc_chain m st.spec st.spec.chain_len ~anchor ~aux with
-  | None -> ()
-  | Some head -> (
-      (* Re-read the segment after the allocating polls. *)
-      let d = dir rt st in
-      match Runtime.Mutator.read m d s with
-      | Some seg -> Runtime.Mutator.write m seg i (Some head)
-      | None -> ())
+  let head = alloc_chain m st.spec st.spec.chain_len ~anchor ~aux in
+  if not (Heap.Gobj.is_null head) then begin
+    (* Re-read the segment after the allocating polls. *)
+    let d = dir rt st in
+    let seg = Runtime.Mutator.read m d s in
+    if not (Heap.Gobj.is_null seg) then Runtime.Mutator.write m seg i head
+  end
 
 (* ------------------------------------------------------------------ *)
 (* The request.                                                         *)
@@ -188,7 +185,7 @@ let request st rt (m : Runtime.Mutator.t) =
   let prng = m.Runtime.Mutator.prng in
   (* The pool root must sit below any temp roots so end-of-request cleanup
      keeps it; creating it first pins it at a stable index. *)
-  let pool = if spec.survivors > 0 then Some (pool_of st m) else None in
+  let pool = if spec.survivors > 0 then pool_of st m else Heap.Gobj.null in
   let roots_base = Util.Vec.length m.Runtime.Mutator.roots in
   (* Front half of the request's compute. *)
   Runtime.Mutator.work m (spec.cpu_ns / 2);
@@ -196,19 +193,17 @@ let request st rt (m : Runtime.Mutator.t) =
      in stack roots at every polling point (see [alloc_chain]). *)
   let temp_root = Runtime.Mutator.push_root m (dir rt st) in
   let aux_root = Runtime.Mutator.push_root m (dir rt st) in
-  Runtime.Mutator.set_root m temp_root None;
-  Runtime.Mutator.set_root m aux_root None;
+  Runtime.Mutator.set_root m temp_root Heap.Gobj.null;
+  Runtime.Mutator.set_root m aux_root Heap.Gobj.null;
   for k = 0 to spec.temp_objs - 1 do
     let data = Util.Prng.int_in prng spec.temp_data_min spec.temp_data_max in
     let o = Runtime.Mutator.alloc m ~data_bytes:data ~nrefs:1 in
-    Runtime.Mutator.set_root m aux_root (Some o);
-    (match Runtime.Mutator.get_root m temp_root with
-    | Some p -> Runtime.Mutator.write m o 0 (Some p)
-    | None -> ());
-    (match Runtime.Mutator.get_root m aux_root with
-    | Some o -> Runtime.Mutator.set_root m temp_root (Some o)
-    | None -> ());
-    Runtime.Mutator.set_root m aux_root None;
+    Runtime.Mutator.set_root m aux_root o;
+    (let p = Runtime.Mutator.get_root m temp_root in
+     if not (Heap.Gobj.is_null p) then Runtime.Mutator.write m o 0 p);
+    (let o = Runtime.Mutator.get_root m aux_root in
+     if not (Heap.Gobj.is_null o) then Runtime.Mutator.set_root m temp_root o);
+    Runtime.Mutator.set_root m aux_root Heap.Gobj.null;
     (* Interleave store reads with allocation, as real requests do. *)
     if
       spec.store_reads > 0
@@ -218,36 +213,34 @@ let request st rt (m : Runtime.Mutator.t) =
   (* Medium-lived survivors: the newest [survivors] temps go to the pool,
      overwriting (killing) entries [pool_slots] requests old.  The cursor
      walks down the temp chain through the rooted slot. *)
-  (match pool with
-  | None -> ()
-  | Some pool ->
+  (if not (Heap.Gobj.is_null pool) then begin
     let idx0 =
       Option.value ~default:0 (Hashtbl.find_opt st.next_pool_idx m.Runtime.Mutator.mid)
     in
     for j = 0 to spec.survivors - 1 do
-      match Runtime.Mutator.get_root m temp_root with
-      | None -> ()
-      | Some o ->
-          let next = Runtime.Mutator.read m o 0 in
-          Runtime.Mutator.set_root m aux_root next;
-          (* Detach the survivor from the temp chain: without this a single
-             pool entry would pin the whole request's allocations. *)
-          Runtime.Mutator.write m o 0 None;
-          (match Runtime.Mutator.get_root m temp_root with
-          | Some o ->
-              Runtime.Mutator.write m pool ((idx0 + j) mod spec.pool_slots)
-                (Some o);
-              if spec.weak_pct > 0. && Util.Prng.chance prng spec.weak_pct
-              then
-                Heap.Heap_impl.register_weak rt.Runtime.Rt.heap o
-                  ~callback:None
-          | None -> ());
-          Runtime.Mutator.set_root m temp_root
-            (Runtime.Mutator.get_root m aux_root);
-          Runtime.Mutator.set_root m aux_root None
+      let o = Runtime.Mutator.get_root m temp_root in
+      if not (Heap.Gobj.is_null o) then begin
+        let next = Runtime.Mutator.read m o 0 in
+        Runtime.Mutator.set_root m aux_root next;
+        (* Detach the survivor from the temp chain: without this a single
+           pool entry would pin the whole request's allocations. *)
+        Runtime.Mutator.write m o 0 Heap.Gobj.null;
+        (let o = Runtime.Mutator.get_root m temp_root in
+         if not (Heap.Gobj.is_null o) then begin
+           Runtime.Mutator.write m pool ((idx0 + j) mod spec.pool_slots) o;
+           if spec.weak_pct > 0. && Util.Prng.chance prng spec.weak_pct
+           then
+             Heap.Heap_impl.register_weak rt.Runtime.Rt.heap o
+               ~callback:None
+         end);
+        Runtime.Mutator.set_root m temp_root
+          (Runtime.Mutator.get_root m aux_root);
+        Runtime.Mutator.set_root m aux_root Heap.Gobj.null
+      end
     done;
     Hashtbl.replace st.next_pool_idx m.Runtime.Mutator.mid
-      ((idx0 + spec.survivors) mod spec.pool_slots));
+      ((idx0 + spec.survivors) mod spec.pool_slots)
+  end);
   (* Long-lived churn. *)
   if Util.Prng.chance prng spec.update_pct then
     replace_slot st rt m

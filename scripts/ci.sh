@@ -34,6 +34,26 @@ grep -q 'ci_probe_deleteme.*R1' /tmp/ci_lint_probe.txt || {
 }
 echo "lint-ast probe OK (planted violation rejected)"
 
+echo "== lint-ast R5 probe (a boxed reference slot must fail) =="
+# Plant a Gobj.t option in the sentinel-only tree: the allocation-free
+# object graph bans the boxed spelling from lib/{heap,collectors}
+# (DESIGN.md §12), and this asserts the ban actually bites.
+probe=lib/heap/ci_probe_r5_deleteme.ml
+printf 'type cell = { mutable slot : Gobj.t option }\n' > "$probe"
+if bash scripts/lint_purity.sh > /tmp/ci_lint_r5_probe.txt 2>&1; then
+  rm -f "$probe"
+  echo "lint-ast R5 probe FAILED: planted Gobj.t option was not caught" >&2
+  cat /tmp/ci_lint_r5_probe.txt >&2
+  exit 1
+fi
+rm -f "$probe"
+grep -q 'ci_probe_r5_deleteme.*R5' /tmp/ci_lint_r5_probe.txt || {
+  echo "lint-ast R5 probe FAILED: rejection did not name the probe/R5" >&2
+  cat /tmp/ci_lint_r5_probe.txt >&2
+  exit 1
+}
+echo "lint-ast R5 probe OK (boxed slot rejected)"
+
 echo "== dune build =="
 dune build
 
@@ -116,15 +136,21 @@ dune exec test/test_obs.exe -- test determinism
 echo "== bench smoke (quick micro) =="
 dune exec bench/main.exe -- --quick micro
 
-echo "== perf smoke (quick speed vs committed baseline) =="
+echo "== perf smoke (quick speed vs committed quick baseline) =="
 # Guard the hot path: measure the quick speed suite and diff it against
-# the committed BENCH_speed.json, failing on a >2x regression of any
-# sim_ns_per_host_s row.  The committed file holds full-run numbers and
-# this compares quick runs, so the gate is deliberately loose (0.5x):
-# it exists to catch order-of-magnitude slips (an accidentally
-# quadratic scan, a debug hook left installed), not CI-host noise.
-# Snapshot the baseline first — the bench overwrites BENCH_speed.json.
-cp BENCH_speed.json /tmp/ci_speed_baseline.json
+# the committed BENCH_speed_quick.json (same-duration rows — the
+# allocation rate has a startup component, so quick never compares
+# against full), failing on a >2x regression of any sim_ns_per_host_s
+# row.  The wall-clock gate is deliberately loose (0.5x): it exists to
+# catch order-of-magnitude slips (an accidentally quadratic scan, a
+# debug hook left installed), not CI-host noise.  The allocation gate
+# is tight (1.10x) because the meter it reads — minor words per
+# simulated ns on the closed-loop rows — is deterministic for a fixed
+# seed, so a >10% regression of the allocation-free object graph fails
+# CI outright.
+# Snapshot the baseline first — the bench overwrites the quick file.
+cp BENCH_speed_quick.json /tmp/ci_speed_baseline.json
 dune exec bench/main.exe -- --quick speed \
-  --baseline /tmp/ci_speed_baseline.json --fail-under 0.5
-git checkout -- BENCH_speed.json 2>/dev/null || true
+  --baseline /tmp/ci_speed_baseline.json --fail-under 0.5 \
+  --fail-alloc-over 1.10
+git checkout -- BENCH_speed_quick.json 2>/dev/null || true

@@ -24,7 +24,11 @@
 #       full call chain is printed;
 #   R4  DLS-handle caching discipline: Access.hooks () / Gobj.uid_source
 #       () results may only be bound inside function bodies or
-#       run-threaded records, never at module toplevel.
+#       run-threaded records, never at module toplevel;
+#   R5  allocation-free object graph: the type "Gobj.t option" may not
+#       appear in lib/heap or lib/collectors — reference slots use the
+#       unboxed Gobj.null sentinel, so the simulated heap's hot path
+#       never boxes a reference on the host minor heap.
 #
 # Deliberate exemptions are annotated in-source with
 #   [@gcsim.allow "reason"]   (expressions)

@@ -104,9 +104,9 @@ let window_scenario ~plant : Analysis.Explore.scenario =
          let y = Runtime.Mutator.alloc m ~data_bytes:y_bytes ~nrefs:0 in
          let cheap = fresh_old_holder rt in
          let prep1, prep2 = two_old_holders rt in
-         Runtime.Mutator.write m cheap 0 (Some x);
-         Runtime.Mutator.write m prep1 0 (Some y);
-         Runtime.Mutator.write m prep2 0 (Some x);
+         Runtime.Mutator.write m cheap 0 x;
+         Runtime.Mutator.write m prep1 0 y;
+         Runtime.Mutator.write m prep2 0 x;
          Runtime.Mutator.finish m;
          ignore (Jade.Young.collect young ~workers:2)));
   Sim.Engine.run rt.Runtime.Rt.engine
@@ -126,8 +126,8 @@ let disjoint_scenario : Analysis.Explore.scenario =
          let y = Runtime.Mutator.alloc m ~data_bytes:256 ~nrefs:0 in
          let h1 = fresh_old_holder rt in
          let h2 = fresh_old_holder rt in
-         Runtime.Mutator.write m h1 0 (Some x);
-         Runtime.Mutator.write m h2 0 (Some y);
+         Runtime.Mutator.write m h1 0 x;
+         Runtime.Mutator.write m h2 0 y;
          Runtime.Mutator.finish m;
          ignore (Jade.Young.collect young ~workers:2)));
   Sim.Engine.run rt.Runtime.Rt.engine

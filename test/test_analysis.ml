@@ -213,7 +213,7 @@ let test_planted_remset_bug_caught_by_verifier () =
          let h = fresh_old_holder rt in
          (* The planted bug makes this store skip its remembered-set
             insert: an old→young edge the next collection cannot see. *)
-         Runtime.Mutator.write m h 0 (Some x);
+         Runtime.Mutator.write m h 0 x;
          Runtime.Mutator.finish m;
          ignore (Jade.Young.collect young ~workers:1)));
   Sim.Engine.run rt.Runtime.Rt.engine;
@@ -242,7 +242,7 @@ let test_planted_remset_bug_absent_means_silent () =
          let m = Runtime.Mutator.create rt in
          let x = Runtime.Mutator.alloc m ~data_bytes:32 ~nrefs:0 in
          let h = fresh_old_holder rt in
-         Runtime.Mutator.write m h 0 (Some x);
+         Runtime.Mutator.write m h 0 x;
          Runtime.Mutator.finish m;
          ignore (Jade.Young.collect young ~workers:1)));
   Sim.Engine.run rt.Runtime.Rt.engine;
@@ -266,8 +266,8 @@ let test_planted_race_caught_by_detector () =
          let x = Runtime.Mutator.alloc m ~data_bytes:32 ~nrefs:0 in
          let h1 = fresh_old_holder rt in
          let h2 = fresh_old_holder rt in
-         Runtime.Mutator.write m h1 0 (Some x);
-         Runtime.Mutator.write m h2 0 (Some x);
+         Runtime.Mutator.write m h1 0 x;
+         Runtime.Mutator.write m h2 0 x;
          Runtime.Mutator.finish m;
          ignore (Jade.Young.collect young ~workers:2)));
   Sim.Engine.run rt.Runtime.Rt.engine;

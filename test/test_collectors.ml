@@ -89,7 +89,7 @@ let verify_reachable rt =
       Heap.Gobj.iter_fields (fun _ child -> visit (depth + 1) child) o
     end
   in
-  Runtime.Rt.iter_roots rt (function Some o -> visit 0 o | None -> ());
+  Runtime.Rt.iter_roots rt (fun o -> if o != Heap.Gobj.null then visit 0 o);
   !count
 
 let verify_free_accounting rt =

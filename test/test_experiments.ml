@@ -60,45 +60,92 @@ let test_machine_scales_with_mult () =
   in
   Alcotest.(check bool) "monotone in mult" true (at 1.5 < at 2.0 && at 2.0 < at 4.0)
 
-let test_fixed_run_deterministic_summary () =
-  let app : Workload.Apps.t =
-    {
-      Workload.Apps.name = "det";
-      fixed_requests = 400;
-      spec =
-        {
-          Workload.Spec.name = "det";
-          mutators = 2;
-          live_bytes = 2 * mib;
-          node_data = 96;
-          chain_len = 3;
-          temp_objs = 20;
-          temp_data_min = 32;
-          temp_data_max = 128;
-          survivors = 2;
-          pool_slots = 32;
-          store_reads = 4;
-          update_pct = 0.3;
-          cpu_ns = 20_000;
-          weak_pct = 0.;
-        };
-    }
-  in
+(* Small fixed-request app shared by the determinism and pooling
+   fences below. *)
+let det_app : Workload.Apps.t =
+  {
+    Workload.Apps.name = "det";
+    fixed_requests = 400;
+    spec =
+      {
+        Workload.Spec.name = "det";
+        mutators = 2;
+        live_bytes = 2 * mib;
+        node_data = 96;
+        chain_len = 3;
+        temp_objs = 20;
+        temp_data_min = 32;
+        temp_data_max = 128;
+        survivors = 2;
+        pool_slots = 32;
+        store_reads = 4;
+        update_pct = 0.3;
+        cpu_ns = 20_000;
+        weak_pct = 0.;
+      };
+  }
+
+let run_det ?(pooling = true) () =
   let machine =
     { Experiments.Harness.default_machine with
-      Experiments.Harness.heap_bytes = 16 * mib; cores = 2 }
+      Experiments.Harness.heap_bytes = 16 * mib; cores = 2; pooling }
   in
-  let run () =
-    Experiments.Harness.run_fixed ~machine
-      ~install:(fun rt -> ignore (Jade.Collector.install rt))
-      ~collector:"jade" app
-  in
-  let a = run () and b = run () in
+  Experiments.Harness.run_fixed ~machine
+    ~install:(fun rt -> ignore (Jade.Collector.install rt))
+    ~collector:"jade" det_app
+
+let test_fixed_run_deterministic_summary () =
+  let a = run_det () and b = run_det () in
   Alcotest.(check int) "same elapsed" a.Experiments.Harness.elapsed
     b.Experiments.Harness.elapsed;
   Alcotest.(check int) "same pause count" a.Experiments.Harness.pause_count
     b.Experiments.Harness.pause_count;
   Alcotest.(check int) "all requests done" 400 a.Experiments.Harness.completed
+
+(* Everything the summary and metrics sink record: virtual-time totals,
+   latency/pause percentiles, the raw pause stream, the counter table.
+   Same shape as the zero-perturbation fence in test_obs.ml. *)
+let fingerprint (s : Experiments.Harness.summary) =
+  let m = s.Experiments.Harness.metrics in
+  let pauses =
+    Util.Vec.to_array m.Runtime.Metrics.pauses
+    |> Array.map (fun (p : Runtime.Metrics.pause) ->
+           ( p.Runtime.Metrics.at,
+             p.Runtime.Metrics.dur,
+             Runtime.Metrics.pause_kind_to_string p.Runtime.Metrics.kind ))
+    |> Array.to_list
+  in
+  let counters =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) m.Runtime.Metrics.counters []
+    |> List.sort compare
+  in
+  ( ( s.Experiments.Harness.completed,
+      s.Experiments.Harness.elapsed,
+      s.Experiments.Harness.throughput,
+      s.Experiments.Harness.p50_latency,
+      s.Experiments.Harness.p99_latency,
+      s.Experiments.Harness.p999_latency,
+      s.Experiments.Harness.max_latency ),
+    ( s.Experiments.Harness.pause_count,
+      s.Experiments.Harness.cumulative_pause,
+      s.Experiments.Harness.max_pause,
+      s.Experiments.Harness.cumulative_stall,
+      s.Experiments.Harness.cpu_mutator,
+      s.Experiments.Harness.cpu_gc,
+      s.Experiments.Harness.oom ),
+    pauses,
+    counters )
+
+(* Record/array pooling is host allocation behavior only: a pooled
+   rerun must fingerprint identically (freelist order is deterministic)
+   and pooled vs unpooled must fingerprint identically (recycling never
+   leaks into a simulated number). *)
+let test_pooling_invisible () =
+  let pooled = fingerprint (run_det ~pooling:true ()) in
+  let pooled' = fingerprint (run_det ~pooling:true ()) in
+  let unpooled = fingerprint (run_det ~pooling:false ()) in
+  Alcotest.(check bool) "pooled rerun identical" true (pooled = pooled');
+  Alcotest.(check bool) "pooling simulation-invisible" true (pooled = unpooled)
 
 let test_summary_cpu_split () =
   let app = Workload.Apps.find "avrora" in
@@ -131,5 +178,6 @@ let () =
           Alcotest.test_case "deterministic summary" `Slow
             test_fixed_run_deterministic_summary;
           Alcotest.test_case "cpu split" `Slow test_summary_cpu_split;
+          Alcotest.test_case "pooling invisible" `Slow test_pooling_invisible;
         ] );
     ]

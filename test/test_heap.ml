@@ -106,8 +106,8 @@ let test_forwarding_resolve () =
   let a = alloc heap r ~size:64 ~nrefs:0 in
   let b = alloc heap r ~size:64 ~nrefs:0 in
   let c = alloc heap r ~size:64 ~nrefs:0 in
-  a.Gobj.forward <- Some b;
-  b.Gobj.forward <- Some c;
+  a.Gobj.forward <- b;
+  b.Gobj.forward <- c;
   Alcotest.(check bool) "resolve follows chain" true (Gobj.resolve a == c);
   Alcotest.(check int) "depth" 2 (Gobj.forward_depth a);
   Alcotest.(check bool) "unforwarded resolves to self" true (Gobj.resolve c == c)
@@ -138,11 +138,11 @@ let test_scan_card_finds_slots () =
   let r = claim_exn heap Region.Old in
   let target = alloc heap r ~size:32 ~nrefs:0 in
   let holder = alloc heap r ~size:64 ~nrefs:3 in
-  Gobj.set_field holder 1 (Some target);
+  Gobj.set_field holder 1 target;
   let card = Heap_impl.card_of_field heap holder 1 in
   let hits = ref [] in
   Heap_impl.scan_card heap card ~f:(fun o i ->
-      if Gobj.get_field o i <> None then hits := (o.Gobj.id, i) :: !hits);
+      if Gobj.get_field o i != Gobj.null then hits := (o.Gobj.id, i) :: !hits);
   Alcotest.(check (list (pair int int)))
     "found the populated slot"
     [ (holder.Gobj.id, 1) ]
@@ -417,7 +417,7 @@ let test_weak_follows_forwarding () =
   let r2 = claim_exn heap Region.Old in
   let old_copy = alloc heap r1 ~size:64 ~nrefs:0 in
   let new_copy = alloc heap r2 ~size:64 ~nrefs:0 in
-  old_copy.Gobj.forward <- Some new_copy;
+  old_copy.Gobj.forward <- new_copy;
   Heap_impl.register_weak heap old_copy ~callback:None;
   Heap_impl.release_region heap r1;
   (* The referent moved before its region was freed: it survives. *)
@@ -499,9 +499,129 @@ let test_forwarding_table () =
   let o = alloc heap r ~size:64 ~nrefs:0 in
   let fwd = Forwarding.create ~rid:r.Region.rid ~expected:4 in
   Forwarding.add fwd ~old_offset:0 o;
-  Alcotest.(check bool) "lookup hit" true (Forwarding.find fwd ~old_offset:0 = Some o);
-  Alcotest.(check bool) "lookup miss" true (Forwarding.find fwd ~old_offset:64 = None);
+  Alcotest.(check bool) "lookup hit" true (Forwarding.find fwd ~old_offset:0 == o);
+  Alcotest.(check bool) "lookup miss" true (Gobj.is_null (Forwarding.find fwd ~old_offset:64));
   Alcotest.(check int) "entries" 1 (Forwarding.entries fwd)
+
+(* ------------------------------------------------------------------ *)
+(* Null sentinel + record pool. *)
+
+(* The sentinel must stay inert under arbitrary heap traffic: never
+   marked, never forwarded, never surfaced by field iteration or card
+   scans (so no tracer can enqueue it — barrier SATB paths test against
+   it explicitly), never edge-counted, and invisible to used-bytes.
+   Random alloc/link/mark/scan/release sequences probe all of that at
+   once; the [pure] wrapper keeps each QCheck case independent. *)
+let sentinel_model =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:200 ~name:"null sentinel stays inert"
+       QCheck2.Gen.(
+         pair (int_range 0 1000)
+           (list_size (int_range 0 50) (pair (int_range 0 6) (int_range 0 300))))
+       (fun (salt, specs) ->
+         let heap = mk_heap ~heap_bytes:(64 * kib) ~region_bytes:(8 * kib) () in
+         let r = claim_exn heap Region.Old in
+         let objs =
+           List.filter_map
+             (fun (nrefs, data_bytes) ->
+               let size = Heap_impl.object_size ~nrefs ~data_bytes in
+               if Region.fits r size then Some (alloc heap r ~size ~nrefs)
+               else None)
+             specs
+         in
+         let arr = Array.of_list objs in
+         let n = Array.length arr in
+         (* Random edges, with explicit null stores mixed in. *)
+         List.iteri
+           (fun k (nrefs, data_bytes) ->
+             if n > 0 && nrefs > 0 then begin
+               let o = arr.(k mod n) in
+               let i = data_bytes mod max 1 (Gobj.num_fields o) in
+               if Gobj.num_fields o > 0 then
+                 if (salt + k) mod 3 = 0 then Gobj.set_field o i Gobj.null
+                 else Gobj.set_field o i arr.((salt + k) mod n)
+             end)
+           specs;
+         let used_before = Heap_impl.used_bytes heap in
+         (* Mark everything; the sentinel is never handed to the marker
+            by any scan, so its word must stay untouched. *)
+         ignore (Heap_impl.begin_mark heap);
+         Array.iter (fun o -> ignore (Heap_impl.mark_object heap o)) arr;
+         Heap_impl.end_mark heap;
+         let saw_null = ref false in
+         Array.iter
+           (fun o ->
+             Gobj.iter_fields
+               (fun _ child -> if Gobj.is_null child then saw_null := true)
+               o)
+           arr;
+         let cpr = Heap_impl.cards_per_region heap in
+         for local = 0 to cpr - 1 do
+           Heap_impl.scan_card heap
+             ((r.Region.rid * cpr) + local)
+             ~f:(fun o _ -> if Gobj.is_null o then saw_null := true)
+         done;
+         (* Writing null over every slot must not move used-bytes. *)
+         Array.iter
+           (fun o ->
+             for i = 0 to Gobj.num_fields o - 1 do
+               Gobj.set_field o i Gobj.null
+             done)
+           arr;
+         let used_after = Heap_impl.used_bytes heap in
+         (* Release triggers the pool harvest (pooling defaults on);
+            the sentinel must survive it untouched too. *)
+         Heap_impl.release_region heap r;
+         (not !saw_null) && used_before = used_after
+         && (not (Heap_impl.is_marked heap Gobj.null))
+         && (not (Gobj.is_forwarded Gobj.null))
+         && Gobj.null.Gobj.forward == Gobj.null
+         && Gobj.null.Gobj.inrefs = 0
+         && (not (Gobj.is_freed Gobj.null))
+         && Gobj.num_fields Gobj.null = 0))
+
+(* The record pool must actually recycle (the fence below is vacuous
+   otherwise) and recycling must be deterministic: the same
+   alloc/link/release sequence on two fresh heaps mints the same uid
+   stream and the same field-array lengths, recycled records included. *)
+let test_pool_recycles_deterministically () =
+  let build () =
+    let heap = mk_heap () in
+    let uids = ref [] in
+    let note (o : Gobj.t) = uids := (o.Gobj.uid, Gobj.num_fields o) :: !uids in
+    let r = claim_exn heap Region.Old in
+    let dead = alloc heap r ~size:64 ~nrefs:3 in
+    note dead;
+    Heap_impl.release_region heap r;
+    (* The freed record and its 3-slot array sit in the pool now. *)
+    let r2 = claim_exn heap Region.Old in
+    let recycled = alloc heap r2 ~size:64 ~nrefs:3 in
+    note recycled;
+    let same_record = recycled == dead in
+    for _ = 1 to 20 do
+      if Region.fits r2 96 then note (alloc heap r2 ~size:96 ~nrefs:2)
+    done;
+    (same_record, List.rev !uids)
+  in
+  let same_a, uids_a = build () in
+  let same_b, uids_b = build () in
+  Alcotest.(check bool) "pool recycled the dead record" true same_a;
+  Alcotest.(check bool) "recycling deterministic across heaps" true
+    (same_a = same_b && uids_a = uids_b);
+  (* A recycled record is born live with a fresh uid. *)
+  (match uids_a with
+  | (u_dead, _) :: (u_recycled, nf) :: _ ->
+      Alcotest.(check bool) "fresh uid on recycle" true (u_recycled <> u_dead);
+      Alcotest.(check int) "field array length restored" 3 nf
+  | _ -> Alcotest.fail "uid stream too short");
+  (* Pooling off: the same sequence mints fresh records. *)
+  let heap = Heap_impl.create (Heap_impl.config ~pooling:false ()) in
+  let r = claim_exn heap Region.Old in
+  let dead = alloc heap r ~size:64 ~nrefs:3 in
+  Heap_impl.release_region heap r;
+  let r2 = claim_exn heap Region.Old in
+  let fresh = alloc heap r2 ~size:64 ~nrefs:3 in
+  Alcotest.(check bool) "pooling off never recycles" true (fresh != dead)
 
 let () =
   Alcotest.run "heap"
@@ -556,5 +676,11 @@ let () =
         [
           Alcotest.test_case "remset" `Quick test_remset;
           Alcotest.test_case "forwarding table" `Quick test_forwarding_table;
+        ] );
+      ( "sentinel+pool",
+        [
+          sentinel_model;
+          Alcotest.test_case "pool recycles deterministically" `Quick
+            test_pool_recycles_deterministically;
         ] );
     ]

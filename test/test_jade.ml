@@ -240,7 +240,7 @@ let test_jade_single_phase_updates_refs () =
         o
     end
   in
-  Runtime.Rt.iter_roots rt (function Some o -> visit o | None -> ());
+  Runtime.Rt.iter_roots rt (fun o -> if o != Gobj.null then visit o);
   Alcotest.(check bool)
     (Printf.sprintf "stale refs %d of %d below 20%%" !stale !total)
     true

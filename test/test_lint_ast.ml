@@ -14,9 +14,9 @@
      fence that keeps future sessions honest. *)
 
 let src ?(file = "synth/sim/probe.ml") ?(modpath = [ "Sim"; "Probe" ])
-    ?(linted = true) text =
+    ?(linted = true) ?(r5 = false) text =
   Lint_core.{ src_file = file; src_text = text; src_modpath = modpath;
-              src_linted = linted }
+              src_linted = linted; src_r5 = r5 }
 
 let rules diags =
   List.map (fun d -> Lint_core.rule_to_string d.Lint_core.rule) diags
@@ -146,6 +146,53 @@ let test_r4_negatives () =
     "type t = { h : int }\nlet create () = { h = 0 }\n"
 
 (* ------------------------------------------------------------------ *)
+(* R5: Gobj.t option banned from the sentinel-only trees. *)
+
+let check_r5 name expected text =
+  Alcotest.(check (list string))
+    name expected
+    (rules
+       (Lint_core.run
+          [ src ~file:"synth/heap/probe.ml" ~modpath:[ "Heap"; "Probe" ] ~r5:true text ]))
+
+let test_r5_option_slot () =
+  check_r5 "record field" [ "R5" ]
+    "type cell = { mutable slot : Gobj.t option }\n";
+  check_r5 "annotation" [ "R5" ]
+    "let f (x : Gobj.t option) = x\n";
+  check_r5 "Option.t spelling" [ "R5" ] "let g : Gobj.t Option.t = None\n";
+  check_r5 "aliased Option" [ "R5" ]
+    "module O = Option\nlet h : Gobj.t O.t = None\n"
+
+let test_r5_bare_t_inside_gobj () =
+  (* Inside gobj.ml itself the type is spelled bare [t]. *)
+  Alcotest.(check (list string))
+    "bare t option inside Gobj" [ "R5" ]
+    (rules
+       (Lint_core.run
+          [
+            src ~file:"synth/heap/gobj.ml" ~modpath:[ "Heap"; "Gobj" ]
+              ~r5:true "type t = { id : int }\nlet peek : t option = None\n";
+          ]))
+
+let test_r5_negatives () =
+  (* Options over other types stay legal, and the same text outside the
+     sentinel-only trees is not R5's business. *)
+  check_r5 "option of int" [] "let f (x : int option) = x\n";
+  check_r5 "bare slot" [] "type cell = { mutable slot : Gobj.t }\n";
+  Alcotest.(check (list string))
+    "Gobj.t option outside r5 dirs" []
+    (rules
+       (Lint_core.run
+          [
+            src ~file:"synth/analysis/verifier.ml"
+              ~modpath:[ "Analysis"; "Verifier" ]
+              "let chase (o : Gobj.t option) = o\n";
+          ]));
+  check_r5 "allow suppresses R5" []
+    "let f (x : (Gobj.t option[@gcsim.allow \"test exemption\"])) = x\n"
+
+(* ------------------------------------------------------------------ *)
 (* JSON round-trip. *)
 
 let test_json_roundtrip () =
@@ -227,6 +274,13 @@ let () =
         [
           Alcotest.test_case "cross-file chain" `Quick test_r3_chain;
           Alcotest.test_case "pure helper clean" `Quick test_r3_clean_helper;
+        ] );
+      ( "r5-option-free-graph",
+        [
+          Alcotest.test_case "boxed slots flagged" `Quick test_r5_option_slot;
+          Alcotest.test_case "bare t inside Gobj" `Quick
+            test_r5_bare_t_inside_gobj;
+          Alcotest.test_case "negatives" `Quick test_r5_negatives;
         ] );
       ( "r4-dls-handles",
         [

@@ -7,8 +7,8 @@ let kib = Util.Units.kib
 let mib = Util.Units.mib
 let ms = Util.Units.ms
 
-let mk_heap ?(heap_bytes = 4 * mib) ?(region_bytes = 256 * kib) () =
-  Heap_impl.create (Heap_impl.config ~heap_bytes ~region_bytes ())
+let mk_heap ?(heap_bytes = 4 * mib) ?(region_bytes = 256 * kib) ?pooling () =
+  Heap_impl.create (Heap_impl.config ~heap_bytes ~region_bytes ?pooling ())
 
 let claim_exn heap kind =
   match Heap_impl.claim_region heap kind with
@@ -105,7 +105,11 @@ let test_full_compact_with_zero_free_regions () =
    exactly the roots. *)
 let test_unrooted_handles_are_collected () =
   let engine = Sim.Engine.create ~cores:2 () in
-  let heap = mk_heap ~heap_bytes:(8 * mib) () in
+  (* Pooling off: this test inspects a dead object through a host-held
+     unrooted handle, which is exactly the kind of reference the record
+     pool's ownership contract excludes — recycling could legitimately
+     turn the dead record back into a live one. *)
+  let heap = mk_heap ~heap_bytes:(8 * mib) ~pooling:false () in
   let rt = Runtime.Rt.create ~seed:42 ~engine ~heap () in
   ignore (Collectors.G1.install rt);
   let unrooted = ref None and rooted = ref None in
@@ -154,10 +158,10 @@ let test_survivor_overflow_promotes () =
          let anchor = Runtime.Mutator.push_root m (Runtime.Mutator.alloc m ~data_bytes:64 ~nrefs:1) in
          for _ = 1 to 4000 do
            let o = Runtime.Mutator.alloc m ~data_bytes:1000 ~nrefs:1 in
-           (match Runtime.Mutator.get_root m anchor with
-           | Some head -> Runtime.Mutator.write m o 0 (Some head)
-           | None -> ());
-           Runtime.Mutator.set_root m anchor (Some o)
+           (let head = Runtime.Mutator.get_root m anchor in
+            if not (Heap.Gobj.is_null head) then
+              Runtime.Mutator.write m o 0 head);
+           Runtime.Mutator.set_root m anchor o
          done;
          for _ = 1 to 40_000 do
            ignore (Runtime.Mutator.alloc m ~data_bytes:96 ~nrefs:0)

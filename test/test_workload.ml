@@ -23,7 +23,7 @@ let reachable_bytes rt =
       Heap.Gobj.iter_fields (fun _ child -> visit child) o
     end
   in
-  Runtime.Rt.iter_roots rt (function Some o -> visit o | None -> ());
+  Runtime.Rt.iter_roots rt (fun o -> if o != Heap.Gobj.null then visit o);
   !bytes
 
 let setup_app rt (app : Workload.Apps.t) =

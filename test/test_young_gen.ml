@@ -47,16 +47,16 @@ let build_old_to_young env (m : Runtime.Mutator.t) =
       ~nrefs:0 ()
   in
   (* Share the slots, as relocation does. *)
-  let holder' = { holder' with Gobj.fields = holder.Gobj.fields } in
+  holder'.Gobj.fields <- holder.Gobj.fields;
   Util.Vec.set old_r.Region.objects (Util.Vec.length old_r.Region.objects - 1)
     holder';
-  holder.Gobj.forward <- Some holder';
+  holder.Gobj.forward <- holder';
   let y2 = Runtime.Mutator.alloc m ~data_bytes:64 ~nrefs:1 in
   ignore (Runtime.Mutator.push_root m y2);
   let y1 = Runtime.Mutator.alloc m ~data_bytes:64 ~nrefs:1 in
-  Runtime.Mutator.write m y1 0 (Some y2);
+  Runtime.Mutator.write m y1 0 y2;
   Runtime.Mutator.truncate_roots m 0;
-  Runtime.Mutator.write m holder 0 (Some y1);
+  Runtime.Mutator.write m holder 0 y1;
   (* Young garbage: enough regions' worth that a collection visibly
      frees memory even after claiming survivor destinations. *)
   for _ = 1 to 8_000 do
@@ -123,15 +123,14 @@ let test_young_gen_collect_preserves_chain () =
   let y1 = Gobj.resolve y1_old in
   Alcotest.(check bool) "chain head relocated" true (y1 != y1_old);
   Alcotest.(check bool) "chain head alive" false (Gobj.is_freed y1);
-  (match Gobj.get_field holder 0 with
-  | Some v ->
-      Alcotest.(check bool) "holder slot healed in place" true (v == y1)
-  | None -> Alcotest.fail "holder slot lost");
-  (match Gobj.get_field y1 0 with
-  | Some y2 ->
-      Alcotest.(check bool) "interior link alive" false
-        (Gobj.is_freed (Gobj.resolve y2))
-  | None -> Alcotest.fail "interior link lost");
+  (let v = Gobj.get_field holder 0 in
+   if Gobj.is_null v then Alcotest.fail "holder slot lost"
+   else Alcotest.(check bool) "holder slot healed in place" true (v == y1));
+  (let y2 = Gobj.get_field y1 0 in
+   if Gobj.is_null y2 then Alcotest.fail "interior link lost"
+   else
+     Alcotest.(check bool) "interior link alive" false
+       (Gobj.is_freed (Gobj.resolve y2)));
   Alcotest.(check bool) "young garbage reclaimed" true
     (Heap_impl.free_regions env.heap > free_before)
 
@@ -162,9 +161,9 @@ let test_jade_young_single_phase () =
   let y1 = Gobj.resolve y1_old in
   Alcotest.(check bool) "chain head relocated" true (y1 != y1_old);
   (* Single phase: references were updated during the same pass. *)
-  (match Gobj.get_field holder 0 with
-  | Some v -> Alcotest.(check bool) "slot updated in the single pass" true (v == y1)
-  | None -> Alcotest.fail "slot lost");
+  (let v = Gobj.get_field holder 0 in
+   if Gobj.is_null v then Alcotest.fail "slot lost"
+   else Alcotest.(check bool) "slot updated in the single pass" true (v == y1));
   (* The old region of y1 was released (per-cycle whole-young release). *)
   Alcotest.(check bool) "old copy freed" true (Gobj.is_freed y1_old)
 
@@ -186,7 +185,7 @@ let test_jade_young_promotion_updates_remset () =
       let b = Runtime.Mutator.alloc m ~data_bytes:64 ~nrefs:0 in
       ignore (Runtime.Mutator.push_root m b);
       let a = Runtime.Mutator.alloc m ~data_bytes:64 ~nrefs:1 in
-      Runtime.Mutator.write m a 0 (Some b);
+      Runtime.Mutator.write m a 0 b;
       ignore (Runtime.Rt.add_global env.rt a));
   let ok = ref false in
   ignore

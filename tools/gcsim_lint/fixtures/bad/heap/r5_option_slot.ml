@@ -1,0 +1,15 @@
+(* expect: R5 *)
+(* Gobj.t option creeping back into the sentinel-only trees: every
+   shape a reference slot could be re-boxed in — a record field, a
+   signature annotation, and an alias-hidden Option.t spelling. *)
+module Gobj = struct
+  type t = { id : int }
+end
+
+type cell = { mutable slot : Gobj.t option }
+
+let peek (c : cell) : Gobj.t option = c.slot
+
+module O = Option
+
+let hidden : Gobj.t O.t = None

@@ -1,0 +1,14 @@
+(* Null-sentinel idiom: bare Gobj.t slots, options only over other
+   types (those stay legal even in the sentinel-only trees). *)
+module Gobj = struct
+  type t = { id : int }
+
+  let null = { id = -1 }
+end
+
+type cell = { mutable slot : Gobj.t }
+
+let empty () = { slot = Gobj.null }
+
+(* An option of something else is not an R5 hit. *)
+let pick (xs : int option) = match xs with Some x -> x | None -> 0

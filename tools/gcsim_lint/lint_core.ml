@@ -37,6 +37,13 @@
       slot and may only be bound inside function bodies (run-threaded
       state); caching one at module toplevel aliases the linting
       domain's slot into every other domain's runs.
+    - {b R5} — allocation-free object graph: the type [Gobj.t option]
+      may not appear in [lib/heap] or [lib/collectors] (annotations,
+      record/variant fields, signatures).  Reference slots use the
+      unboxed {!Gobj.null} sentinel instead — an option would re-box
+      every read of the simulated heap's hot path on the host minor
+      heap.  Other directories (e.g. the analysis verifier) may still
+      use options.
 
     Allowlisting is in-source: [[@gcsim.allow "reason"]] on an
     expression, [[@@gcsim.allow "reason"]] on a binding or module, or
@@ -52,13 +59,14 @@
 (* ------------------------------------------------------------------ *)
 (* Diagnostics.                                                        *)
 
-type rule = R1 | R2 | R3 | R4 | Parse | Allow
+type rule = R1 | R2 | R3 | R4 | R5 | Parse | Allow
 
 let rule_to_string = function
   | R1 -> "R1"
   | R2 -> "R2"
   | R3 -> "R3"
   | R4 -> "R4"
+  | R5 -> "R5"
   | Parse -> "parse"
   | Allow -> "allow"
 
@@ -67,6 +75,7 @@ let rule_of_string = function
   | "R2" -> Some R2
   | "R3" -> Some R3
   | "R4" -> Some R4
+  | "R5" -> Some R5
   | "parse" -> Some Parse
   | "allow" -> Some Allow
   | _ -> None
@@ -334,6 +343,9 @@ type source = {
   src_text : string;
   src_modpath : string list;  (** e.g. [["Heap"; "Region"]] *)
   src_linted : bool;
+  src_r5 : bool;
+      (** in the sentinel-only trees ([lib/heap], [lib/collectors]):
+          R5 forbids [Gobj.t option] here *)
 }
 
 type acc = {
@@ -579,6 +591,49 @@ let analyze_structure (acc : acc) (src : source) (str : structure) =
     toplevel := t
   in
 
+  (* R5: a [Gobj.t option] anywhere a type can appear — annotation,
+     record or variant field, arrow component — re-boxes the object
+     graph's reference slots on the host minor heap; the unboxed
+     {!Gobj.null} sentinel is the only legal "absent" in the
+     sentinel-only trees. *)
+  let typ (self : Ast_iterator.iterator) (ct : core_type) =
+    let allow = allow_of_attrs acc ~file ct.ptyp_attributes in
+    with_allow allow (fun () ->
+        (if src.src_r5 then
+           match ct.ptyp_desc with
+           | Ptyp_constr ({ txt = outer; loc }, [ arg ])
+             when (let is_option p =
+                     p = [ "option" ] || list_suffix ~suffix:[ "Option"; "t" ] p
+                   in
+                   let p = Longident.flatten outer in
+                   is_option p
+                   ||
+                   (* [module O = Option] must not hide the box. *)
+                   match resolve_module_path p with
+                   | Alias q -> is_option q
+                   | Local -> false)
+             -> (
+               match arg.ptyp_desc with
+               | Ptyp_constr ({ txt = inner; _ }, _) ->
+                   let parts = Longident.flatten inner in
+                   let is_gobj_t =
+                     list_suffix ~suffix:[ "Gobj"; "t" ] parts
+                     || (parts = [ "t" ]
+                        && list_suffix ~suffix:[ "Gobj" ] src.src_modpath)
+                   in
+                   if is_gobj_t then
+                     emit loc R5
+                       "Gobj.t option in the sentinel-only trees \
+                        (lib/heap, lib/collectors) — reference slots use \
+                        the unboxed Gobj.null sentinel; an option boxes \
+                        every read of the heap hot path on the host \
+                        minor heap"
+                       []
+               | _ -> ())
+           | _ -> ());
+        Ast_iterator.default_iterator.typ self ct)
+  in
+
   let rec module_expr (self : Ast_iterator.iterator) (me : module_expr) =
     match me.pmod_desc with
     | Pmod_apply (fn, arg) ->
@@ -684,6 +739,14 @@ let analyze_structure (acc : acc) (src : source) (str : structure) =
     let allow = allow_of_attrs acc ~file vb.pvb_attributes in
     with_allow allow (fun () ->
         self.pat self vb.pvb_pat;
+        (* [let g : T = e] keeps T beside the binding, not in the
+           pattern — walk it or R5 misses signature-style constraints. *)
+        (match vb.pvb_constraint with
+        | Some (Pvc_constraint { typ = t; _ }) -> self.typ self t
+        | Some (Pvc_coercion { ground; coercion }) ->
+            Option.iter (self.typ self) ground;
+            self.typ self coercion
+        | None -> ());
         expr self vb.pvb_expr)
   in
 
@@ -775,6 +838,7 @@ let analyze_structure (acc : acc) (src : source) (str : structure) =
       structure_item;
       module_expr;
       value_binding;
+      typ;
     }
   in
   List.iter (fun si -> iter.structure_item iter si) str
@@ -991,11 +1055,17 @@ let lib_module_of_dir dir =
 let module_of_file path =
   String.capitalize_ascii (Filename.remove_extension (Filename.basename path))
 
+(* The sentinel-only trees where R5 applies, identified by directory
+   basename so both the real invocation (lib/heap) and the self-test
+   fixture tree (fixtures/bad/heap) participate. *)
+let r5_dirs = [ "heap"; "collectors" ]
+
 (** All [.ml] files directly in [dir], as lintable sources. *)
 let load_dir ~linted dir =
   if not (Sys.file_exists dir && Sys.is_directory dir) then
     failwith (Printf.sprintf "gcsim-lint: no such directory: %s" dir);
   let wrapper = lib_module_of_dir dir in
+  let r5 = linted && List.mem (Filename.basename dir) r5_dirs in
   Sys.readdir dir |> Array.to_list |> List.sort compare
   |> List.filter (fun f -> Filename.check_suffix f ".ml")
   |> List.map (fun f ->
@@ -1005,6 +1075,7 @@ let load_dir ~linted dir =
            src_text = read_file path;
            src_modpath = [ wrapper; module_of_file path ];
            src_linted = linted;
+           src_r5 = r5;
          })
 
 let run_dirs ~linted_dirs ~aux_dirs =
